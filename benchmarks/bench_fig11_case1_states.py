@@ -1,0 +1,104 @@
+"""Figs. 11/12 — Case 1 initial and final static state.
+
+The paper shows the slope's initial state and its final static state
+after 40 000 steps: the slope is *stable* — blocks settle elastically and
+stay in place. This bench runs the scaled slope to (scaled) rest and
+verifies the static-state picture: negligible block motion, vanishing
+kinetic measures, no physical interpenetration — then writes the initial
+and final centroid fields so the two figures can be re-plotted.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import RESULTS_DIR, case1_controls, scaled_case1_system
+from repro.analysis.interpenetration import system_interpenetration_audit
+from repro.engine.gpu_engine import GpuEngine
+from repro.io.reporting import ComparisonReport
+
+STEPS = 12
+
+
+@pytest.fixture(scope="module")
+def case1_state_run():
+    system = scaled_case1_system(joint_spacing=4.0, seed=7)
+    initial = system.centroids.copy()
+    engine = GpuEngine(system, case1_controls())
+    result = engine.run(steps=STEPS, snapshot_every=STEPS // 3)
+    moved = np.linalg.norm(result.displacements, axis=1)
+    audit = system_interpenetration_audit(system)
+    out = dict(
+        system=system,
+        initial=initial,
+        result=result,
+        moved=moved,
+        audit=audit,
+    )
+    _write_report(out)
+    return out
+
+
+def _write_report(r) -> None:
+    system, result = r["system"], r["result"]
+    mean_size = float(np.sqrt(system.areas.mean()))
+    report = ComparisonReport(
+        "Figs 11-12", "Case 1 initial vs final static state"
+    )
+    report.add("outcome", "slope reaches static state", "stable")
+    report.add("blocks", 4361, system.n_blocks)
+    report.add("max block displacement / block size", "<< 1",
+               round(float(r["moved"].max()) / mean_size, 6))
+    report.add("blocks displaced > 1% of size", 0,
+               int((r["moved"] > 0.01 * mean_size).sum()))
+    report.add("deepest interpenetration (m)", "~0",
+               float(r["audit"].max_depth))
+    report.add("non-diagonal blocks in final step",
+               "2242..18731 (paper range)",
+               result.steps[-1].n_offdiag_blocks)
+    report.note(f"scaled: {system.n_blocks} blocks, {STEPS} steps")
+    path = report.write(RESULTS_DIR)
+    # centroid fields for re-plotting the two figures
+    np.savetxt(path.with_name("fig11_initial_centroids.txt"), r["initial"])
+    np.savetxt(path.with_name("fig12_final_centroids.txt"),
+               system.centroids)
+    # ASCII rendering of the final state (the figure itself)
+    from repro.io.ascii_art import render_system
+
+    path.with_name("fig12_final_state.txt").write_text(
+        render_system(system, width=78, height=24) + "\n"
+    )
+    print()
+    print(report.render())
+
+
+def test_fig11_slope_is_stable(case1_state_run):
+    system = case1_state_run["system"]
+    mean_size = float(np.sqrt(system.areas.mean()))
+    # static state: nothing moved more than a tiny fraction of a block
+    assert case1_state_run["moved"].max() < 0.01 * mean_size
+
+
+def test_fig11_no_physical_interpenetration(case1_state_run):
+    audit = case1_state_run["audit"]
+    system = case1_state_run["system"]
+    mean_size = float(np.sqrt(system.areas.mean()))
+    assert audit.max_depth < 1e-3 * mean_size
+
+
+def test_fig11_velocities_zeroed_static(case1_state_run):
+    # static analysis resets velocities every accepted step
+    np.testing.assert_allclose(
+        case1_state_run["system"].velocities, 0.0, atol=1e-12
+    )
+
+
+def test_fig11_step_benchmark(benchmark, case1_state_run):
+    system = scaled_case1_system(joint_spacing=4.0, seed=7)
+    engine = GpuEngine(system, case1_controls())
+    engine.run(steps=1)
+
+    def one_step():
+        return engine.run(steps=1)
+
+    result = benchmark.pedantic(one_step, rounds=2, iterations=1)
+    assert result.n_steps == 1

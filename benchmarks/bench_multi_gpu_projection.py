@@ -1,0 +1,91 @@
+"""Extension — multi-GPU scaling projection (the paper's future work).
+
+"The next step of this work will focus on applying these efforts to
+three-dimensional DDA on the multiple GPUs." This bench takes a real
+recorded single-K40 run of the scaled Case-1 slope and projects its time
+onto 2/4/8 GPUs with the stripe-partition model of
+:mod:`repro.gpu.multi`: parallel modules divide by device count (damped
+by measured imbalance and ghost contacts), the CG solve pays per-
+iteration halo exchanges and dot-product all-reduces over PCIe.
+
+Expected shape: near-linear scaling for the contact/assembly stages,
+sub-linear overall because the latency-bound CG all-reduce does not
+shrink — the standard multi-GPU Krylov bottleneck.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import RESULTS_DIR, case1_controls, scaled_case1_system
+from repro.core.blocks import DOF
+from repro.engine.gpu_engine import GpuEngine
+from repro.gpu.multi import partition_blocks, predict_multi_gpu_time
+from repro.io.reporting import ComparisonReport
+
+DEVICE_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def projection():
+    system = scaled_case1_system(joint_spacing=3.0, seed=7)
+    engine = GpuEngine(system, case1_controls())
+    result = engine.run(steps=3)
+    cg_iters = result.total_cg_iterations
+    out = {}
+    for g in DEVICE_COUNTS:
+        labels, stats = partition_blocks(
+            system, g, margin=engine.contact_threshold
+        )
+        halo_dof = int(stats.counts.mean() ** 0.5 + 1) * DOF * 4
+        out[g] = predict_multi_gpu_time(
+            result.device, stats, g,
+            cg_iterations=cg_iters, halo_dof=halo_dof,
+        )
+        out[g]["cut"] = stats.cut_fraction
+        out[g]["imbalance"] = stats.imbalance
+    report = ComparisonReport(
+        "Multi-GPU projection",
+        f"stripe-partitioned Case-1 run ({system.n_blocks} blocks)",
+    )
+    for g in DEVICE_COUNTS:
+        report.add(f"{g} GPU speed-up", f"<= {g} (sub-linear)",
+                   round(out[g]["speedup"], 3))
+        report.add(f"{g} GPU comm share (%)", "",
+                   round(100 * out[g]["comm"] / max(out[g]["multi"], 1e-30), 2))
+    report.note(
+        "forward-looking projection from a measured single-device ledger; "
+        "the paper lists multi-GPU DDA as future work"
+    )
+    report.write(RESULTS_DIR)
+    print()
+    print(report.render())
+    return out
+
+
+def test_scaling_monotone_but_sublinear(projection):
+    speedups = [projection[g]["speedup"] for g in DEVICE_COUNTS]
+    # more devices never slower at these sizes
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    # sub-linear: communication and ghost work bite
+    for g, s in zip(DEVICE_COUNTS, speedups):
+        assert s <= g + 1e-9
+
+
+def test_communication_share_grows(projection):
+    shares = [
+        projection[g]["comm"] / projection[g]["multi"]
+        for g in DEVICE_COUNTS[1:]
+    ]
+    assert shares[-1] >= shares[0] - 1e-9
+
+
+def test_single_device_identity(projection):
+    assert projection[1]["speedup"] == 1.0
+    assert projection[1]["comm"] == 0.0
+
+
+def test_partition_benchmark(benchmark):
+    system = scaled_case1_system(joint_spacing=3.0, seed=7)
+    labels, stats = benchmark(partition_blocks, system, 4)
+    assert labels.size == system.n_blocks
+    assert stats.imbalance < 1.2

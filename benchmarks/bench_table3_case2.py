@@ -1,0 +1,157 @@
+"""Table III — Case 2 (dynamic falling rocks) per-module times & speed-ups.
+
+Paper (1683 blocks, 80 000 steps; E5620 serial vs K20/K40):
+
+    module                    K20 speed-up   K40 speed-up
+    contact detection             76.34          93.57
+    diagonal matrix building      25.64          32.77
+    non-diagonal matrix building   1.96           2.39
+    equation solving               3.91           4.44
+    interpenetration checking     15.27          16.58
+    data updating                 13.22          14.81
+    total                          5.48           6.26
+
+Shape to reproduce: the *dynamic* case speeds up far less than the static
+one — "the equation solving in the dynamic case was much easier than in
+the static case" (few CG iterations per step leave little parallel work),
+so the Case-2 total sits well below the Case-1 total at the same scale,
+with contact detection still the best module.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    RESULTS_DIR,
+    case1_controls,
+    case2_controls,
+    scaled_case1_system,
+    scaled_case2_system,
+)
+from repro.engine.gpu_engine import GpuEngine
+from repro.engine.serial_engine import SerialEngine
+from repro.gpu.device import K20, K40
+from repro.io.reporting import ComparisonReport
+from repro.util.timing import PIPELINE_MODULES
+
+PAPER_K40 = {
+    "contact_detection": 93.57,
+    "diagonal_matrix_building": 32.77,
+    "nondiagonal_matrix_building": 2.39,
+    "equation_solving": 4.44,
+    "interpenetration_checking": 16.58,
+    "data_updating": 14.81,
+    "total": 6.26,
+}
+
+STEPS = 4
+ROCK_ROWS, ROCK_COLS = 10, 20  # 200 rocks + 2 fixed blocks
+
+
+def _per_step(result):
+    times = result.modeled_module_times()
+    out = {m: times.get(m, 0.0) / result.n_steps for m in PIPELINE_MODULES}
+    out["total"] = sum(out.values())
+    return out
+
+
+@pytest.fixture(scope="module")
+def case2_runs():
+    runs = {}
+    for label, engine_cls, profile in (
+        ("e5620", SerialEngine, None),
+        ("k20", GpuEngine, K20),
+        ("k40", GpuEngine, K40),
+    ):
+        system = scaled_case2_system(ROCK_ROWS, ROCK_COLS)
+        engine = engine_cls(system, case2_controls(), profile=profile)
+        result = engine.run(steps=STEPS)
+        runs[label] = dict(
+            per_step=_per_step(result),
+            centroids=system.centroids.copy(),
+            cg=result.mean_cg_iterations,
+        )
+        runs["n_blocks"] = system.n_blocks
+    _write_report(runs)
+    return runs
+
+
+def _write_report(runs) -> None:
+    report = ComparisonReport(
+        "Table III",
+        f"Case 2 per-module speed-ups (scaled: {runs['n_blocks']} blocks, "
+        f"{STEPS} steps)",
+    )
+    cpu = runs["e5620"]["per_step"]
+    gpu = runs["k40"]["per_step"]
+    for module in list(PIPELINE_MODULES) + ["total"]:
+        measured = cpu[module] / gpu[module] if gpu[module] else float("inf")
+        report.add(f"K40 {module} speed-up", PAPER_K40[module],
+                   round(measured, 2))
+    report.add("mean CG iterations/step (dynamic is easy)", "",
+               round(runs["k40"]["cg"], 2))
+    report.note(
+        f"paper: 1683 rocks x 80000 steps; here "
+        f"{ROCK_ROWS * ROCK_COLS} rocks x {STEPS} steps"
+    )
+    report.write(RESULTS_DIR)
+    print()
+    print(report.render())
+
+
+def test_table3_trajectories_identical(case2_runs):
+    np.testing.assert_allclose(
+        case2_runs["e5620"]["centroids"], case2_runs["k40"]["centroids"],
+        atol=1e-7,
+    )
+
+
+def test_table3_speedup_shape(case2_runs):
+    cpu = case2_runs["e5620"]["per_step"]
+    gpu = case2_runs["k40"]["per_step"]
+    sp = {
+        m: cpu[m] / gpu[m] if gpu[m] else float("inf")
+        for m in list(PIPELINE_MODULES) + ["total"]
+    }
+    assert sp["total"] > 1.0
+    # contact detection is among the top modules (top at the paper's
+    # 1683-block scale; its O(n^2) serial cost has not fully taken over
+    # at this bench's 202 blocks — see EXPERIMENTS.md)
+    ranked = sorted(PIPELINE_MODULES, key=lambda m: -sp[m])
+    assert "contact_detection" in ranked[:2]
+    # equation solving's speed-up collapses relative to Case 1 (paper:
+    # 4.44 vs 53.6) because the dynamic solves converge in a handful of
+    # iterations — verify the driver: few CG iterations per step
+    assert case2_runs["k40"]["cg"] < 60
+
+
+def test_table3_dynamic_speedup_below_static(case2_runs):
+    """The paper's headline contrast: Case 2 total << Case 1 total."""
+    cpu2 = case2_runs["e5620"]["per_step"]
+    gpu2 = case2_runs["k40"]["per_step"]
+    sp2_solving = cpu2["equation_solving"] / gpu2["equation_solving"]
+
+    # matched-scale static run
+    system = scaled_case1_system(joint_spacing=2.8, seed=7)
+    g = GpuEngine(system, case1_controls())
+    rg = g.run(steps=2)
+    s = SerialEngine(
+        scaled_case1_system(joint_spacing=2.8, seed=7), case1_controls()
+    )
+    rs = s.run(steps=2)
+    cpu1 = rs.device.time_by_module()
+    gpu1 = rg.device.time_by_module()
+    sp1_solving = cpu1["equation_solving"] / gpu1["equation_solving"]
+    assert sp2_solving < sp1_solving
+
+
+def test_table3_gpu_step_benchmark(benchmark, case2_runs):
+    system = scaled_case2_system(ROCK_ROWS, ROCK_COLS)
+    engine = GpuEngine(system, case2_controls())
+    engine.run(steps=1)
+
+    def one_step():
+        return engine.run(steps=1)
+
+    result = benchmark.pedantic(one_step, rounds=2, iterations=1)
+    assert result.n_steps == 1

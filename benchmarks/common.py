@@ -1,0 +1,79 @@
+"""Shared builders for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper. The paper's
+workloads (4361-block slope, 40 000 steps on a Tesla K40) are scaled to
+laptop-runnable sizes; each bench documents its scale in the report notes
+and EXPERIMENTS.md records the paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.assembly.contact_springs import LOCK
+from repro.core.state import SimulationControls
+from repro.engine.gpu_engine import GpuEngine
+from repro.meshing.slope_models import build_falling_rocks_model, build_slope_model
+
+#: Where benchmark reports are written.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def case1_controls(preconditioner: str = "bj") -> SimulationControls:
+    """Static stability controls mirroring the paper's Case 1."""
+    return SimulationControls(
+        time_step=2e-3, dynamic=False, gravity=9.81,
+        penalty_scale=50.0, preconditioner=preconditioner,
+    )
+
+
+def case2_controls(preconditioner: str = "bj") -> SimulationControls:
+    """Dynamic motion controls mirroring the paper's Case 2."""
+    return SimulationControls(
+        time_step=2e-3, dynamic=True, gravity=9.81,
+        penalty_scale=50.0, preconditioner=preconditioner,
+        max_displacement_ratio=0.05,
+    )
+
+
+def scaled_case1_system(joint_spacing: float = 6.0, seed: int = 7):
+    """A scaled Case-1 slope (block count grows as spacing shrinks)."""
+    return build_slope_model(
+        width=80.0, height=40.0, slope_angle_deg=55.0,
+        joint_spacing=joint_spacing, seed=seed,
+    )
+
+
+def scaled_case2_system(n_rows: int = 4, n_cols: int = 8):
+    """A scaled Case-2 falling-rocks scene."""
+    from repro.core.materials import JointMaterial
+
+    return build_falling_rocks_model(
+        slope_height=70.0, slope_angle_deg=42.0, rock_size=2.0,
+        n_rock_rows=n_rows, n_rock_cols=n_cols,
+        joint_material=JointMaterial(friction_angle_deg=18.0),
+    )
+
+
+def representative_step_matrix(joint_spacing: float = 10.0, seed: int = 3):
+    """One assembled DDA step matrix with all contacts engaged.
+
+    The worst-case (all springs active) system of a slope step — the
+    matrix the preconditioner comparison solves.
+    """
+    system = scaled_case1_system(joint_spacing, seed)
+    engine = GpuEngine(system, case1_controls())
+    contacts = engine._detect_contacts()
+    contacts.state[:] = LOCK
+    diag_idx, diag_blocks, f = engine._build_diagonal()
+    cdi, cdb, rows, cols, blocks, fc = engine._build_nondiagonal(
+        contacts, np.zeros(contacts.m)
+    )
+    matrix = engine._assemble(
+        np.concatenate([diag_idx, cdi]),
+        np.concatenate([diag_blocks, cdb]),
+        rows, cols, blocks,
+    )
+    return matrix, f + fc

@@ -1,0 +1,72 @@
+"""3-D DDA demo: a tower of boxes settling on a fixed slab.
+
+The paper's future work is "three-dimensional DDA on the multiple GPUs";
+this demo exercises the 3-D groundwork: 12-DOF polyhedral blocks, exact
+polyhedron integrals, vertex–face penalty contacts with Mohr–Coulomb
+friction, and the implicit time stepping shared with the 2-D engines.
+
+Run:  python examples/dda3d_demo.py [--tower N] [--steps S]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.dda3d import Block3D, Controls3D, Engine3D, System3D, make_box
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tower", type=int, default=3,
+                        help="boxes stacked on the slab")
+    parser.add_argument("--steps", type=int, default=150)
+    args = parser.parse_args()
+
+    blocks = [
+        Block3D(make_box((4, 4, 1), origin=(-1.5, -1.5, -1.0)), fixed=True)
+    ]
+    # each level is inset 10 % so corners land on face *interiors* —
+    # flush equal-box stacking needs edge-edge contacts, which the 3-D
+    # groundwork documents as out of scope
+    gap = 0.003
+    for level in range(args.tower):
+        size = 1.0 - 0.1 * (level + 1)
+        inset = (1.0 - size) / 2.0
+        blocks.append(
+            Block3D(
+                make_box(
+                    (size, size, 1.0),
+                    origin=(inset, inset, level * (1.0 + gap) + gap),
+                )
+            )
+        )
+    system = System3D(blocks)
+    print(f"3-D tower: {args.tower} unit boxes on a fixed slab")
+    print(f"  total volume  : {system.volumes.sum():.2f} m^3")
+    print(f"  initial top z : {system.centroids[-1, 2]:.4f} m")
+
+    engine = Engine3D(
+        system,
+        Controls3D(time_step=1e-3, gravity=9.81, contact_threshold=0.05,
+                   friction_angle_deg=30.0),
+    )
+    infos = engine.run(steps=args.steps)
+
+    print(f"\nafter {args.steps} steps:")
+    for level in range(1, len(blocks)):
+        z = system.centroids[level, 2]
+        print(f"  box {level}: centroid z = {z:.4f} m "
+              f"(stacked target {0.5 + (level - 1) * 1.0:.1f})")
+    print(f"  residual speed : {np.abs(system.velocities[1:, :3]).max():.4f} m/s")
+    print(f"  contacts       : {infos[-1].n_contacts}")
+    print(f"  worst penetration during run: "
+          f"{max(i.max_penetration for i in infos):.2e} m")
+
+    drift = float(np.abs(system.centroids[1:, :2] - 0.5).max())
+    assert drift < 0.1, "tower should stay stacked"
+    print(f"\nlateral drift {drift:.2e} m — the tower is standing, "
+          "3-D demo OK")
+
+
+if __name__ == "__main__":
+    main()

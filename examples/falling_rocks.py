@@ -1,0 +1,72 @@
+"""Case-2-style dynamic falling-rock simulation (paper Section V.B).
+
+Loose square rocks start near the crest of a fixed slope wedge and slide
+/ tumble toward the run-out slab; the script reports the motion process
+(how far the rock front travelled at each snapshot) — the quantity the
+paper's Fig. 13 illustrates.
+
+Run:  python examples/falling_rocks.py [--rows R] [--cols C] [--steps N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import SimulationControls
+from repro.analysis.energy import total_energy
+from repro.core.materials import JointMaterial
+from repro.engine.gpu_engine import GpuEngine
+from repro.meshing.slope_models import build_falling_rocks_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=3)
+    parser.add_argument("--cols", type=int, default=6)
+    parser.add_argument("--steps", type=int, default=120)
+    args = parser.parse_args()
+
+    system = build_falling_rocks_model(
+        slope_height=70.0, slope_angle_deg=42.0, rock_size=2.0,
+        n_rock_rows=args.rows, n_rock_cols=args.cols,
+        joint_material=JointMaterial(friction_angle_deg=18.0),
+    )
+    n_rocks = args.rows * args.cols
+    print(f"falling-rocks model: {n_rocks} loose rocks on a 70 m slope")
+
+    controls = SimulationControls(
+        time_step=2e-3, dynamic=True, gravity=9.81,
+        penalty_scale=50.0, max_displacement_ratio=0.05,
+    )
+    engine = GpuEngine(system, controls)
+    e0 = total_energy(system)
+    result = engine.run(steps=args.steps, snapshot_every=args.steps // 6)
+
+    from repro.io.ascii_art import render_system
+
+    print("\nfinal scene (paper Fig. 13 style):")
+    print(render_system(system, width=76, height=20,
+                        highlight=set(range(2, system.n_blocks))))
+
+    print("\nmotion process (rock front descent):")
+    start_low = system.centroids[2:, 1].max()
+    for step, centroids in result.snapshots:
+        rocks = centroids[2:]  # blocks 0/1 are the fixed slope + slab
+        print(
+            f"  step {step:4d}: "
+            f"highest rock y = {rocks[:, 1].max():7.2f} m, "
+            f"lowest = {rocks[:, 1].min():7.2f} m, "
+            f"front x = {rocks[:, 0].max():7.2f} m"
+        )
+
+    drop = result.displacements[2:, 1]
+    print(f"\nmean rock descent : {-drop.mean():.2f} m over "
+          f"{args.steps * controls.time_step:.2f} s simulated")
+    print(f"energy dissipated : {e0 - total_energy(system):.3e} J "
+          "(friction + algorithmic damping)")
+    assert drop.mean() < 0.0, "rocks should move downward"
+    print("rocks are on the move — falling-rocks example OK")
+
+
+if __name__ == "__main__":
+    main()

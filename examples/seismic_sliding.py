@@ -1,0 +1,92 @@
+"""Seismic sliding block: DDA vs the Newmark analytic solution.
+
+The canonical dynamic-DDA validation: a block rests on a frictional
+table; a one-sided horizontal base-acceleration pulse exceeds the yield
+acceleration ``g tan(phi)`` and the block slips. The permanent
+displacement has a closed form (Newmark 1965) this script compares
+against, then sweeps the pulse amplitude to trace the yield threshold.
+
+Run:  python examples/seismic_sliding.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import SimulationControls
+from repro.core.blocks import Block, BlockSystem
+from repro.core.materials import BlockMaterial, JointMaterial
+from repro.engine.gpu_engine import GpuEngine
+from repro.util.tables import Table
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+MAT = BlockMaterial(young=1e9)
+PHI = 15.0          # friction angle [deg]
+PULSE_T = 0.1       # pulse duration [s]
+SETTLE_STEPS = 40
+
+
+def measured_slip(amplitude_g: float) -> float:
+    base = np.array([[-2, 0], [8, 0], [8, 1], [-2, 1.0]])
+    system = BlockSystem(
+        [Block(base, MAT), Block(SQ + np.array([1.0, 1.0]), MAT)],
+        JointMaterial(friction_angle_deg=PHI),
+    )
+    system.fix_block(0)
+    t0 = SETTLE_STEPS * 1e-3
+    controls = SimulationControls(
+        time_step=1e-3, dynamic=True, gravity=9.81,
+        max_displacement_ratio=0.05,
+        base_acceleration=lambda t: (
+            amplitude_g * 9.81 if t0 <= t < t0 + PULSE_T else 0.0, 0.0
+        ),
+    )
+    engine = GpuEngine(system, controls)
+    engine.run(steps=SETTLE_STEPS)
+    start = system.centroids[1, 0]
+    engine.run(steps=400)
+    return abs(float(system.centroids[1, 0] - start))
+
+
+def newmark_slip(amplitude_g: float) -> float:
+    g = 9.81
+    ay = g * math.tan(math.radians(PHI))
+    a = amplitude_g * g
+    if a <= ay:
+        return 0.0
+    v = (a - ay) * PULSE_T
+    return 0.5 * (a - ay) * PULSE_T**2 + v**2 / (2.0 * ay)
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="run a 2-amplitude subset (for smoke tests)")
+    args = parser.parse_args()
+
+    yield_g = math.tan(math.radians(PHI))
+    print(f"friction angle {PHI} deg -> yield acceleration "
+          f"{yield_g:.3f} g\n")
+    table = Table(
+        "Newmark sliding block: permanent slip vs pulse amplitude",
+        ["pulse (g)", "DDA slip (mm)", "Newmark analytic (mm)", "ratio"],
+    )
+    amplitudes = (0.15, 0.5) if args.quick else (0.15, 0.25, 0.35, 0.5, 0.7)
+    for amp in amplitudes:
+        dda = measured_slip(amp) * 1e3
+        ana = newmark_slip(amp) * 1e3
+        ratio = dda / ana if ana > 0 else float("nan")
+        table.add_row([amp, dda, ana, ratio])
+        print(f"  amplitude {amp:.2f} g done")
+    print()
+    print(table)
+    print(
+        "\nbelow the yield acceleration the block holds; above it the"
+        " DDA slip tracks the analytic Newmark displacement."
+    )
+
+
+if __name__ == "__main__":
+    main()

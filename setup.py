@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The primary build configuration lives in ``pyproject.toml``. This file
+exists so the package can be installed in environments without the
+``wheel`` package (offline PEP-660 editable installs need it):
+
+    python setup.py develop     # editable install without wheel
+"""
+
+from setuptools import setup
+
+setup()

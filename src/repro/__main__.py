@@ -1,0 +1,131 @@
+"""Command-line runner: ``python -m repro``.
+
+Builds one of the bundled workloads (or loads a saved model), runs the
+chosen pipeline, and prints the per-module time report plus an ASCII
+rendering of the final state.
+
+Examples
+--------
+::
+
+    python -m repro --model slope --steps 20 --preconditioner bj
+    python -m repro --model rocks --engine serial --steps 5
+    python -m repro --load results/my_model --steps 50 --dynamic
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the GPU-pipeline DDA reproduction on a workload.",
+    )
+    src = p.add_mutually_exclusive_group()
+    src.add_argument(
+        "--model", choices=("slope", "rocks", "wall", "rubble"),
+        default="wall", help="bundled workload to build",
+    )
+    src.add_argument("--load", metavar="STEM",
+                     help="load a model saved with repro.io.save_system")
+    p.add_argument("--engine", choices=("gpu", "serial"), default="gpu")
+    p.add_argument("--profile", choices=("k40", "k20"), default="k40",
+                   help="GPU device profile (gpu engine only)")
+    p.add_argument("--steps", type=int, default=20)
+    p.add_argument("--dt", type=float, default=1e-3, help="time step [s]")
+    p.add_argument("--dynamic", action="store_true",
+                   help="keep velocities between steps (Case-2 mode)")
+    p.add_argument(
+        "--preconditioner", default="bj",
+        choices=("none", "jacobi", "bj", "ssor", "ilu"),
+    )
+    p.add_argument("--size", type=float, default=6.0,
+                   help="slope joint spacing / rubble block scale")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--save", metavar="STEM",
+                   help="save the final state with repro.io.save_system")
+    p.add_argument("--no-render", action="store_true",
+                   help="skip the ASCII rendering of the final state")
+    return p
+
+
+def build_system(args: argparse.Namespace):
+    if args.load:
+        from repro.io.model_io import load_system
+
+        return load_system(args.load)
+    if args.model == "slope":
+        from repro.meshing.slope_models import build_slope_model
+
+        return build_slope_model(joint_spacing=args.size, seed=args.seed)
+    if args.model == "rocks":
+        from repro.meshing.slope_models import build_falling_rocks_model
+
+        return build_falling_rocks_model(n_rock_rows=3, n_rock_cols=8)
+    if args.model == "rubble":
+        from repro.meshing.voronoi import build_voronoi_rubble
+
+        return build_voronoi_rubble(
+            n_blocks=max(4, int(200.0 / args.size)), seed=args.seed
+        )
+    from repro.meshing.slope_models import build_brick_wall
+
+    return build_brick_wall(rows=4, cols=6)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.core.state import SimulationControls
+    from repro.engine.gpu_engine import GpuEngine
+    from repro.engine.serial_engine import SerialEngine
+    from repro.gpu.device import K20, K40
+    from repro.util.tables import Table
+
+    system = build_system(args)
+    print(f"model: {system}", file=sys.stderr)
+    controls = SimulationControls(
+        time_step=args.dt,
+        dynamic=args.dynamic,
+        preconditioner=args.preconditioner,
+    )
+    if args.engine == "serial":
+        engine = SerialEngine(system, controls)
+    else:
+        engine = GpuEngine(
+            system, controls, profile=K20 if args.profile == "k20" else K40
+        )
+    result = engine.run(steps=args.steps)
+
+    table = Table(
+        f"{args.engine} pipeline, {result.n_steps} steps "
+        f"({engine.device.profile.name})",
+        ["module", "wall s", "modelled s"],
+    )
+    modeled = result.modeled_module_times()
+    for module, wall in result.module_times.as_rows():
+        table.add_row([module, wall, modeled.get(module, sum(modeled.values())
+                       if module == "total" else 0.0)])
+    print(table)
+    print(
+        f"CG iterations total: {result.total_cg_iterations}; "
+        f"max displacement: {result.max_total_displacement():.3e} m"
+    )
+    if not args.no_render:
+        from repro.io.ascii_art import render_system
+
+        print(render_system(system))
+    if args.save:
+        from repro.io.model_io import save_system
+
+        paths = save_system(system, args.save)
+        print(f"saved: {paths[0]}, {paths[1]}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Contact-force extraction.
+
+After a run, engineers want the force chains: the normal and shear force
+each contact carries. These are recovered from the converged contact set
+and the last solution's geometry — normal force from the spring
+compression memory, shear from the Mohr–Coulomb state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.assembly.contact_springs import LOCK, OPEN, SLIDE
+from repro.contact.contact_set import ContactSet
+from repro.core.blocks import BlockSystem
+
+
+@dataclass
+class ContactForces:
+    """Per-contact force state of a converged step.
+
+    Attributes
+    ----------
+    normal:
+        Compressive normal force per contact (>= 0).
+    shear:
+        Tangential force magnitude (friction for SLIDE, mobilised shear
+        capacity bound for LOCK).
+    mobilisation:
+        ``shear / (normal tan(phi) + c L)`` — 1.0 means the contact is at
+        its Coulomb limit (sliding), lower means reserve capacity.
+    points:
+        ``(m, 2)`` contact vertex locations (for plotting force chains).
+    states:
+        Contact states (OPEN/SLIDE/LOCK).
+    """
+
+    normal: np.ndarray
+    shear: np.ndarray
+    mobilisation: np.ndarray
+    points: np.ndarray
+    states: np.ndarray
+
+    @property
+    def total_normal(self) -> float:
+        """Sum of compressive normal forces."""
+        return float(self.normal.sum())
+
+    def carrying(self, fraction: float = 0.01) -> np.ndarray:
+        """Indices of contacts carrying more than ``fraction`` of the max."""
+        if self.normal.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.flatnonzero(self.normal > fraction * self.normal.max())
+
+
+def contact_forces(
+    system: BlockSystem, contacts: ContactSet
+) -> ContactForces:
+    """Extract the force state from a converged contact set.
+
+    Normal force comes from the transferred compression memory
+    (``pn * normal_disp``); shear from the state: sliding contacts carry
+    exactly the Coulomb force, locked contacts are reported at their
+    mobilised bound (the spring force is not stored across steps, so the
+    bound is the honest summary).
+    """
+    m = contacts.m
+    if m == 0:
+        z = np.zeros(0)
+        return ContactForces(z, z.copy(), z.copy(), np.zeros((0, 2)),
+                             np.zeros(0, dtype=np.int64))
+    jm = system.joint_material
+    p1, e1, e2, _, _ = contacts.geometry(system)
+    length = np.hypot(e2[:, 0] - e1[:, 0], e2[:, 1] - e1[:, 1])
+    normal = np.where(
+        contacts.state != OPEN,
+        contacts.pn * np.maximum(0.0, contacts.normal_disp),
+        0.0,
+    )
+    capacity = normal * jm.tan_phi + jm.cohesion * length
+    shear = np.where(contacts.state == SLIDE, capacity, 0.0)
+    # locked contacts: shear unknown between 0 and capacity; report the
+    # capacity-weighted mobilisation as NaN-free 0..1 with slide = 1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mobilisation = np.where(capacity > 0, shear / capacity, 0.0)
+    return ContactForces(
+        normal=normal,
+        shear=shear,
+        mobilisation=mobilisation,
+        points=p1,
+        states=contacts.state.copy(),
+    )

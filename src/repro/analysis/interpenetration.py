@@ -1,0 +1,89 @@
+"""Whole-system interpenetration audit.
+
+The per-contact open–close rule bounds penetration at known contacts; this
+audit is the belt-and-braces validation tool: it checks every vertex of
+every block against every *other* block's polygon and reports the deepest
+overlap found. Used by tests and by the Fig.-11/12 state benches to show
+the final slope state is physically admissible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import BlockSystem
+from repro.geometry.distance import point_segment_distance
+from repro.geometry.polygon import point_in_polygon
+
+
+@dataclass(frozen=True)
+class InterpenetrationReport:
+    """Deepest overlap found by the audit.
+
+    Attributes
+    ----------
+    max_depth:
+        Depth of the deepest vertex-inside-foreign-block overlap (0 if
+        the system is overlap-free).
+    offender_vertex / offender_block:
+        The deepest-penetrating vertex (global index) and the block it
+        penetrates (-1 / -1 when none).
+    n_penetrating:
+        Number of vertices found inside a foreign block.
+    """
+
+    max_depth: float
+    offender_vertex: int
+    offender_block: int
+    n_penetrating: int
+
+
+def system_interpenetration_audit(
+    system: BlockSystem, *, aabb_margin: float = 0.0
+) -> InterpenetrationReport:
+    """Exhaustively audit vertex-in-foreign-block overlaps.
+
+    Depth is measured as the distance from the offending vertex to the
+    foreign block's boundary (the minimum extraction distance).
+    """
+    verts = system.vertices
+    owner = system.block_of_vertex()
+    max_depth = 0.0
+    offender_v, offender_b = -1, -1
+    n_pen = 0
+    for b in range(system.n_blocks):
+        box = system.aabbs[b]
+        inside_box = (
+            (verts[:, 0] >= box[0] - aabb_margin)
+            & (verts[:, 0] <= box[2] + aabb_margin)
+            & (verts[:, 1] >= box[1] - aabb_margin)
+            & (verts[:, 1] <= box[3] + aabb_margin)
+            & (owner != b)
+        )
+        cand = np.flatnonzero(inside_box)
+        if cand.size == 0:
+            continue
+        poly = system.block_vertices(b)
+        inside = point_in_polygon(poly, verts[cand])
+        hits = cand[inside]
+        n_pen += hits.size
+        if hits.size == 0:
+            continue
+        # depth = min distance to the polygon boundary
+        edges_a = poly
+        edges_b = np.roll(poly, -1, axis=0)
+        for v in hits:
+            p = np.broadcast_to(verts[v], (poly.shape[0], 2))
+            dist, _ = point_segment_distance(p, edges_a, edges_b)
+            depth = float(dist.min())
+            if depth > max_depth:
+                max_depth = depth
+                offender_v, offender_b = int(v), b
+    return InterpenetrationReport(
+        max_depth=max_depth,
+        offender_vertex=offender_v,
+        offender_block=offender_b,
+        n_penetrating=n_pen,
+    )

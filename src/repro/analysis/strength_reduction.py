@@ -1,0 +1,141 @@
+"""Strength-reduction factor of safety for blocky slopes.
+
+The standard engineering question DDA answers for a slope: *by what
+factor can the joint strength be divided before the slope fails?* The
+strength-reduction method runs the model with ``tan(phi)`` and cohesion
+divided by a trial factor ``F``; the factor of safety is the largest
+``F`` for which the slope still reaches a static state. Located by
+bisection on a failure criterion (blocks moving more than a displacement
+threshold within a probe run).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.blocks import BlockSystem
+from repro.core.materials import JointMaterial
+from repro.core.state import SimulationControls
+from repro.engine.gpu_engine import GpuEngine
+from repro.util.validation import check_positive
+
+
+@dataclass
+class SafetyFactorResult:
+    """Outcome of a strength-reduction search.
+
+    Attributes
+    ----------
+    factor_of_safety:
+        Largest reduction factor with a stable slope (bracket midpoint).
+    bracket:
+        ``(stable_F, failed_F)`` bounds at termination.
+    trials:
+        ``(F, max_displacement, failed)`` per probe.
+    """
+
+    factor_of_safety: float
+    bracket: tuple[float, float]
+    trials: list[tuple[float, float, bool]]
+
+
+def reduced_joint(joint: JointMaterial, factor: float) -> JointMaterial:
+    """The joint material with strength divided by ``factor``."""
+    check_positive("factor", factor)
+    phi_red = math.degrees(math.atan(joint.tan_phi / factor))
+    return JointMaterial(
+        friction_angle_deg=phi_red,
+        cohesion=joint.cohesion / factor,
+        tensile_strength=joint.tensile_strength / factor,
+    )
+
+
+def probe_stability(
+    build_system: Callable[[], BlockSystem],
+    controls: SimulationControls,
+    factor: float,
+    *,
+    steps: int = 150,
+    displacement_threshold: float | None = None,
+) -> tuple[float, bool]:
+    """Run one reduced-strength trial; returns (max displacement, failed).
+
+    The default failure criterion is duration-adaptive: a failing block
+    accelerates, so over the probe time ``T`` it travels at least the
+    distance of a modest sustained acceleration (0.02 g); settled systems
+    only jitter by bounce transients, far below it.
+    """
+    system = build_system()
+    system.joint_material = reduced_joint(system.joint_material, factor)
+    probe_time = steps * controls.time_step
+    if displacement_threshold is None:
+        displacement_threshold = (
+            0.5 * 0.02 * controls.gravity * probe_time**2
+        )
+    engine = GpuEngine(system, controls)
+    result = engine.run(steps=steps)
+    moved = float(np.linalg.norm(result.displacements, axis=1).max())
+    return moved, moved > displacement_threshold
+
+
+def factor_of_safety(
+    build_system: Callable[[], BlockSystem],
+    controls: SimulationControls | None = None,
+    *,
+    f_min: float = 0.25,
+    f_max: float = 8.0,
+    tolerance: float = 0.25,
+    steps: int = 150,
+) -> SafetyFactorResult:
+    """Bisection search for the strength-reduction factor of safety.
+
+    Parameters
+    ----------
+    build_system:
+        Zero-argument builder returning a *fresh* model each call (trials
+        must not share mutated state).
+    controls:
+        Run controls; a dynamic run with the model's natural time step.
+    f_min / f_max:
+        Search bracket. ``f_min`` must be stable and ``f_max`` failed for
+        a meaningful result; if not, the bracket endpoint is returned with
+        the trials recorded.
+    tolerance:
+        Bracket width at which bisection stops.
+
+    Returns
+    -------
+    SafetyFactorResult
+    """
+    if f_min <= 0 or f_max <= f_min:
+        raise ValueError("need 0 < f_min < f_max")
+    check_positive("tolerance", tolerance)
+    controls = controls or SimulationControls(
+        time_step=2e-3, dynamic=True, max_displacement_ratio=0.05
+    )
+    trials: list[tuple[float, float, bool]] = []
+
+    moved, failed = probe_stability(build_system, controls, f_min, steps=steps)
+    trials.append((f_min, moved, failed))
+    if failed:
+        return SafetyFactorResult(f_min, (f_min, f_min), trials)
+    moved, failed = probe_stability(build_system, controls, f_max, steps=steps)
+    trials.append((f_max, moved, failed))
+    if not failed:
+        return SafetyFactorResult(f_max, (f_max, f_max), trials)
+
+    lo, hi = f_min, f_max  # lo stable, hi failed
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        moved, failed = probe_stability(build_system, controls, mid,
+                                        steps=steps)
+        trials.append((mid, moved, failed))
+        if failed:
+            hi = mid
+        else:
+            lo = mid
+    return SafetyFactorResult(0.5 * (lo + hi), (lo, hi), trials)

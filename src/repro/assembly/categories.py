@@ -1,0 +1,86 @@
+"""Contact-category classification (C1..C5 of the paper's Section III).
+
+The non-diagonal matrix building kernel diverges on what changed since the
+previous step: whether the contact opened/closed (``p1``) and whether it
+switched between lock and slide (``p2``). The paper classifies VE/VV1
+contacts into categories C1–C3 and VV2 contacts into C4–C5 so that each
+category runs its own uniform kernel — removing the branch divergence that
+a single do-everything kernel suffers.
+
+``p1`` and ``p2`` take values in {-1, 0, 1}:
+
+* ``p1`` — closed-state switch: ``closed(current) - closed(previous)``;
+* ``p2`` — lock-state switch: ``locked(current) - locked(previous)``.
+
+Categories (paper, Section III.A, third classification):
+
+* C1: ``|p1| > 0``          — springs added or removed entirely;
+* C2: ``p1 == 0, |p2| > 0`` — shear treatment changed (lock <-> slide);
+* C3: ``p1 == 0, p2 == 0``  and still closed — refresh friction/springs;
+* C4: VV2 with ``|p1| > 0``;
+* C5: VV2 with ``p1 == 0, |p2| > 0``.
+
+Contacts matching no category (stayed open) are abandoned for this stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assembly.contact_springs import OPEN, LOCK
+from repro.util.validation import check_array
+
+#: Category codes (0-based); ABANDONED marks contacts with no matrix work.
+C1, C2, C3, C4, C5, ABANDONED = 0, 1, 2, 3, 4, 5
+
+CATEGORY_NAMES = ("C1", "C2", "C3", "C4", "C5", "abandoned")
+
+#: Number of categories including the abandoned pseudo-category.
+N_CATEGORIES = 6
+
+
+def switch_indicators(
+    prev_states: np.ndarray, cur_states: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's ``(p1, p2)`` switch indicators per contact."""
+    prev = check_array("prev_states", prev_states, ndim=1)
+    cur = check_array("cur_states", cur_states, shape=(prev.shape[0],))
+    p1 = (cur != OPEN).astype(np.int64) - (prev != OPEN).astype(np.int64)
+    p2 = (cur == LOCK).astype(np.int64) - (prev == LOCK).astype(np.int64)
+    return p1, p2
+
+
+def classify_categories(
+    prev_states: np.ndarray,
+    cur_states: np.ndarray,
+    is_vv2: np.ndarray,
+) -> np.ndarray:
+    """Assign each contact its category code (C1..C5 or ABANDONED).
+
+    Parameters
+    ----------
+    prev_states / cur_states:
+        Contact states before and after the open–close update
+        (OPEN/SLIDE/LOCK codes).
+    is_vv2:
+        Boolean mask of VV2 contacts (corner-corner, non-parallel edges).
+    """
+    p1, p2 = switch_indicators(prev_states, cur_states)
+    m = p1.shape[0]
+    vv2 = check_array("is_vv2", is_vv2, shape=(m,)).astype(bool)
+    cur = np.asarray(cur_states)
+
+    cat = np.full(m, ABANDONED, dtype=np.int64)
+    switched = np.abs(p1) > 0
+    sheared = (~switched) & (np.abs(p2) > 0)
+    steady_closed = (~switched) & (np.abs(p2) == 0) & (cur != OPEN)
+
+    cat[switched & ~vv2] = C1
+    cat[sheared & ~vv2] = C2
+    cat[steady_closed & ~vv2] = C3
+    cat[switched & vv2] = C4
+    cat[sheared & vv2] = C5
+    # steady closed VV2 contacts still need their springs refreshed; the
+    # paper folds them into C5's pipeline (VV2 is "computed individually")
+    cat[steady_closed & vv2] = C5
+    return cat

@@ -1,0 +1,194 @@
+"""Contact-spring 6x6 couplings (the non-diagonal matrix content).
+
+Every DDA contact is reduced by the narrow phase to a *vertex* ``P1`` of
+block ``i`` against a directed *edge* ``E1 -> E2`` of block ``j``, where
+the edge is oriented so that the signed distance
+
+    d_n = det(P1, E1, E2) / |E2 - E1|
+
+is positive outside and negative when penetrating (the narrow phase emits
+edges reversed relative to block ``j``'s CCW boundary). Linearising the
+determinant in the DOF increments gives the classic DDA normal-spring
+vectors ``e`` (block i) and ``g`` (block j):
+
+    d_n ≈ d0 + e·d_i + g·d_j
+
+and the penalty energy ``p/2 d_n^2`` contributes ``p e e^T`` to ``K_ii``,
+``p e g^T`` to ``K_ij``, ``p g g^T`` to ``K_jj``, and ``-p d0 e`` / ``-p
+d0 g`` to the load vectors. Shear springs use the projection onto the edge
+tangent; slide-state contacts get a Mohr–Coulomb friction force pair
+instead of a shear spring. All functions are vectorised over contacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.displacement import displacement_matrix
+from repro.util.validation import check_array
+
+#: Contact states (shared by contact detection and open–close iteration).
+OPEN, SLIDE, LOCK = 0, 1, 2
+
+
+def _check_batch(name: str, arr: np.ndarray, m: int) -> np.ndarray:
+    return check_array(name, arr, dtype=np.float64, shape=(m, 2))
+
+
+def normal_spring_vectors(
+    p1: np.ndarray,
+    e1: np.ndarray,
+    e2: np.ndarray,
+    ci: np.ndarray,
+    cj: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Normal-direction linearisation ``(e, g, d0, length)`` per contact.
+
+    Parameters
+    ----------
+    p1:
+        ``(m, 2)`` contact vertices (block ``i`` material points).
+    e1, e2:
+        ``(m, 2)`` contact edge endpoints, oriented outside-positive.
+    ci, cj:
+        ``(m, 2)`` centroids of blocks ``i`` and ``j``.
+    """
+    m = p1.shape[0] if hasattr(p1, "shape") else len(p1)
+    p1 = _check_batch("p1", p1, m)
+    e1 = _check_batch("e1", e1, m)
+    e2 = _check_batch("e2", e2, m)
+    ci = _check_batch("ci", ci, m)
+    cj = _check_batch("cj", cj, m)
+    length = np.hypot(e2[:, 0] - e1[:, 0], e2[:, 1] - e1[:, 1])
+    if np.any(length <= 0.0):
+        raise ValueError("degenerate contact edge")
+    s0 = (e1[:, 0] - p1[:, 0]) * (e2[:, 1] - p1[:, 1]) - (
+        e2[:, 0] - p1[:, 0]
+    ) * (e1[:, 1] - p1[:, 1])
+    d0 = s0 / length
+
+    # determinant gradients w.r.t. the three moving points
+    dp1 = np.stack([e1[:, 1] - e2[:, 1], e2[:, 0] - e1[:, 0]], axis=1)
+    de1 = np.stack([e2[:, 1] - p1[:, 1], p1[:, 0] - e2[:, 0]], axis=1)
+    de2 = np.stack([p1[:, 1] - e1[:, 1], e1[:, 0] - p1[:, 0]], axis=1)
+
+    t_p1 = displacement_matrix(p1, ci)  # (m, 2, 6)
+    t_e1 = displacement_matrix(e1, cj)
+    t_e2 = displacement_matrix(e2, cj)
+    inv_l = 1.0 / length
+    e = np.einsum("mij,mi->mj", t_p1, dp1) * inv_l[:, None]
+    g = (
+        np.einsum("mij,mi->mj", t_e1, de1)
+        + np.einsum("mij,mi->mj", t_e2, de2)
+    ) * inv_l[:, None]
+    return e, g, d0, length
+
+
+def shear_spring_vectors(
+    p1: np.ndarray,
+    e1: np.ndarray,
+    e2: np.ndarray,
+    ratios: np.ndarray,
+    ci: np.ndarray,
+    cj: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Tangential linearisation ``(e_s, g_s, tangent)`` per contact.
+
+    The shear measure is the relative tangential displacement of ``P1``
+    against the material point of block ``j`` at edge ratio ``r``:
+    ``d_s = e_s·d_i + g_s·d_j`` (zero at step start).
+    """
+    m = p1.shape[0]
+    p1 = _check_batch("p1", p1, m)
+    e1 = _check_batch("e1", e1, m)
+    e2 = _check_batch("e2", e2, m)
+    ci = _check_batch("ci", ci, m)
+    cj = _check_batch("cj", cj, m)
+    r = check_array("ratios", ratios, dtype=np.float64, shape=(m,))
+    edge = e2 - e1
+    length = np.hypot(edge[:, 0], edge[:, 1])
+    if np.any(length <= 0.0):
+        raise ValueError("degenerate contact edge")
+    tangent = edge / length[:, None]
+    t_p1 = displacement_matrix(p1, ci)
+    contact_pt = e1 + r[:, None] * edge
+    t_cp = displacement_matrix(contact_pt, cj)
+    e_s = np.einsum("mij,mi->mj", t_p1, tangent)
+    g_s = -np.einsum("mij,mi->mj", t_cp, tangent)
+    return e_s, g_s, tangent
+
+
+def contact_contributions(
+    p1: np.ndarray,
+    e1: np.ndarray,
+    e2: np.ndarray,
+    ratios: np.ndarray,
+    ci: np.ndarray,
+    cj: np.ndarray,
+    states: np.ndarray,
+    pn: np.ndarray,
+    ps: np.ndarray,
+    friction_force: np.ndarray,
+    shear_sign: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Full per-contact stiffness and load contributions.
+
+    Parameters
+    ----------
+    states:
+        ``(m,)`` int: OPEN (no springs), SLIDE (normal spring + friction
+        force pair), LOCK (normal + shear springs).
+    pn, ps:
+        Normal and shear penalty stiffnesses per contact.
+    friction_force:
+        Magnitude of the Mohr–Coulomb friction force per contact
+        (used only for SLIDE contacts).
+    shear_sign:
+        ±1 sliding direction along the edge tangent per contact.
+
+    Returns
+    -------
+    (kii, kjj, kij, fi, fj)
+        ``(m, 6, 6)`` stiffness contributions (``K_ji = K_ij^T`` is
+        implied by symmetry) and ``(m, 6)`` load contributions.
+    """
+    m = p1.shape[0]
+    states = check_array("states", states, shape=(m,))
+    pn = check_array("pn", pn, dtype=np.float64, shape=(m,))
+    ps = check_array("ps", ps, dtype=np.float64, shape=(m,))
+    fric = check_array("friction_force", friction_force, dtype=np.float64, shape=(m,))
+    sgn = check_array("shear_sign", shear_sign, dtype=np.float64, shape=(m,))
+
+    kii = np.zeros((m, 6, 6))
+    kjj = np.zeros((m, 6, 6))
+    kij = np.zeros((m, 6, 6))
+    fi = np.zeros((m, 6))
+    fj = np.zeros((m, 6))
+    if m == 0:
+        return kii, kjj, kij, fi, fj
+
+    closed = states != OPEN
+    e, g, d0, _ = normal_spring_vectors(p1, e1, e2, ci, cj)
+    w = np.where(closed, pn, 0.0)
+    kii += w[:, None, None] * np.einsum("mi,mj->mij", e, e)
+    kjj += w[:, None, None] * np.einsum("mi,mj->mij", g, g)
+    kij += w[:, None, None] * np.einsum("mi,mj->mij", e, g)
+    fi -= (w * d0)[:, None] * e
+    fj -= (w * d0)[:, None] * g
+
+    locked = states == LOCK
+    if locked.any():
+        e_s, g_s, _ = shear_spring_vectors(p1, e1, e2, ratios, ci, cj)
+        ws = np.where(locked, ps, 0.0)
+        kii += ws[:, None, None] * np.einsum("mi,mj->mij", e_s, e_s)
+        kjj += ws[:, None, None] * np.einsum("mi,mj->mij", g_s, g_s)
+        kij += ws[:, None, None] * np.einsum("mi,mj->mij", e_s, g_s)
+
+    sliding = states == SLIDE
+    if sliding.any():
+        e_s, g_s, _ = shear_spring_vectors(p1, e1, e2, ratios, ci, cj)
+        # friction opposes sliding: force pair along -+ tangent
+        mag = np.where(sliding, fric * sgn, 0.0)
+        fi -= mag[:, None] * e_s
+        fj -= mag[:, None] * g_s
+    return kii, kjj, kij, fi, fj

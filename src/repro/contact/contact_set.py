@@ -1,0 +1,165 @@
+"""The contact table: a struct-of-arrays batch of contact candidates.
+
+Every contact couples a *vertex* of block ``i`` with a directed *edge* of
+block ``j`` (VV contacts are resolved to an effective edge by the narrow
+phase). The edge is stored in the outside-positive orientation required by
+:mod:`repro.assembly.contact_springs` — i.e. reversed relative to block
+``j``'s CCW boundary.
+
+Geometry is referenced by *global vertex indices* into the block system's
+flattened vertex array, so the table stays valid as the data-updating
+module moves the vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.assembly.contact_springs import OPEN
+from repro.core.blocks import BlockSystem
+from repro.util.validation import check_array
+
+#: Contact kinds (the paper's first/second classification outcomes).
+VE, VV1, VV2 = 0, 1, 2
+
+KIND_NAMES = ("VE", "VV1", "VV2")
+
+
+@dataclass
+class ContactSet:
+    """``m`` contacts in struct-of-arrays layout.
+
+    Attributes
+    ----------
+    block_i / block_j:
+        Owning blocks of the vertex / the edge.
+    vertex_idx:
+        Global index of the contact vertex ``P1``.
+    e1_idx / e2_idx:
+        Global indices of the contact edge endpoints in the
+        outside-positive orientation (``E1 -> E2``).
+    kind:
+        VE / VV1 / VV2 code.
+    state / prev_state:
+        Open–close state now and at the previous converged step.
+    ratio:
+        Contact point position along the edge, in ``[0, 1]``.
+    shear_sign:
+        ±1 sliding direction (meaningful in the SLIDE state).
+    pn / ps:
+        Normal and shear penalty stiffnesses.
+    normal_disp / shear_disp:
+        Accumulated normal/shear displacement memory carried across steps
+        by contact transfer.
+    """
+
+    block_i: np.ndarray
+    block_j: np.ndarray
+    vertex_idx: np.ndarray
+    e1_idx: np.ndarray
+    e2_idx: np.ndarray
+    kind: np.ndarray
+    state: np.ndarray = field(default=None)  # type: ignore[assignment]
+    prev_state: np.ndarray = field(default=None)  # type: ignore[assignment]
+    ratio: np.ndarray = field(default=None)  # type: ignore[assignment]
+    shear_sign: np.ndarray = field(default=None)  # type: ignore[assignment]
+    pn: np.ndarray = field(default=None)  # type: ignore[assignment]
+    ps: np.ndarray = field(default=None)  # type: ignore[assignment]
+    normal_disp: np.ndarray = field(default=None)  # type: ignore[assignment]
+    shear_disp: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.block_i).shape[0]
+        self.block_i = check_array("block_i", self.block_i, dtype=np.int64, shape=(m,))
+        self.block_j = check_array("block_j", self.block_j, dtype=np.int64, shape=(m,))
+        self.vertex_idx = check_array("vertex_idx", self.vertex_idx, dtype=np.int64, shape=(m,))
+        self.e1_idx = check_array("e1_idx", self.e1_idx, dtype=np.int64, shape=(m,))
+        self.e2_idx = check_array("e2_idx", self.e2_idx, dtype=np.int64, shape=(m,))
+        self.kind = check_array("kind", self.kind, dtype=np.int64, shape=(m,))
+        defaults = {
+            "state": np.full(m, OPEN, dtype=np.int64),
+            "prev_state": np.full(m, OPEN, dtype=np.int64),
+            "ratio": np.full(m, 0.5),
+            "shear_sign": np.ones(m),
+            "pn": np.zeros(m),
+            "ps": np.zeros(m),
+            "normal_disp": np.zeros(m),
+            "shear_disp": np.zeros(m),
+        }
+        for name, default in defaults.items():
+            value = getattr(self, name)
+            if value is None:
+                setattr(self, name, default)
+            else:
+                setattr(
+                    self,
+                    name,
+                    check_array(name, value, dtype=default.dtype, shape=(m,)),
+                )
+        if m and np.any(self.block_i == self.block_j):
+            raise ValueError("self-contact (block_i == block_j) is not allowed")
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of contacts."""
+        return self.block_i.shape[0]
+
+    @classmethod
+    def empty(cls) -> "ContactSet":
+        """A contact set with zero rows."""
+        z = np.zeros(0, dtype=np.int64)
+        return cls(z, z.copy(), z.copy(), z.copy(), z.copy(), z.copy())
+
+    def geometry(
+        self, system: BlockSystem
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Current coordinates ``(P1, E1, E2, Ci, Cj)`` from the system."""
+        v = system.vertices
+        c = system.centroids
+        return (
+            v[self.vertex_idx],
+            v[self.e1_idx],
+            v[self.e2_idx],
+            c[self.block_i],
+            c[self.block_j],
+        )
+
+    def keys(self, n_vertices: int) -> np.ndarray:
+        """Unique transfer keys ``(vertex, e1, e2)`` packed into int64.
+
+        Two contacts match across steps iff their contact data (the paper:
+        "if their contact data are the same") — i.e. same vertex and edge
+        indices — match.
+        """
+        nv = np.int64(n_vertices)
+        return (self.vertex_idx * nv + self.e1_idx) * nv + self.e2_idx
+
+    def minor_block(self) -> np.ndarray:
+        """The smaller block id per contact (the paper's transfer sort key)."""
+        return np.minimum(self.block_i, self.block_j)
+
+    def select(self, idx: np.ndarray) -> "ContactSet":
+        """Row subset (gather) as a new contact set."""
+        return ContactSet(
+            self.block_i[idx],
+            self.block_j[idx],
+            self.vertex_idx[idx],
+            self.e1_idx[idx],
+            self.e2_idx[idx],
+            self.kind[idx],
+            self.state[idx],
+            self.prev_state[idx],
+            self.ratio[idx],
+            self.shear_sign[idx],
+            self.pn[idx],
+            self.ps[idx],
+            self.normal_disp[idx],
+            self.shear_disp[idx],
+        )
+
+    def copy(self) -> "ContactSet":
+        """Deep copy."""
+        return self.select(np.arange(self.m))

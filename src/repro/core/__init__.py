@@ -1,0 +1,36 @@
+"""DDA core data model.
+
+Shi's 2-D DDA represents each block by six unknowns about its centroid —
+rigid translation ``(u0, v0)``, rigid rotation ``r0``, and constant strains
+``(ex, ey, gxy)`` — with first-order displacement interpolation inside the
+block. This package holds the data model shared by every pipeline stage:
+
+* :mod:`repro.core.materials` — block (elastic) and joint (frictional)
+  material parameters,
+* :mod:`repro.core.blocks` — :class:`Block` and the struct-of-arrays
+  :class:`BlockSystem` container the vectorised kernels operate on,
+* :mod:`repro.core.displacement` — the displacement matrix ``T(x, y)`` and
+  the post-solve geometry update (with exact-rotation correction),
+* :mod:`repro.core.state` — :class:`SimulationControls`, the control
+  parameters of the three nested loops of the paper's Fig. 1.
+"""
+
+from repro.core.materials import BlockMaterial, JointMaterial
+from repro.core.blocks import Block, BlockSystem
+from repro.core.state import SimulationControls
+from repro.core.displacement import (
+    displacement_matrix,
+    displace_points,
+    update_geometry,
+)
+
+__all__ = [
+    "BlockMaterial",
+    "JointMaterial",
+    "Block",
+    "BlockSystem",
+    "SimulationControls",
+    "displacement_matrix",
+    "displace_points",
+    "update_geometry",
+]

@@ -1,0 +1,97 @@
+"""First-order DDA displacement interpolation and the geometry update.
+
+The displacement of a material point ``(x, y)`` of block ``i`` with DOF
+vector ``d = (u0, v0, r0, ex, ey, gxy)`` about centroid ``(x0, y0)`` is
+``[u, v]^T = T(x, y) d`` with
+
+    T = | 1  0  -(y-y0)  (x-x0)     0      (y-y0)/2 |
+        | 0  1   (x-x0)     0    (y-y0)    (x-x0)/2 |
+
+(Shi 1988, eq. 2.14). The linearised rotation term overstretches blocks at
+finite rotation, so the data-updating module applies the standard
+exact-rotation correction: the rigid part moves points by ``cos/sin`` of
+``r0`` instead of the first-order term, while strains stay linear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_array
+
+
+def displacement_matrix(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Displacement matrices ``T`` for paired points and centroids.
+
+    Parameters
+    ----------
+    points:
+        ``(m, 2)`` material points.
+    centroids:
+        ``(m, 2)`` centroid of each point's block.
+
+    Returns
+    -------
+    ndarray ``(m, 2, 6)``
+    """
+    p = check_array("points", points, dtype=np.float64, shape=(None, 2))
+    c = check_array("centroids", centroids, dtype=np.float64, shape=(None, 2))
+    if p.shape != c.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {c.shape}")
+    dx = p[:, 0] - c[:, 0]
+    dy = p[:, 1] - c[:, 1]
+    m = p.shape[0]
+    t = np.zeros((m, 2, 6))
+    t[:, 0, 0] = 1.0
+    t[:, 1, 1] = 1.0
+    t[:, 0, 2] = -dy
+    t[:, 1, 2] = dx
+    t[:, 0, 3] = dx
+    t[:, 1, 4] = dy
+    t[:, 0, 5] = dy / 2.0
+    t[:, 1, 5] = dx / 2.0
+    return t
+
+
+def displace_points(
+    points: np.ndarray, centroid: np.ndarray, d: np.ndarray
+) -> np.ndarray:
+    """First-order displaced positions of ``points`` of one block.
+
+    ``points + T(points) @ d`` — used inside a step, where displacements
+    are infinitesimal by the loop-2 control.
+    """
+    points = check_array("points", points, dtype=np.float64, shape=(None, 2))
+    centroid = check_array("centroid", centroid, dtype=np.float64, shape=(2,))
+    d = check_array("d", d, dtype=np.float64, shape=(6,))
+    t = displacement_matrix(points, np.broadcast_to(centroid, points.shape))
+    return points + np.einsum("mij,j->mi", t, d)
+
+
+def update_geometry(
+    points: np.ndarray, centroid: np.ndarray, d: np.ndarray
+) -> np.ndarray:
+    """Post-solve geometry update with exact-rotation correction.
+
+    The rigid motion uses the exact rotation ``r0`` (``cos``/``sin``), the
+    strains apply linearly about the centroid, and the whole block then
+    translates by ``(u0, v0)``. At first order in ``d`` this agrees with
+    :func:`displace_points`; at finite rotation it preserves block shape
+    (no spurious dilation), which is the correction DDA codes apply at the
+    end of every time step.
+    """
+    points = check_array("points", points, dtype=np.float64, shape=(None, 2))
+    centroid = check_array("centroid", centroid, dtype=np.float64, shape=(2,))
+    d = check_array("d", d, dtype=np.float64, shape=(6,))
+    u0, v0, r0, ex, ey, gxy = d
+    rel = points - centroid
+    # strain (about the centroid)
+    sx = rel[:, 0] * ex + rel[:, 1] * gxy / 2.0
+    sy = rel[:, 1] * ey + rel[:, 0] * gxy / 2.0
+    strained = rel + np.stack([sx, sy], axis=1)
+    # exact rotation
+    c, s = np.cos(r0), np.sin(r0)
+    rot = np.empty_like(strained)
+    rot[:, 0] = c * strained[:, 0] - s * strained[:, 1]
+    rot[:, 1] = s * strained[:, 0] + c * strained[:, 1]
+    return centroid + np.array([u0, v0]) + rot

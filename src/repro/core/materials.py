@@ -1,0 +1,103 @@
+"""Material models: elastic blocks and frictional joints.
+
+The paper's Case 1 uses 5 block materials and 38 joint materials; both are
+plain parameter records here. Joint behaviour follows the Mohr–Coulomb
+model DDA uses at contacts: friction angle, cohesion, and (optional)
+tensile strength governing the open/slide/lock transitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockMaterial:
+    """Linear-elastic block material (plane-stress by default).
+
+    Attributes
+    ----------
+    density:
+        Mass density [kg/m^3].
+    young:
+        Young's modulus [Pa].
+    poisson:
+        Poisson's ratio (must satisfy ``-1 < nu < 0.5``).
+    plane_strain:
+        Use the plane-strain elastic matrix instead of plane-stress.
+    """
+
+    density: float = 2600.0
+    young: float = 5.0e9
+    poisson: float = 0.25
+    plane_strain: bool = False
+
+    def __post_init__(self) -> None:
+        if self.density <= 0:
+            raise ValueError(f"density must be > 0, got {self.density}")
+        if self.young <= 0:
+            raise ValueError(f"young must be > 0, got {self.young}")
+        if not (-1.0 < self.poisson < 0.5):
+            raise ValueError(
+                f"poisson must be in (-1, 0.5), got {self.poisson}"
+            )
+
+    def elastic_matrix(self) -> "np.ndarray":  # noqa: F821 - doc type
+        """3x3 constitutive matrix mapping ``(ex, ey, gxy)`` to stresses."""
+        import numpy as np
+
+        e, nu = self.young, self.poisson
+        if self.plane_strain:
+            c = e / ((1.0 + nu) * (1.0 - 2.0 * nu))
+            return c * np.array(
+                [
+                    [1.0 - nu, nu, 0.0],
+                    [nu, 1.0 - nu, 0.0],
+                    [0.0, 0.0, (1.0 - 2.0 * nu) / 2.0],
+                ]
+            )
+        c = e / (1.0 - nu * nu)
+        return c * np.array(
+            [
+                [1.0, nu, 0.0],
+                [nu, 1.0, 0.0],
+                [0.0, 0.0, (1.0 - nu) / 2.0],
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class JointMaterial:
+    """Mohr–Coulomb joint (contact) material.
+
+    Attributes
+    ----------
+    friction_angle_deg:
+        Friction angle in degrees.
+    cohesion:
+        Cohesion [Pa·m] along the contact (per unit out-of-plane depth).
+    tensile_strength:
+        Allowed tension before a locked contact opens [Pa·m].
+    """
+
+    friction_angle_deg: float = 30.0
+    cohesion: float = 0.0
+    tensile_strength: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.friction_angle_deg < 90.0):
+            raise ValueError(
+                f"friction angle must be in [0, 90), got {self.friction_angle_deg}"
+            )
+        if self.cohesion < 0:
+            raise ValueError(f"cohesion must be >= 0, got {self.cohesion}")
+        if self.tensile_strength < 0:
+            raise ValueError(
+                f"tensile strength must be >= 0, got {self.tensile_strength}"
+            )
+
+    @property
+    def tan_phi(self) -> float:
+        """``tan`` of the friction angle."""
+        return math.tan(math.radians(self.friction_angle_deg))

@@ -1,0 +1,98 @@
+"""Simulation control parameters — the knobs of the paper's Fig. 1 loops.
+
+Loop 1 (time stepping), loop 2 (maximum-allowed-displacement control: any
+block displacement beyond twice ``max_displacement_ratio * model_size``
+halves the step and repeats it), loop 3 (open–close iteration). The
+equation-solver controls mirror the paper: if PCG fails to converge in
+``cg_max_iterations`` (200), the physical time of the step is reduced,
+which enlarges the inertia diagonal and restores conditioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimulationControls:
+    """Control parameters for a DDA run.
+
+    Attributes
+    ----------
+    time_step:
+        Physical time per step ``dt`` [s] (paper: "usually less than
+        0.0001 s" for the static case; our scaled models use larger
+        steps at smaller stiffness).
+    dynamic:
+        ``True`` keeps velocities between steps (paper's Case 2);
+        ``False`` zeroes them each step (static analysis, Case 1).
+    gravity:
+        Body acceleration [m/s^2], applied as ``(0, -gravity)``.
+    max_displacement_ratio:
+        Loop-2 bound: allowed per-step displacement as a fraction of the
+        model's half-diagonal.
+    penalty_scale:
+        Contact spring stiffness as a multiple of (average Young's
+        modulus x unit depth); DDA practice is 10–100x E.
+    fixed_point_penalty_scale:
+        Penalty for fixed points, usually the same magnitude.
+    max_open_close_iterations:
+        Loop-3 bound per step (6 is Shi's classic limit).
+    cg_tolerance:
+        Relative residual for the PCG solver.
+    cg_max_iterations:
+        Iteration cap; exceeding it halves the time step (paper, §IV.A).
+    contact_distance_factor:
+        Narrow-phase candidate threshold as a fraction of the average
+        block diameter.
+    preconditioner:
+        ``"bj"`` (block Jacobi), ``"ssor"`` (SSOR approximate inverse),
+        ``"ilu"`` (ILU(0)), ``"jacobi"`` (scalar diagonal), ``"neumann"``
+        (polynomial extension), or ``"none"``.
+    base_acceleration:
+        Optional seismic input: a callable ``t -> (ax, ay)`` [m/s^2]
+        evaluated at each step's start time and applied as an extra
+        uniform body force (d'Alembert: shaking the ground by ``+a``
+        loads every block by ``-rho a`` per unit area). ``None`` = no
+        shaking.
+    """
+
+    time_step: float = 1e-3
+    dynamic: bool = False
+    gravity: float = 9.81
+    max_displacement_ratio: float = 0.01
+    penalty_scale: float = 50.0
+    fixed_point_penalty_scale: float = 50.0
+    max_open_close_iterations: int = 6
+    cg_tolerance: float = 1e-8
+    cg_max_iterations: int = 200
+    contact_distance_factor: float = 0.05
+    preconditioner: str = "bj"
+    base_acceleration: object = None
+
+    def __post_init__(self) -> None:
+        if self.time_step <= 0:
+            raise ValueError(f"time_step must be > 0, got {self.time_step}")
+        if self.gravity < 0:
+            raise ValueError(f"gravity must be >= 0, got {self.gravity}")
+        if not (0 < self.max_displacement_ratio <= 1):
+            raise ValueError(
+                "max_displacement_ratio must be in (0, 1], got "
+                f"{self.max_displacement_ratio}"
+            )
+        if self.penalty_scale <= 0 or self.fixed_point_penalty_scale <= 0:
+            raise ValueError("penalty scales must be > 0")
+        if self.max_open_close_iterations < 1:
+            raise ValueError("max_open_close_iterations must be >= 1")
+        if self.cg_max_iterations < 1:
+            raise ValueError("cg_max_iterations must be >= 1")
+        known = ("bj", "ssor", "ilu", "jacobi", "neumann", "none")
+        if self.preconditioner not in known:
+            raise ValueError(
+                f"preconditioner must be one of {known}, "
+                f"got {self.preconditioner!r}"
+            )
+        if self.base_acceleration is not None and not callable(
+            self.base_acceleration
+        ):
+            raise ValueError("base_acceleration must be callable or None")

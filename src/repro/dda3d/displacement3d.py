@@ -1,0 +1,127 @@
+"""The 12-DOF first-order 3-D DDA displacement interpolation.
+
+Per block: ``d = (u0, v0, w0, r1, r2, r3, ex, ey, ez, gyz, gzx, gxy)``
+about the centroid ``(x0, y0, z0)``. With ``X = x - x0`` etc.:
+
+    u = u0 + Z r2 - Y r3 + X ex           + Y gxy/2 + Z gzx/2
+    v = v0 + X r3 - Z r1 + Y ey + Z gyz/2 + X gxy/2
+    w = w0 + Y r1 - X r2 + Z ez + Y gyz/2           + X gzx/2
+
+(Shi's 3-D extension). The geometry update applies the exact rotation
+(Rodrigues formula on the rotation vector) to avoid first-order dilation,
+mirroring the 2-D package's correction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_array
+
+#: 3-D degrees of freedom per block.
+DOF3 = 12
+
+
+def displacement_matrix_3d(
+    points: np.ndarray, centroids: np.ndarray
+) -> np.ndarray:
+    """``T`` matrices for paired points/centroids: ``(m, 3, 12)``."""
+    p = check_array("points", points, dtype=np.float64, shape=(None, 3))
+    c = check_array("centroids", centroids, dtype=np.float64, shape=(None, 3))
+    if p.shape != c.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {c.shape}")
+    X = p[:, 0] - c[:, 0]
+    Y = p[:, 1] - c[:, 1]
+    Z = p[:, 2] - c[:, 2]
+    m = p.shape[0]
+    t = np.zeros((m, 3, DOF3))
+    # translations
+    t[:, 0, 0] = 1.0
+    t[:, 1, 1] = 1.0
+    t[:, 2, 2] = 1.0
+    # rotations (r1, r2, r3) about x, y, z
+    t[:, 1, 3] = -Z
+    t[:, 2, 3] = Y
+    t[:, 0, 4] = Z
+    t[:, 2, 4] = -X
+    t[:, 0, 5] = -Y
+    t[:, 1, 5] = X
+    # normal strains
+    t[:, 0, 6] = X
+    t[:, 1, 7] = Y
+    t[:, 2, 8] = Z
+    # shear strains gyz, gzx, gxy
+    t[:, 1, 9] = Z / 2.0
+    t[:, 2, 9] = Y / 2.0
+    t[:, 0, 10] = Z / 2.0
+    t[:, 2, 10] = X / 2.0
+    t[:, 0, 11] = Y / 2.0
+    t[:, 1, 11] = X / 2.0
+    return t
+
+
+def affine_decomposition() -> tuple[np.ndarray, np.ndarray]:
+    """The affine structure of ``T``: column ``i`` is ``A[i] + B[i] @ r``.
+
+    Returns ``A (12, 3)`` (constant parts) and ``B (12, 3, 3)`` (linear
+    parts, ``B[i][row][axis]``), with ``r = (X, Y, Z)``. This is what
+    reduces every ``∫ T^T T dV`` entry to volume + second moments.
+    """
+    a = np.zeros((DOF3, 3))
+    b = np.zeros((DOF3, 3, 3))
+    a[0, 0] = a[1, 1] = a[2, 2] = 1.0
+    # rotations
+    b[3, 1, 2] = -1.0
+    b[3, 2, 1] = 1.0
+    b[4, 0, 2] = 1.0
+    b[4, 2, 0] = -1.0
+    b[5, 0, 1] = -1.0
+    b[5, 1, 0] = 1.0
+    # normal strains
+    b[6, 0, 0] = 1.0
+    b[7, 1, 1] = 1.0
+    b[8, 2, 2] = 1.0
+    # shears
+    b[9, 1, 2] = 0.5
+    b[9, 2, 1] = 0.5
+    b[10, 0, 2] = 0.5
+    b[10, 2, 0] = 0.5
+    b[11, 0, 1] = 0.5
+    b[11, 1, 0] = 0.5
+    return a, b
+
+
+def rodrigues(r: np.ndarray) -> np.ndarray:
+    """Exact rotation matrix of the rotation vector ``r``."""
+    r = check_array("r", r, dtype=np.float64, shape=(3,))
+    theta = float(np.linalg.norm(r))
+    if theta < 1e-300:
+        return np.eye(3)
+    k = r / theta
+    kx = np.array(
+        [[0, -k[2], k[1]], [k[2], 0, -k[0]], [-k[1], k[0], 0]]
+    )
+    return (
+        np.eye(3) + np.sin(theta) * kx + (1.0 - np.cos(theta)) * (kx @ kx)
+    )
+
+
+def update_geometry_3d(
+    points: np.ndarray, centroid: np.ndarray, d: np.ndarray
+) -> np.ndarray:
+    """Post-solve update: strain about the centroid, exact rotation, translate."""
+    points = check_array("points", points, dtype=np.float64, shape=(None, 3))
+    centroid = check_array("centroid", centroid, dtype=np.float64, shape=(3,))
+    d = check_array("d", d, dtype=np.float64, shape=(DOF3,))
+    rel = points - centroid
+    ex, ey, ez, gyz, gzx, gxy = d[6:12]
+    strain = np.array(
+        [
+            [ex, gxy / 2.0, gzx / 2.0],
+            [gxy / 2.0, ey, gyz / 2.0],
+            [gzx / 2.0, gyz / 2.0, ez],
+        ]
+    )
+    strained = rel + rel @ strain.T
+    rot = rodrigues(d[3:6])
+    return centroid + d[:3] + strained @ rot.T

@@ -1,0 +1,347 @@
+"""A compact 3-D DDA time-stepping engine.
+
+The same implicit scheme as the 2-D engines — inertia ``2M/dt^2``,
+velocity load ``2Mv0/dt``, penalty contacts, open–close iteration with
+Mohr–Coulomb friction, exact-rotation geometry update — on 12-DOF
+polyhedral blocks. Systems stay dense (``12n x 12n``) since the 3-D
+groundwork targets validation scenes, not Case-1 scale; the solve is a
+plain Cholesky through :func:`numpy.linalg.solve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dda3d.contact3d import (
+    LOCK3,
+    OPEN3,
+    SLIDE3,
+    Contact3D,
+    detect_contacts_3d,
+    normal_vectors_3d,
+    relative_slip_3d,
+    tangent_vectors_3d,
+)
+from repro.dda3d.displacement3d import DOF3, update_geometry_3d
+from repro.dda3d.geometry3d import Polyhedron
+from repro.util.validation import check_positive
+
+
+@dataclass
+class Controls3D:
+    """3-D run controls (a compact analogue of SimulationControls)."""
+
+    time_step: float = 1e-3
+    dynamic: bool = True
+    gravity: float = 9.81
+    penalty_scale: float = 50.0
+    max_open_close_iterations: int = 6
+    contact_threshold: float = 0.05
+    friction_angle_deg: float = 30.0
+
+    def __post_init__(self) -> None:
+        check_positive("time_step", self.time_step)
+        check_positive("penalty_scale", self.penalty_scale)
+        check_positive("contact_threshold", self.contact_threshold)
+        if not (0.0 <= self.friction_angle_deg < 90.0):
+            raise ValueError("friction angle must be in [0, 90)")
+
+
+@dataclass
+class Block3D:
+    """A polyhedral block with material parameters."""
+
+    poly: Polyhedron
+    density: float = 2600.0
+    young: float = 1e9
+    poisson: float = 0.25
+    fixed: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("density", self.density)
+        check_positive("young", self.young)
+        if not (-1.0 < self.poisson < 0.5):
+            raise ValueError(f"poisson out of range: {self.poisson}")
+
+
+class System3D:
+    """A collection of 3-D blocks with per-block state."""
+
+    def __init__(self, blocks: list[Block3D]) -> None:
+        if not blocks:
+            raise ValueError("System3D needs at least one block")
+        self.blocks = blocks
+        self.velocities = np.zeros((len(blocks), DOF3))
+        # stress memory (Voigt: sx, sy, sz, tyz, tzx, txy) — the
+        # initial-stress load that stops elastic ratcheting, exactly as
+        # in the 2-D engines
+        self.stresses = np.zeros((len(blocks), 6))
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self.volumes = np.array([b.poly.volume for b in self.blocks])
+        self.centroids = np.array([b.poly.centroid for b in self.blocks])
+        self.moments = np.array(
+            [b.poly.second_moments() for b in self.blocks]
+        )
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def n_dof(self) -> int:
+        return self.n_blocks * DOF3
+
+
+@dataclass
+class StepInfo3D:
+    """Diagnostics of one 3-D step."""
+
+    n_contacts: int
+    open_close_iterations: int
+    max_penetration: float
+
+
+class Engine3D:
+    """Time-stepping driver for :class:`System3D`."""
+
+    def __init__(self, system: System3D, controls: Controls3D | None = None):
+        self.system = system
+        self.controls = controls or Controls3D()
+        self._contacts: list[Contact3D] = []
+        mean_young = float(np.mean([b.young for b in system.blocks]))
+        self._penalty = self.controls.penalty_scale * mean_young
+        self._tan_phi = np.tan(np.radians(self.controls.friction_angle_deg))
+        # original anchor positions of fixed blocks' pinned vertices
+        self._anchors = {
+            i: b.poly.vertices[:3].copy()
+            for i, b in enumerate(system.blocks)
+            if b.fixed
+        }
+
+    # ------------------------------------------------------------------
+    def _assemble(self, contacts, normal_forces, dt):
+        from repro.dda3d.submatrices3d import (
+            body_force_vector_3d,
+            elastic_submatrix_3d,
+            fixed_point_contribution_3d,
+            inertia_contribution_3d,
+        )
+
+        sys3 = self.system
+        c = self.controls
+        n = sys3.n_blocks
+        k = np.zeros((sys3.n_dof, sys3.n_dof))
+        f = np.zeros(sys3.n_dof)
+        for i, b in enumerate(sys3.blocks):
+            sl = slice(i * DOF3, (i + 1) * DOF3)
+            v0 = sys3.velocities[i] if c.dynamic else np.zeros(DOF3)
+            ki, fi = inertia_contribution_3d(
+                sys3.volumes[i], sys3.moments[i], b.density, dt, v0
+            )
+            k[sl, sl] += ki + elastic_submatrix_3d(
+                sys3.volumes[i], b.young, b.poisson
+            )
+            f[sl] += fi + body_force_vector_3d(
+                sys3.volumes[i], np.array([0.0, 0.0, -c.gravity * b.density])
+            )
+            # stress memory: accumulated stress enters as the
+            # initial-stress load in the strain rows
+            f[sl.start + 6 : sl.stop] -= sys3.volumes[i] * sys3.stresses[i]
+            if b.fixed:
+                # pin three non-collinear vertices: removes all rigid DOF;
+                # the spring restores each toward its original anchor
+                from repro.dda3d.displacement3d import displacement_matrix_3d
+
+                for p, anchor in zip(b.poly.vertices[:3], self._anchors[i]):
+                    k[sl, sl] += fixed_point_contribution_3d(
+                        p, sys3.centroids[i], self._penalty
+                    )
+                    t = displacement_matrix_3d(
+                        p[None, :], sys3.centroids[i][None, :]
+                    )[0]
+                    f[sl] += self._penalty * (t.T @ (anchor - p))
+        polys = [b.poly for b in sys3.blocks]
+        for cidx, contact in enumerate(contacts):
+            if contact.state == OPEN3:
+                continue
+            e, g, d0, nrm = normal_vectors_3d(contact, polys, sys3.centroids)
+            si = slice(contact.block_i * DOF3, (contact.block_i + 1) * DOF3)
+            sj = slice(contact.block_j * DOF3, (contact.block_j + 1) * DOF3)
+            pn = contact.pn
+            k[si, si] += pn * np.outer(e, e)
+            k[sj, sj] += pn * np.outer(g, g)
+            k[si, sj] += pn * np.outer(e, g)
+            k[sj, si] += pn * np.outer(g, e)
+            f[si] -= pn * d0 * e
+            f[sj] -= pn * d0 * g
+            if contact.state == LOCK3:
+                # shear springs along two in-plane tangents
+                t1 = _any_tangent(nrm)
+                t2 = np.cross(nrm, t1)
+                for t in (t1, t2):
+                    et, gt = tangent_vectors_3d(
+                        contact, polys, sys3.centroids, t
+                    )
+                    k[si, si] += contact.ps * np.outer(et, et)
+                    k[sj, sj] += contact.ps * np.outer(gt, gt)
+                    k[si, sj] += contact.ps * np.outer(et, gt)
+                    k[sj, si] += contact.ps * np.outer(gt, et)
+            elif contact.state == SLIDE3:
+                # Mohr–Coulomb magnitude, capped at the sticking force
+                # (the shear-spring force that would arrest the measured
+                # slip) — friction can decelerate, never reverse-drive
+                fric = min(
+                    normal_forces[cidx] * self._tan_phi,
+                    contact.ps * contact.slip_mag,
+                )
+                if fric > 0 and np.linalg.norm(contact.shear_dir) > 0:
+                    t = contact.shear_dir
+                    et, gt = tangent_vectors_3d(
+                        contact, polys, sys3.centroids, t
+                    )
+                    f[si] -= fric * et
+                    f[sj] -= fric * gt
+        return k, f
+
+    def _update_states(self, contacts, d):
+        sys3 = self.system
+        polys = [b.poly for b in sys3.blocks]
+        changed = 0
+        max_pen = 0.0
+        normal_forces = np.zeros(max(1, len(contacts)))
+        for idx, contact in enumerate(contacts):
+            e, g, d0, nrm = normal_vectors_3d(contact, polys, sys3.centroids)
+            di = d[contact.block_i * DOF3 : (contact.block_i + 1) * DOF3]
+            dj = d[contact.block_j * DOF3 : (contact.block_j + 1) * DOF3]
+            dn = d0 + float(e @ di + g @ dj)
+            max_pen = max(max_pen, -dn)
+            if dn > 0:
+                new = OPEN3
+            else:
+                nf = -contact.pn * dn
+                normal_forces[idx] = nf
+                slip = relative_slip_3d(contact, polys, sys3.centroids, d)
+                slip_norm = float(np.linalg.norm(slip))
+                contact.slip_mag = slip_norm
+                shear_force = contact.ps * slip_norm
+                if shear_force > nf * self._tan_phi and slip_norm > 0:
+                    new_dir = slip / slip_norm
+                    # anti-chatter (as in 2-D): a sliding contact whose
+                    # direction reverses re-locks instead of flip-flopping
+                    if (
+                        contact.state == SLIDE3
+                        and float(new_dir @ contact.shear_dir) < 0.0
+                    ):
+                        new = LOCK3
+                    else:
+                        new = SLIDE3
+                        contact.shear_dir = new_dir
+                else:
+                    new = LOCK3
+            if new != contact.state:
+                changed += 1
+                contact.state = new
+        return changed, max_pen, normal_forces
+
+    # ------------------------------------------------------------------
+    def run(self, steps: int) -> list[StepInfo3D]:
+        """Run ``steps`` accepted time steps; returns per-step diagnostics."""
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        sys3 = self.system
+        c = self.controls
+        info: list[StepInfo3D] = []
+        for _ in range(steps):
+            polys = [b.poly for b in sys3.blocks]
+            contacts = detect_contacts_3d(
+                polys, c.contact_threshold, previous=self._contacts
+            )
+            for contact in contacts:
+                contact.pn = self._penalty
+                contact.ps = self._penalty
+            # loop 2: maximum-displacement control (as in the 2-D base
+            # engine) — a step whose solution exceeds the contact
+            # threshold is redone at half the physical time
+            disp_bound = 2.0 * c.contact_threshold
+            dt_local = c.time_step
+            d = np.zeros(sys3.n_dof)
+            oc = 0
+            max_pen = 0.0
+            for _retry in range(8):
+                saved_states = [ct.state for ct in contacts]
+                normal_forces = np.zeros(max(1, len(contacts)))
+                d_prev = None
+                oc_converged = False
+                diverged = False
+                for oc in range(1, c.max_open_close_iterations + 1):
+                    k, f = self._assemble(contacts, normal_forces, dt_local)
+                    d = np.linalg.solve(k, f)
+                    # divergence guard: a sweep whose solution grows by an
+                    # order of magnitude is feeding back (friction digging
+                    # a corner in); keep the previous consistent iterate
+                    if d_prev is not None:
+                        prev_mag = float(np.abs(d_prev).max())
+                        if prev_mag > 0 and (
+                            float(np.abs(d).max()) > 10.0 * prev_mag
+                        ):
+                            d = d_prev
+                            diverged = True
+                            break
+                    d_prev = d
+                    changed, max_pen, normal_forces = self._update_states(
+                        contacts, d
+                    )
+                    if changed == 0:
+                        oc_converged = True
+                        break
+                accept = (
+                    (oc_converged or _retry == 7)
+                    and not diverged
+                    and float(np.abs(d[: sys3.n_dof]).max()) <= disp_bound
+                )
+                if accept:
+                    break
+                # reject: restore states, halve the physical time, redo
+                # (Shi's rule: open–close oscillation and over-large
+                # displacements both shrink the step)
+                for ct, st in zip(contacts, saved_states):
+                    ct.state = st
+                dt_local *= 0.5
+            self._dt_last = dt_local
+            self._contacts = contacts
+            # data update
+            db = d.reshape(sys3.n_blocks, DOF3)
+            for i, b in enumerate(sys3.blocks):
+                b.poly = Polyhedron(
+                    update_geometry_3d(
+                        b.poly.vertices, sys3.centroids[i], db[i]
+                    ),
+                    [list(fc) for fc in b.poly.faces],
+                )
+            if c.dynamic:
+                sys3.velocities = (2.0 / dt_local) * db - sys3.velocities
+            else:
+                sys3.velocities[:] = 0.0
+            # accumulate block stresses from the strain increments
+            from repro.dda3d.submatrices3d import elastic_matrix_3d
+
+            for i, b in enumerate(sys3.blocks):
+                sys3.stresses[i] += (
+                    elastic_matrix_3d(b.young, b.poisson) @ db[i, 6:12]
+                )
+            sys3._refresh()
+            info.append(StepInfo3D(len(contacts), oc, max(0.0, max_pen)))
+        return info
+
+
+def _any_tangent(n: np.ndarray) -> np.ndarray:
+    """A unit vector perpendicular to ``n``."""
+    ref = np.array([1.0, 0.0, 0.0])
+    if abs(n[0]) > 0.9:
+        ref = np.array([0.0, 1.0, 0.0])
+    t = np.cross(n, ref)
+    return t / np.linalg.norm(t)

@@ -1,0 +1,159 @@
+"""Convex polyhedron geometry with exact integrals.
+
+A polyhedron is vertices plus faces (vertex-index loops, outward-oriented:
+counter-clockwise when seen from outside). Volume, centroid and the
+second-moment matrix come from summing signed origin-tetrahedra over the
+triangulated faces — exact for any polyhedron, and the only integrals the
+12x12 DDA sub-matrices need (see :mod:`repro.dda3d.submatrices3d`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import ShapeError, check_array
+
+
+@dataclass
+class Polyhedron:
+    """Vertices ``(V, 3)`` + faces (index loops, outward CCW)."""
+
+    vertices: np.ndarray
+    faces: list[list[int]]
+
+    def __post_init__(self) -> None:
+        self.vertices = check_array(
+            "vertices", self.vertices, dtype=np.float64, shape=(None, 3),
+            finite=True,
+        )
+        if self.vertices.shape[0] < 4:
+            raise ShapeError("a polyhedron needs at least 4 vertices")
+        if len(self.faces) < 4:
+            raise ShapeError("a polyhedron needs at least 4 faces")
+        nv = self.vertices.shape[0]
+        for f in self.faces:
+            if len(f) < 3:
+                raise ShapeError("every face needs at least 3 vertices")
+            if min(f) < 0 or max(f) >= nv:
+                raise ShapeError("face index out of range")
+        if self.volume <= 0.0:
+            raise ShapeError(
+                "polyhedron volume is non-positive — check face orientation"
+            )
+
+    # ------------------------------------------------------------------
+    def _signed_tets(self):
+        """Yield (signed 6*volume, a, b, c) over the face triangulation."""
+        v = self.vertices
+        for f in self.faces:
+            a = v[f[0]]
+            for k in range(1, len(f) - 1):
+                b, c = v[f[k]], v[f[k + 1]]
+                yield float(np.dot(a, np.cross(b, c))), a, b, c
+
+    @property
+    def volume(self) -> float:
+        """Exact volume."""
+        return sum(d6 for d6, *_ in self._signed_tets()) / 6.0
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """Exact centroid."""
+        num = np.zeros(3)
+        vol6 = 0.0
+        for d6, a, b, c in self._signed_tets():
+            num += d6 * (a + b + c) / 4.0
+            vol6 += d6
+        return num / vol6
+
+    def second_moments(self) -> np.ndarray:
+        """Exact *central* second-moment matrix ``M2 = ∫ x x^T dV``.
+
+        Uses the tetrahedron identity
+        ``∫ x x^T dV = (V/20)(Σ_k p_k p_k^T + s s^T)`` with ``s = Σ p_k``
+        over the four vertices (the origin vertex contributes nothing),
+        then the parallel-axis shift to the centroid.
+        """
+        m2 = np.zeros((3, 3))
+        for d6, a, b, c in self._signed_tets():
+            vt = d6 / 6.0
+            s = a + b + c
+            m2 += (vt / 20.0) * (
+                np.outer(a, a) + np.outer(b, b) + np.outer(c, c)
+                + np.outer(s, s)
+            )
+        v = self.volume
+        cen = self.centroid
+        return m2 - v * np.outer(cen, cen)
+
+    @property
+    def aabb(self) -> np.ndarray:
+        """``[xmin, ymin, zmin, xmax, ymax, zmax]``."""
+        return np.concatenate(
+            [self.vertices.min(axis=0), self.vertices.max(axis=0)]
+        )
+
+    def face_normal(self, face_id: int) -> np.ndarray:
+        """Unit outward normal of a (planar) face (Newell's method)."""
+        idx = self.faces[face_id]
+        pts = self.vertices[idx]
+        n = np.zeros(3)
+        for k in range(len(idx)):
+            p, q = pts[k], pts[(k + 1) % len(idx)]
+            n += np.cross(p, q)
+        norm = np.linalg.norm(n)
+        if norm == 0.0:
+            raise ShapeError(f"degenerate face {face_id}")
+        return n / norm
+
+    def face_polygon(self, face_id: int) -> np.ndarray:
+        """The face's vertex coordinates ``(k, 3)``."""
+        return self.vertices[self.faces[face_id]]
+
+    def translated(self, offset: np.ndarray) -> "Polyhedron":
+        """A copy shifted by ``offset``."""
+        offset = check_array("offset", offset, dtype=np.float64, shape=(3,))
+        return Polyhedron(self.vertices + offset, [list(f) for f in self.faces])
+
+
+#: Unit-cube face loops, outward-oriented.
+_BOX_FACES = [
+    [0, 3, 2, 1],  # bottom (z = 0), outward -z
+    [4, 5, 6, 7],  # top (z = 1), outward +z
+    [0, 1, 5, 4],  # front (y = 0), outward -y
+    [2, 3, 7, 6],  # back (y = 1), outward +y
+    [1, 2, 6, 5],  # right (x = 1), outward +x
+    [0, 4, 7, 3],  # left (x = 0), outward -x
+]
+
+
+def make_box(
+    size: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+) -> Polyhedron:
+    """An axis-aligned box with min corner at ``origin``."""
+    sx, sy, sz = (float(s) for s in size)
+    if min(sx, sy, sz) <= 0:
+        raise ValueError(f"box size must be positive, got {size}")
+    ox, oy, oz = (float(v) for v in origin)
+    corners = np.array(
+        [
+            [0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0],
+            [0, 0, 1], [1, 0, 1], [1, 1, 1], [0, 1, 1],
+        ],
+        dtype=np.float64,
+    ) * np.array([sx, sy, sz]) + np.array([ox, oy, oz])
+    return Polyhedron(corners, [list(f) for f in _BOX_FACES])
+
+
+def make_tetrahedron(scale: float = 1.0) -> Polyhedron:
+    """A regular-ish tetrahedron with positive volume."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    v = scale * np.array(
+        [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1.0]]
+    )
+    faces = [[0, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3]]
+    return Polyhedron(v, faces)

@@ -1,0 +1,108 @@
+"""Exact 12x12 sub-matrices for 3-D DDA blocks.
+
+Every entry of ``∫ T^T T dV`` is a sum of products of affine functions of
+``(X, Y, Z)``; with the centroid as origin the first moments vanish and
+
+    ∫ c_i · c_j dV = A_i·A_j V + Σ (B_i^T B_j) ⊙ M2
+
+where ``(A, B)`` is the affine decomposition of ``T``'s columns and
+``M2 = ∫ x x^T dV`` the central second-moment matrix — both exact for
+polyhedra. The inertia, body-force, point-load and fixed-point terms
+mirror the 2-D package's derivations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dda3d.displacement3d import DOF3, affine_decomposition, displacement_matrix_3d
+from repro.util.validation import check_array, check_positive
+
+_A, _B = affine_decomposition()
+
+
+def mass_integral_matrix_3d(
+    volume: float, second_moments: np.ndarray
+) -> np.ndarray:
+    """``∫ T^T T dV`` (12x12), exact from volume and central ``M2``."""
+    check_positive("volume", volume)
+    m2 = check_array("second_moments", second_moments, dtype=np.float64,
+                     shape=(3, 3))
+    const = (_A @ _A.T) * volume            # A_i . A_j V
+    lin = np.einsum("iab,jac,bc->ij", _B, _B, m2)
+    return const + lin
+
+
+def elastic_matrix_3d(young: float, poisson: float) -> np.ndarray:
+    """Isotropic 3-D constitutive matrix (6x6, Voigt order
+    ``ex, ey, ez, gyz, gzx, gxy`` with engineering shear strains)."""
+    check_positive("young", young)
+    if not (-1.0 < poisson < 0.5):
+        raise ValueError(f"poisson must be in (-1, 0.5), got {poisson}")
+    lam = young * poisson / ((1.0 + poisson) * (1.0 - 2.0 * poisson))
+    mu = young / (2.0 * (1.0 + poisson))
+    c = np.zeros((6, 6))
+    c[:3, :3] = lam
+    c[np.arange(3), np.arange(3)] += 2.0 * mu
+    c[np.arange(3, 6), np.arange(3, 6)] = mu
+    return c
+
+
+def elastic_submatrix_3d(
+    volume: float, young: float, poisson: float
+) -> np.ndarray:
+    """Elastic stiffness: ``V * C`` in the strain DOFs (12x12)."""
+    k = np.zeros((DOF3, DOF3))
+    k[6:, 6:] = volume * elastic_matrix_3d(young, poisson)
+    return k
+
+
+def inertia_contribution_3d(
+    volume: float,
+    second_moments: np.ndarray,
+    density: float,
+    dt: float,
+    velocity: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``K += (2/dt^2) M``, ``F += (2/dt) M v0`` (Shi's scheme in 3-D)."""
+    check_positive("dt", dt)
+    check_positive("density", density)
+    v0 = check_array("velocity", velocity, dtype=np.float64, shape=(DOF3,))
+    m = density * mass_integral_matrix_3d(volume, second_moments)
+    return (2.0 / dt**2) * m, (2.0 / dt) * (m @ v0)
+
+
+def body_force_vector_3d(
+    volume: float, f: np.ndarray
+) -> np.ndarray:
+    """Load of a uniform body force: with centroid origin only the
+    translational rows survive."""
+    check_positive("volume", volume)
+    f = check_array("f", f, dtype=np.float64, shape=(3,))
+    out = np.zeros(DOF3)
+    out[:3] = volume * f
+    return out
+
+
+def point_load_vector_3d(
+    point: np.ndarray, centroid: np.ndarray, force: np.ndarray
+) -> np.ndarray:
+    """``T(point)^T F``."""
+    t = displacement_matrix_3d(
+        check_array("point", point, dtype=np.float64, shape=(3,))[None, :],
+        check_array("centroid", centroid, dtype=np.float64, shape=(3,))[None, :],
+    )[0]
+    force = check_array("force", force, dtype=np.float64, shape=(3,))
+    return t.T @ force
+
+
+def fixed_point_contribution_3d(
+    point: np.ndarray, centroid: np.ndarray, penalty: float
+) -> np.ndarray:
+    """Penalty spring at a fixed material point: ``p T^T T`` (12x12)."""
+    check_positive("penalty", penalty)
+    t = displacement_matrix_3d(
+        check_array("point", point, dtype=np.float64, shape=(3,))[None, :],
+        check_array("centroid", centroid, dtype=np.float64, shape=(3,))[None, :],
+    )[0]
+    return penalty * (t.T @ t)

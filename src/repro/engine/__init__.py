@@ -1,0 +1,38 @@
+"""The two DDA pipelines.
+
+* :class:`~repro.engine.serial_engine.SerialEngine` — the paper's Fig. 1:
+  the original serial pipeline (pure-Python broad phase, per-contact state
+  loops), whose modelled time is charged to the E5620 CPU profile.
+* :class:`~repro.engine.gpu_engine.GpuEngine` — the paper's Fig. 2: the
+  restructured data-classification pipeline, fully vectorised, every
+  kernel recorded on a virtual K20/K40.
+
+Both engines integrate the same physics (`repro.engine.physics`) and
+produce the same trajectories — the pipeline-equivalence property the
+paper relies on when comparing runtimes.
+"""
+
+from repro.engine.physics import (
+    diagonal_system,
+    contact_system,
+    update_contact_states,
+    StateUpdate,
+)
+from repro.engine.results import SimulationResult, StepRecord
+from repro.engine.serial_engine import SerialEngine
+from repro.engine.gpu_engine import GpuEngine
+from repro.engine.hybrid_engine import HybridEngine
+from repro.engine.drivers import run_until_static
+
+__all__ = [
+    "run_until_static",
+    "HybridEngine",
+    "diagonal_system",
+    "contact_system",
+    "update_contact_states",
+    "StateUpdate",
+    "SimulationResult",
+    "StepRecord",
+    "SerialEngine",
+    "GpuEngine",
+]

@@ -1,0 +1,320 @@
+"""Shared engine machinery: the three nested loops of the DDA pipeline.
+
+Subclasses provide the per-module implementations (serial or GPU-style);
+this base class owns loop 1 (time stepping), loop 2 (maximum-displacement
+step control) and loop 3 (open–close iteration), the adaptive time step,
+and the bookkeeping that Tables II/III report.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.assembly.global_matrix import BlockMatrix
+from repro.contact.contact_set import ContactSet
+from repro.core.blocks import DOF, BlockSystem
+from repro.core.displacement import displacement_matrix, update_geometry
+from repro.core.state import SimulationControls
+from repro.engine.results import SimulationResult, StepRecord
+from repro.gpu.device import DeviceProfile, K40
+from repro.gpu.kernel import VirtualDevice
+from repro.solvers.cg import pcg
+from repro.solvers.preconditioners import make_preconditioner
+from repro.util.timing import ModuleTimes
+
+#: Maximum times a step is retried with a halved time step (loop 2).
+MAX_STEP_RETRIES = 10
+
+
+class EngineBase:
+    """Common driver for both pipelines. Not instantiated directly."""
+
+    #: Device profile subclasses charge their kernels to.
+    default_profile: DeviceProfile = K40
+
+    def __init__(
+        self,
+        system: BlockSystem,
+        controls: SimulationControls | None = None,
+        profile: DeviceProfile | None = None,
+    ) -> None:
+        self.system = system
+        self.controls = controls or SimulationControls()
+        self.device = VirtualDevice(profile or self.default_profile)
+        self.dt = self.controls.time_step
+        #: accumulated simulated physical time [s] (drives seismic input)
+        self.sim_time = 0.0
+        self._prev_solution = np.zeros(system.n_dof)
+        self._contacts = ContactSet.empty()
+        bbox = np.array(
+            [
+                system.vertices[:, 0].min(), system.vertices[:, 1].min(),
+                system.vertices[:, 0].max(), system.vertices[:, 1].max(),
+            ]
+        )
+        self._model_size = float(
+            math.hypot(bbox[2] - bbox[0], bbox[3] - bbox[1])
+        )
+        self._max_disp_allowed = (
+            self.controls.max_displacement_ratio * self._model_size / 2.0
+        )
+        mean_diam = float(np.sqrt(system.areas.mean()))
+        self.contact_threshold = self.controls.contact_distance_factor * mean_diam
+        # noise floor for open–close significance: state switches whose
+        # contact force stays below a small fraction of a typical block
+        # weight are label churn (contact-force indeterminacy), not physics
+        densities = np.array(
+            [system.material_of(i).density for i in range(system.n_blocks)]
+        )
+        self._force_tol = 1e-3 * float(
+            np.median(densities * system.areas) * self.controls.gravity
+        )
+
+    # ------------------------------------------------------------------
+    # module hooks implemented by subclasses
+    # ------------------------------------------------------------------
+    def _detect_contacts(self) -> ContactSet:
+        raise NotImplementedError
+
+    def _build_diagonal(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def _build_nondiagonal(
+        self, contacts: ContactSet, normal_force: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def _assemble(
+        self,
+        diag_idx: np.ndarray,
+        diag_blocks: np.ndarray,
+        off_rows: np.ndarray,
+        off_cols: np.ndarray,
+        off_blocks: np.ndarray,
+    ) -> BlockMatrix:
+        raise NotImplementedError
+
+    def _check_interpenetration(
+        self,
+        contacts: ContactSet,
+        d: np.ndarray,
+        prev_normal_force: np.ndarray,
+    ):
+        raise NotImplementedError
+
+    def _update_data(self, d: np.ndarray) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # the three nested loops
+    # ------------------------------------------------------------------
+    def run(
+        self, steps: int, *, snapshot_every: int = 0
+    ) -> SimulationResult:
+        """Run ``steps`` accepted time steps (the paper's loop 1).
+
+        Parameters
+        ----------
+        steps:
+            Accepted step count (retries from the loop-2 control do not
+            count).
+        snapshot_every:
+            Record block centroids every this many accepted steps
+            (0 = only the final state).
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        times = ModuleTimes()
+        result = SimulationResult(module_times=times, device=self.device)
+        start_centroids = self.system.centroids.copy()
+        for step in range(steps):
+            record = self._run_one_step(step, times)
+            result.steps.append(record)
+            if snapshot_every and (step + 1) % snapshot_every == 0:
+                result.snapshots.append(
+                    (step + 1, self.system.centroids.copy())
+                )
+        result.snapshots.append((steps, self.system.centroids.copy()))
+        result.displacements = self.system.centroids - start_centroids
+        return result
+
+    def _run_one_step(self, step: int, times: ModuleTimes) -> StepRecord:
+        controls = self.controls
+        for retry in range(MAX_STEP_RETRIES + 1):
+            saved_velocities = self.system.velocities.copy()
+            # ---- contact detection ----------------------------------
+            with times.measure("contact_detection"):
+                with self.device.region("contact_detection"):
+                    contacts = self._detect_contacts()
+
+            # ---- diagonal building (contact-independent) ------------
+            with times.measure("diagonal_matrix_building"):
+                with self.device.region("diagonal_matrix_building"):
+                    diag_idx, diag_blocks, f_base = self._build_diagonal()
+
+            normal_force = contacts.pn * np.maximum(
+                0.0, contacts.normal_disp
+            )
+            d = np.zeros(self.system.n_dof)
+            cg_total = 0
+            oc_iters = 0
+            converged = True
+            oc_converged = False
+            max_pen = 0.0
+            for oc in range(controls.max_open_close_iterations):
+                oc_iters = oc + 1
+                # ---- non-diagonal building --------------------------
+                with times.measure("nondiagonal_matrix_building"):
+                    with self.device.region("nondiagonal_matrix_building"):
+                        (c_diag_idx, c_diag_blocks, rows, cols, blocks,
+                         f_contact) = self._build_nondiagonal(
+                            contacts, normal_force
+                        )
+                        matrix = self._assemble(
+                            np.concatenate([diag_idx, c_diag_idx]),
+                            np.concatenate([diag_blocks, c_diag_blocks]),
+                            rows, cols, blocks,
+                        )
+                # ---- equation solving --------------------------------
+                with times.measure("equation_solving"):
+                    with self.device.region("equation_solving"):
+                        pre = make_preconditioner(
+                            controls.preconditioner, matrix, self.device
+                        )
+                        res = pcg(
+                            matrix,
+                            f_base + f_contact,
+                            x0=self._prev_solution,
+                            preconditioner=pre,
+                            tol=controls.cg_tolerance,
+                            max_iterations=controls.cg_max_iterations,
+                            device=self.device,
+                        )
+                cg_total += res.iterations
+                if not res.converged:
+                    converged = False
+                    break
+                d = res.x
+                # ---- interpenetration checking ------------------------
+                with times.measure("interpenetration_checking"):
+                    with self.device.region("interpenetration_checking"):
+                        update = self._check_interpenetration(
+                            contacts, d, normal_force
+                        )
+                max_pen = update.max_penetration
+                contacts.state = update.states
+                contacts.shear_sign = update.shear_sign
+                normal_force = update.normal_force
+                if update.significant_changes == 0:
+                    oc_converged = True
+                    break
+
+            # open–close oscillation (states still switching after the cap)
+            # is treated like CG non-convergence: shrink the physical time
+            # and redo the step (Shi's rule). On the last allowed retry the
+            # result is accepted anyway so a marginal oscillation cannot
+            # wedge the run.
+            if not oc_converged and retry < MAX_STEP_RETRIES:
+                converged = False
+
+            # ---- loop 2: maximum displacement control ----------------
+            max_disp = self._max_vertex_displacement(d)
+            if converged and max_disp <= 2.0 * self._max_disp_allowed:
+                self._prev_solution = d.copy()
+                if contacts.m:
+                    # carry the converged normal compression as the contact
+                    # memory transferred into the next step
+                    contacts.normal_disp = normal_force / np.maximum(
+                        contacts.pn, 1e-300
+                    )
+                self._contacts = contacts
+                with times.measure("data_updating"):
+                    with self.device.region("data_updating"):
+                        self._update_data(d)
+                self.sim_time += self.dt
+                self.dt = min(self.dt * 1.5, controls.time_step)
+                return StepRecord(
+                    step=step,
+                    dt=self.dt,
+                    cg_iterations=cg_total,
+                    open_close_iterations=oc_iters,
+                    n_contacts=contacts.m,
+                    n_offdiag_blocks=int(
+                        np.unique(
+                            np.minimum(contacts.block_i, contacts.block_j)
+                            * self.system.n_blocks
+                            + np.maximum(contacts.block_i, contacts.block_j)
+                        ).size
+                    ),
+                    max_displacement=max_disp,
+                    max_penetration=max_pen,
+                    retries=retry,
+                )
+            # halve the physical time and redo (the paper's rule for both
+            # non-convergence and over-large displacement)
+            self.system.velocities = saved_velocities
+            self.dt *= 0.5
+        raise RuntimeError(
+            f"step {step}: no acceptable time step after "
+            f"{MAX_STEP_RETRIES} halvings (dt={self.dt:.3e})"
+        )
+
+    # ------------------------------------------------------------------
+    # helpers shared by the subclasses
+    # ------------------------------------------------------------------
+    def _max_vertex_displacement(self, d: np.ndarray) -> float:
+        """Largest displacement of any vertex under the solution ``d``."""
+        db = d.reshape(self.system.n_blocks, DOF)
+        owner = self.system.block_of_vertex()
+        t = displacement_matrix(
+            self.system.vertices, self.system.centroids[owner]
+        )
+        disp = np.einsum("vij,vj->vi", t, db[owner])
+        return float(np.hypot(disp[:, 0], disp[:, 1]).max())
+
+    def _apply_geometry_update(self, d: np.ndarray) -> None:
+        """Move vertices, fixed/load points, velocities; refresh caches.
+
+        Vectorised over all vertices (one pass of the exact-rotation
+        update of :func:`repro.core.displacement.update_geometry`, whose
+        scalar form validates this one in the tests).
+        """
+        system = self.system
+        db = d.reshape(system.n_blocks, DOF)
+        old_centroids = system.centroids.copy()
+        owner = system.block_of_vertex()
+        dbo = db[owner]
+        rel = system.vertices - old_centroids[owner]
+        # strain about the centroid
+        sx = rel[:, 0] * dbo[:, 3] + rel[:, 1] * dbo[:, 5] / 2.0
+        sy = rel[:, 1] * dbo[:, 4] + rel[:, 0] * dbo[:, 5] / 2.0
+        stx = rel[:, 0] + sx
+        sty = rel[:, 1] + sy
+        # exact rotation
+        c = np.cos(db[:, 2])[owner]
+        s = np.sin(db[:, 2])[owner]
+        system.vertices = old_centroids[owner] + dbo[:, :2] + np.stack(
+            [c * stx - s * sty, s * stx + c * sty], axis=1
+        )
+        system.fixed_points = [
+            (b, *update_geometry(np.array([[x, y]]), old_centroids[b], db[b])[0])
+            for b, x, y in system.fixed_points
+        ]
+        system.load_points = [
+            (b, *update_geometry(np.array([[x, y]]), old_centroids[b], db[b])[0],
+             fx, fy)
+            for b, x, y, fx, fy in system.load_points
+        ]
+        if self.controls.dynamic:
+            system.velocities = (2.0 / self.dt) * db - system.velocities
+        else:
+            system.velocities[:] = 0.0
+        # accumulate block stresses from this step's strain increments,
+        # grouped by (few distinct) materials
+        for mid, mat in enumerate(system.materials):
+            sel = system.material_id == mid
+            if sel.any():
+                system.stresses[sel] += db[sel, 3:6] @ mat.elastic_matrix().T
+        system._refresh_cache()

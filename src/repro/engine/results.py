@@ -1,0 +1,119 @@
+"""Simulation outputs: per-step records, snapshots, and module times."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.kernel import VirtualDevice
+from repro.util.timing import ModuleTimes
+
+
+@dataclass
+class StepRecord:
+    """Diagnostics of one accepted time step."""
+
+    step: int
+    dt: float
+    cg_iterations: int
+    open_close_iterations: int
+    n_contacts: int
+    n_offdiag_blocks: int
+    max_displacement: float
+    max_penetration: float
+    retries: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced.
+
+    Attributes
+    ----------
+    module_times:
+        Measured wall-clock seconds per pipeline module.
+    device:
+        The virtual device ledger (modelled times per kernel/module).
+    steps:
+        One :class:`StepRecord` per accepted step.
+    snapshots:
+        ``(step, centroids)`` pairs recorded every ``snapshot_every``
+        accepted steps (plus the final state).
+    displacements:
+        Total centroid displacement per block since the start.
+    """
+
+    module_times: ModuleTimes
+    device: VirtualDevice
+    steps: list[StepRecord] = field(default_factory=list)
+    snapshots: list[tuple[int, np.ndarray]] = field(default_factory=list)
+    displacements: np.ndarray | None = None
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_cg_iterations(self) -> int:
+        return sum(s.cg_iterations for s in self.steps)
+
+    @property
+    def mean_cg_iterations(self) -> float:
+        return self.total_cg_iterations / max(1, self.n_steps)
+
+    def max_total_displacement(self) -> float:
+        """Largest centroid displacement any block accumulated."""
+        if self.displacements is None:
+            return 0.0
+        return float(np.linalg.norm(self.displacements, axis=1).max())
+
+    def modeled_module_times(self) -> dict[str, float]:
+        """Virtual-device seconds per pipeline module."""
+        return self.device.time_by_module()
+
+    def to_csv(self, path) -> None:
+        """Write the per-step records as CSV (one row per accepted step)."""
+        import csv
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fields = [
+            "step", "dt", "cg_iterations", "open_close_iterations",
+            "n_contacts", "n_offdiag_blocks", "max_displacement",
+            "max_penetration", "retries",
+        ]
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(fields)
+            for s in self.steps:
+                writer.writerow([getattr(s, f) for f in fields])
+
+    def merge(self, other: "SimulationResult") -> "SimulationResult":
+        """Concatenate a continuation run's records onto this one.
+
+        Used by :func:`run_until_static`, which runs in bursts. Module
+        times and the device ledger of ``other`` are appended; snapshots
+        and displacements are taken from ``other`` (the later state).
+        """
+        import dataclasses
+
+        offset = len(self.steps)
+        renumbered = [
+            dataclasses.replace(s, step=s.step + offset) for s in other.steps
+        ]
+        merged = SimulationResult(
+            module_times=self.module_times,
+            device=self.device,
+            steps=self.steps + renumbered,
+            snapshots=self.snapshots
+            + [(st + offset, c) for st, c in other.snapshots],
+            displacements=other.displacements
+            if other.displacements is not None
+            else self.displacements,
+        )
+        for module, seconds in other.module_times.times.items():
+            if other.module_times is not self.module_times:
+                merged.module_times.add(module, seconds)
+        return merged

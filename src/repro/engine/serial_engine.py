@@ -1,0 +1,174 @@
+"""The Fig.-1 serial pipeline (the paper's CPU baseline).
+
+Module implementations are deliberately the *serial* formulations:
+upper-triangular pure-Python broad phase, scatter-add assembly, and a
+per-contact Python loop for interpenetration checking. The physics is
+identical to the GPU engine's (the pipeline-equivalence tests verify it);
+the modelled cost is charged to the single-core E5620 profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assembly.global_matrix import BlockMatrix, assemble_serial
+from repro.contact.broad_phase import broad_phase_pairs_python
+from repro.contact.contact_set import ContactSet
+from repro.contact.initialization import initialize_contacts_unclassified
+from repro.contact.narrow_phase import narrow_phase
+from repro.contact.transfer import transfer_contacts
+from repro.core.blocks import BlockSystem
+from repro.core.state import SimulationControls
+from repro.engine.base import EngineBase
+from repro.engine.physics import (
+    contact_system,
+    diagonal_system,
+    update_contact_states_serial,
+)
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import DeviceProfile, E5620
+
+
+class SerialEngine(EngineBase):
+    """Serial CPU pipeline (paper Fig. 1)."""
+
+    default_profile: DeviceProfile = E5620
+
+    def __init__(
+        self,
+        system: BlockSystem,
+        controls: SimulationControls | None = None,
+        profile: DeviceProfile | None = None,
+    ) -> None:
+        super().__init__(system, controls, profile)
+
+    # ------------------------------------------------------------------
+    def _detect_contacts(self) -> ContactSet:
+        system = self.system
+        i, j = broad_phase_pairs_python(system.aabbs, self.contact_threshold)
+        n = system.n_blocks
+        # serial cost: n(n-1)/2 AABB tests, ~8 flops and 64 bytes each
+        tests = n * (n - 1) / 2.0
+        self.device.launch(
+            "serial_broad_phase",
+            KernelCounters(
+                flops=8.0 * tests, global_bytes_read=64.0 * tests,
+                threads=1, warps=1,
+            ),
+        )
+        contacts = narrow_phase(system, i, j, self.contact_threshold)
+        self._charge_serial_narrow(i.size, contacts.m)
+        contacts = transfer_contacts(
+            self._contacts, contacts, system.vertices.shape[0]
+        )
+        self.device.launch(
+            "serial_contact_transfer",
+            KernelCounters(
+                flops=10.0 * (self._contacts.m + contacts.m),
+                global_bytes_read=48.0 * (self._contacts.m + contacts.m),
+                threads=1, warps=1,
+            ),
+        )
+        contacts = initialize_contacts_unclassified(
+            system, contacts, self.controls.penalty_scale
+        )
+        self.device.launch(
+            "serial_contact_init",
+            KernelCounters(
+                flops=48.0 * contacts.m,
+                global_bytes_read=112.0 * contacts.m,
+                global_bytes_written=32.0 * contacts.m,
+                threads=1, warps=1,
+            ),
+        )
+        return contacts
+
+    def _charge_serial_narrow(self, n_pairs: int, n_contacts: int) -> None:
+        counts = np.diff(self.system.offsets)
+        avg_v = float(counts.mean())
+        rows = 2.0 * n_pairs * avg_v * avg_v
+        self.device.launch(
+            "serial_narrow_phase",
+            KernelCounters(
+                flops=54.0 * rows + 40.0 * n_contacts,
+                global_bytes_read=96.0 * rows,
+                global_bytes_written=64.0 * n_contacts,
+                threads=1, warps=1,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _build_diagonal(self):
+        out = diagonal_system(self.system, self.controls, self.dt, self.sim_time)
+        n = self.system.n_blocks
+        self.device.launch(
+            "serial_diagonal_build",
+            KernelCounters(
+                flops=700.0 * n,  # mass integrals + elastic + fixed springs
+                global_bytes_read=400.0 * n,
+                global_bytes_written=36.0 * 8 * n,
+                threads=1, warps=1,
+            ),
+        )
+        return out
+
+    def _build_nondiagonal(self, contacts, normal_force):
+        out = contact_system(self.system, contacts, normal_force)
+        m = contacts.m
+        self.device.launch(
+            "serial_nondiagonal_build",
+            KernelCounters(
+                flops=(3 * 36 * 4 + 200.0) * m,
+                global_bytes_read=500.0 * m,
+                global_bytes_written=3 * 36.0 * 8 * m,
+                threads=1, warps=1,
+            ),
+        )
+        return out
+
+    def _assemble(self, diag_idx, diag_blocks, off_rows, off_cols, off_blocks):
+        matrix = assemble_serial(
+            self.system.n_blocks, diag_idx, diag_blocks,
+            off_rows, off_cols, off_blocks,
+        )
+        total = diag_idx.size + off_rows.size
+        self.device.launch(
+            "serial_scatter_assembly",
+            KernelCounters(
+                flops=36.0 * total,
+                global_bytes_read=36.0 * 8 * total,
+                global_bytes_written=36.0 * 8 * total,
+                threads=1, warps=1,
+            ),
+        )
+        return matrix
+
+    def _check_interpenetration(self, contacts, d, prev_normal_force):
+        update = update_contact_states_serial(
+            self.system, contacts, d,
+            prev_normal_force=prev_normal_force,
+            force_tolerance=self._force_tol,
+        )
+        self.device.launch(
+            "serial_interpenetration_check",
+            KernelCounters(
+                flops=180.0 * contacts.m,
+                global_bytes_read=300.0 * contacts.m,
+                global_bytes_written=24.0 * contacts.m,
+                threads=1, warps=1,
+            ),
+        )
+        return update
+
+    def _update_data(self, d):
+        self._apply_geometry_update(d)
+        v = self.system.vertices.shape[0]
+        self.device.launch(
+            "serial_data_update",
+            KernelCounters(
+                flops=30.0 * v,
+                global_bytes_read=16.0 * v,
+                global_bytes_written=16.0 * v,
+                threads=1, warps=1,
+            ),
+        )

@@ -1,0 +1,137 @@
+"""Segment-intersection kernels for the block cutter.
+
+DDA preprocessing turns a set of joint traces (line segments) into a block
+system by computing the planar arrangement of the segments and extracting
+its faces. The arrangement step needs all pairwise proper intersections
+and the ability to split each segment at the points that fall on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_array
+
+#: Relative tolerance used to snap near-coincident intersection parameters.
+PARAM_EPS = 1e-9
+
+
+def segment_intersections(
+    segments: np.ndarray, *, eps: float = PARAM_EPS
+) -> list[tuple[int, int, float, float]]:
+    """All pairwise interior/endpoint intersections among ``segments``.
+
+    Parameters
+    ----------
+    segments:
+        ``(n, 4)`` array of ``[x1, y1, x2, y2]`` rows.
+    eps:
+        Parameter-space tolerance: intersections within ``eps`` of an
+        endpoint snap to the endpoint.
+
+    Returns
+    -------
+    list of (i, j, ti, tj)
+        Segment indices and the parameters along each where they cross.
+        Collinear overlaps contribute their overlapping endpoints.
+    """
+    segs = check_array("segments", segments, dtype=np.float64, shape=(None, 4))
+    n = segs.shape[0]
+    if n < 2:
+        return []
+    p = segs[:, 0:2]
+    r = segs[:, 2:4] - segs[:, 0:2]
+    ii, jj = np.triu_indices(n, k=1)
+    pi, ri = p[ii], r[ii]
+    pj, rj = p[jj], r[jj]
+    cross_rr = ri[:, 0] * rj[:, 1] - ri[:, 1] * rj[:, 0]
+    qp = pj - pi
+    cross_qp_r = qp[:, 0] * ri[:, 1] - qp[:, 1] * ri[:, 0]
+    out: list[tuple[int, int, float, float]] = []
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = (qp[:, 0] * rj[:, 1] - qp[:, 1] * rj[:, 0]) / cross_rr
+        u = (qp[:, 0] * ri[:, 1] - qp[:, 1] * ri[:, 0]) / cross_rr
+    proper = (
+        (np.abs(cross_rr) > eps)
+        & (t >= -eps)
+        & (t <= 1 + eps)
+        & (u >= -eps)
+        & (u <= 1 + eps)
+    )
+    for k in np.flatnonzero(proper):
+        ti = min(1.0, max(0.0, float(t[k])))
+        tj = min(1.0, max(0.0, float(u[k])))
+        out.append((int(ii[k]), int(jj[k]), ti, tj))
+
+    # Collinear overlaps: project j's endpoints onto i.
+    collinear = (np.abs(cross_rr) <= eps) & (np.abs(cross_qp_r) <= eps)
+    for k in np.flatnonzero(collinear):
+        i, j = int(ii[k]), int(jj[k])
+        riri = float(ri[k] @ ri[k])
+        if riri <= eps:
+            continue
+        t0 = float((pj[k] - pi[k]) @ ri[k]) / riri
+        t1 = float((pj[k] + rj[k] - pi[k]) @ ri[k]) / riri
+        for tj_end, t_on_i in ((0.0, t0), (1.0, t1)):
+            if -eps <= t_on_i <= 1 + eps:
+                out.append(
+                    (i, j, min(1.0, max(0.0, t_on_i)), tj_end)
+                )
+        # and i's endpoints onto j
+        rjrj = float(rj[k] @ rj[k])
+        if rjrj <= eps:
+            continue
+        s0 = float((pi[k] - pj[k]) @ rj[k]) / rjrj
+        s1 = float((pi[k] + ri[k] - pj[k]) @ rj[k]) / rjrj
+        for ti_end, s_on_j in ((0.0, s0), (1.0, s1)):
+            if -eps <= s_on_j <= 1 + eps:
+                out.append(
+                    (i, j, ti_end, min(1.0, max(0.0, s_on_j)))
+                )
+    return out
+
+
+def split_segments_at_points(
+    segments: np.ndarray,
+    cut_params: list[list[float]],
+    *,
+    eps: float = PARAM_EPS,
+) -> np.ndarray:
+    """Split each segment at the given parameter values.
+
+    Parameters
+    ----------
+    segments:
+        ``(n, 4)`` array of ``[x1, y1, x2, y2]``.
+    cut_params:
+        For each segment, parameters in ``[0, 1]`` where it must be split
+        (unsorted, may contain duplicates/endpoints — both are dropped).
+
+    Returns
+    -------
+    ndarray ``(m, 4)``
+        The sub-segments; every input segment contributes at least itself.
+    """
+    segs = check_array("segments", segments, dtype=np.float64, shape=(None, 4))
+    if len(cut_params) != segs.shape[0]:
+        raise ValueError(
+            f"cut_params has {len(cut_params)} entries for {segs.shape[0]} segments"
+        )
+    pieces: list[np.ndarray] = []
+    for k in range(segs.shape[0]):
+        ts = sorted(set([0.0, 1.0] + [float(t) for t in cut_params[k]]))
+        # drop params equal within eps
+        kept = [ts[0]]
+        for t in ts[1:]:
+            if t - kept[-1] > eps:
+                kept.append(t)
+        if kept[-1] < 1.0 - eps:
+            kept.append(1.0)
+        p = segs[k, 0:2]
+        r = segs[k, 2:4] - segs[k, 0:2]
+        for t0, t1 in zip(kept[:-1], kept[1:]):
+            a = p + t0 * r
+            b = p + t1 * r
+            pieces.append(np.concatenate([a, b]))
+    return np.asarray(pieces).reshape(-1, 4)

@@ -1,0 +1,106 @@
+"""Performance counters recorded by virtual-GPU kernels.
+
+The counter set mirrors what the paper measured with Nsight (branch
+divergence, memory transactions) plus the quantities the roofline timing
+model needs. Counters are plain additive quantities, so aggregating a
+pipeline is just summing the counters of its kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class KernelCounters:
+    """Additive work counters for one kernel launch (or a sum of launches).
+
+    Attributes
+    ----------
+    flops:
+        Useful double-precision floating-point operations.
+    wasted_lane_flops:
+        Operations executed by lanes that were masked off in divergent
+        branch regions (SIMT serialisation waste). Compute time is charged
+        on ``flops + wasted_lane_flops``.
+    global_bytes_read / global_bytes_written:
+        Useful bytes moved to/from global memory.
+    global_txn_read / global_txn_written:
+        128-byte global-memory transactions actually issued (>= useful
+        bytes / 128 when access is uncoalesced).
+    shared_accesses:
+        Shared-memory accesses (per 4-byte bank word).
+    shared_bank_conflict_extra:
+        Extra serialized shared accesses caused by bank conflicts.
+    texture_bytes:
+        Bytes read through the texture path (cached gathers).
+    threads / warps:
+        Launched threads and warps.
+    branch_regions / divergent_branch_regions:
+        Per-warp conditional regions executed, and how many of those were
+        divergent (lanes disagreed). ``divergent_branch_regions /
+        branch_regions`` is the Nsight-style divergence rate.
+    atomic_ops:
+        Global atomic operations (serialisation hot spots).
+    """
+
+    flops: float = 0.0
+    wasted_lane_flops: float = 0.0
+    global_bytes_read: float = 0.0
+    global_bytes_written: float = 0.0
+    global_txn_read: float = 0.0
+    global_txn_written: float = 0.0
+    shared_accesses: float = 0.0
+    shared_bank_conflict_extra: float = 0.0
+    texture_bytes: float = 0.0
+    threads: float = 0.0
+    warps: float = 0.0
+    branch_regions: float = 0.0
+    divergent_branch_regions: float = 0.0
+    atomic_ops: float = 0.0
+
+    def __iadd__(self, other: "KernelCounters") -> "KernelCounters":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def __add__(self, other: "KernelCounters") -> "KernelCounters":
+        out = KernelCounters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+    def scaled(self, factor: float) -> "KernelCounters":
+        """Return a copy with every counter multiplied by ``factor``.
+
+        Used to extrapolate a measured representative step to a full run
+        (e.g. 40 000 paper steps from a measured 100-step window).
+        """
+        out = KernelCounters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) * factor)
+        return out
+
+    @property
+    def divergence_rate(self) -> float:
+        """Fraction of executed branch regions that were divergent."""
+        if self.branch_regions == 0:
+            return 0.0
+        return self.divergent_branch_regions / self.branch_regions
+
+    @property
+    def total_global_bytes(self) -> float:
+        """Useful global traffic, read + write."""
+        return self.global_bytes_read + self.global_bytes_written
+
+    @property
+    def total_transactions(self) -> float:
+        """Issued global transactions, read + write."""
+        return self.global_txn_read + self.global_txn_written
+
+    def coalescing_efficiency(self, transaction_bytes: int = 128) -> float:
+        """Useful bytes / issued bytes (1.0 == perfectly coalesced)."""
+        issued = self.total_transactions * transaction_bytes
+        if issued == 0:
+            return 1.0
+        return min(1.0, self.total_global_bytes / issued)

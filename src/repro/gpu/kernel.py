@@ -1,0 +1,162 @@
+"""Virtual device: the per-kernel launch ledger.
+
+Every kernel in the repository takes a :class:`VirtualDevice` and calls
+:meth:`VirtualDevice.launch` with the counters describing the work it just
+performed. The device converts counters to modelled seconds using its
+:class:`~repro.gpu.device.DeviceProfile` and keeps a ledger that benches
+query per pipeline module.
+
+Kernels may be attributed to a pipeline module either by a ``module=`` kwarg
+on :meth:`launch` or by running inside a :meth:`VirtualDevice.region`
+context (the engines use regions so substrate code stays module-agnostic).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import DeviceProfile, K40
+
+
+@dataclass
+class KernelRecord:
+    """One recorded kernel launch."""
+
+    name: str
+    module: str | None
+    counters: KernelCounters
+    seconds: float
+
+
+@dataclass
+class VirtualDevice:
+    """A device plus its launch ledger.
+
+    Parameters
+    ----------
+    profile:
+        The :class:`DeviceProfile` used to convert counters to time.
+
+    Examples
+    --------
+    >>> from repro.gpu import VirtualDevice, K40, KernelCounters
+    >>> dev = VirtualDevice(K40)
+    >>> dev.launch("axpy", KernelCounters(flops=2e6, global_bytes_read=2.4e7,
+    ...                                   global_txn_read=187500))
+    >>> dev.total_time > 0
+    True
+    """
+
+    profile: DeviceProfile = field(default_factory=lambda: K40)
+    records: list[KernelRecord] = field(default_factory=list)
+    _region_stack: list[str] = field(default_factory=list)
+
+    def launch(
+        self,
+        name: str,
+        counters: KernelCounters,
+        *,
+        module: str | None = None,
+    ) -> float:
+        """Record a kernel launch; returns the modelled time in seconds."""
+        if module is None and self._region_stack:
+            module = self._region_stack[-1]
+        seconds = self.profile.kernel_time(counters)
+        self.records.append(KernelRecord(name, module, counters, seconds))
+        return seconds
+
+    @contextmanager
+    def region(self, module: str) -> Iterator[None]:
+        """Attribute every launch inside the block to ``module``."""
+        self._region_stack.append(module)
+        try:
+            yield
+        finally:
+            self._region_stack.pop()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        """Modelled seconds across all recorded launches."""
+        return sum(r.seconds for r in self.records)
+
+    @property
+    def total_counters(self) -> KernelCounters:
+        """Sum of counters across all launches."""
+        total = KernelCounters()
+        for r in self.records:
+            total += r.counters
+        return total
+
+    def time_by_module(self) -> dict[str, float]:
+        """Modelled seconds grouped by pipeline module (None -> 'other')."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            key = r.module or "other"
+            out[key] = out.get(key, 0.0) + r.seconds
+        return out
+
+    def time_by_kernel(self) -> dict[str, float]:
+        """Modelled seconds grouped by kernel name."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.name] = out.get(r.name, 0.0) + r.seconds
+        return out
+
+    def counters_by_module(self) -> dict[str, KernelCounters]:
+        """Summed counters grouped by pipeline module."""
+        out: dict[str, KernelCounters] = {}
+        for r in self.records:
+            key = r.module or "other"
+            out.setdefault(key, KernelCounters())
+            out[key] += r.counters
+        return out
+
+    def launches(self) -> int:
+        """Number of kernel launches recorded."""
+        return len(self.records)
+
+    def reset(self) -> None:
+        """Clear the ledger (the profile is kept)."""
+        self.records.clear()
+
+
+class RoutedVirtualDevice(VirtualDevice):
+    """A ledger that prices each launch by a kernel-name-routed profile.
+
+    Used by the hybrid CPU–GPU engine (the paper's predecessor design,
+    ref [10]): kernels named ``serial_*`` are priced at the CPU profile,
+    ``pcie_*`` at the host–device transfer profile, and everything else at
+    the GPU profile — one ledger, three clocks.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        routes: dict[str, DeviceProfile],
+    ) -> None:
+        super().__init__(profile=profile)
+        self.routes = dict(routes)
+
+    def launch(
+        self,
+        name: str,
+        counters: KernelCounters,
+        *,
+        module: str | None = None,
+    ) -> float:
+        if module is None and self._region_stack:
+            module = self._region_stack[-1]
+        profile = self.profile
+        for prefix, routed in self.routes.items():
+            if name.startswith(prefix):
+                profile = routed
+                break
+        seconds = profile.kernel_time(counters)
+        self.records.append(KernelRecord(name, module, counters, seconds))
+        return seconds

@@ -1,0 +1,146 @@
+"""Multi-GPU execution model (the paper's stated future work).
+
+"The next step of this work will focus on applying these efforts to
+three-dimensional DDA on the multiple GPUs." This module provides the
+forward-looking analysis tool for that step: a block-partitioned
+multi-device model that predicts how the pipeline scales across GPUs.
+
+Model
+-----
+Blocks are partitioned into ``n_devices`` spatial stripes (1-D domain
+decomposition along x, the natural choice for slopes). Per time step:
+
+* perfectly parallel work (contact detection within a stripe, matrix
+  building, interpenetration checking, data updating) divides by the
+  device count, imbalanced by the measured stripe-size spread;
+* the equation solve requires one halo exchange of boundary-stripe DOF
+  vectors per CG iteration (PCIe transfers) plus one all-reduce of the
+  dot products (latency-bound);
+* contacts crossing stripe boundaries are duplicated on both owners
+  (ghost contacts), adding work proportional to the measured cut size.
+
+The prediction input is a real single-device ledger (the counters a
+:class:`~repro.gpu.kernel.VirtualDevice` recorded), so the speed-up
+curves reflect the actual measured workload, not an abstract law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import BlockSystem
+from repro.gpu.device import DeviceProfile
+from repro.gpu.kernel import VirtualDevice
+from repro.util.validation import check_positive
+
+#: Effective PCIe 3.0 x16 bandwidth per direction, bytes/s.
+PCIE_BANDWIDTH = 12e9
+
+#: One-way PCIe/NVLink-free transfer latency, seconds.
+PCIE_LATENCY = 8e-6
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Spatial stripe partition of a block system.
+
+    Attributes
+    ----------
+    counts:
+        Blocks per stripe.
+    cut_fraction:
+        Fraction of broad-phase-adjacent block pairs that cross a stripe
+        boundary (ghost-contact overhead).
+    imbalance:
+        ``max(counts) / mean(counts)``.
+    """
+
+    counts: np.ndarray
+    cut_fraction: float
+    imbalance: float
+
+
+def partition_blocks(
+    system: BlockSystem, n_devices: int, *, margin: float = 0.0
+) -> tuple[np.ndarray, PartitionStats]:
+    """Stripe-partition blocks along x; returns labels and statistics."""
+    if n_devices < 1:
+        raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+    x = system.centroids[:, 0]
+    # equal-count stripes (balanced by construction up to ties)
+    order = np.argsort(x, kind="stable")
+    labels = np.empty(system.n_blocks, dtype=np.int64)
+    for d, chunk in enumerate(np.array_split(order, n_devices)):
+        labels[chunk] = d
+    counts = np.bincount(labels, minlength=n_devices)
+
+    from repro.contact.broad_phase import broad_phase_pairs
+
+    i, j = broad_phase_pairs(system.aabbs, margin or 0.0)
+    if i.size:
+        cut = float(np.count_nonzero(labels[i] != labels[j])) / i.size
+    else:
+        cut = 0.0
+    imbalance = float(counts.max()) / max(1.0, float(counts.mean()))
+    return labels, PartitionStats(counts, cut, imbalance)
+
+
+def predict_multi_gpu_time(
+    ledger: VirtualDevice,
+    stats: PartitionStats,
+    n_devices: int,
+    *,
+    cg_iterations: int,
+    halo_dof: int,
+    pcie_bandwidth: float = PCIE_BANDWIDTH,
+    pcie_latency: float = PCIE_LATENCY,
+) -> dict[str, float]:
+    """Predict the multi-device time of a recorded single-device run.
+
+    Parameters
+    ----------
+    ledger:
+        Single-device run (its per-module modelled times are the input).
+    stats:
+        Partition statistics from :func:`partition_blocks`.
+    n_devices:
+        Device count.
+    cg_iterations:
+        Total CG iterations in the recorded run (halo exchanges).
+    halo_dof:
+        DOF on each stripe boundary (exchanged per iteration per cut).
+
+    Returns
+    -------
+    dict
+        ``{"single": s, "multi": s, "speedup": x, "comm": s}``.
+    """
+    check_positive("pcie_bandwidth", pcie_bandwidth)
+    if n_devices < 1:
+        raise ValueError("n_devices must be >= 1")
+    single = ledger.total_time
+    if n_devices == 1:
+        return {"single": single, "multi": single, "speedup": 1.0, "comm": 0.0}
+    by_module = ledger.time_by_module()
+    solve = by_module.get("equation_solving", 0.0)
+    parallel = single - solve
+    # ghost contacts duplicate boundary work on both owners
+    ghost = 1.0 + stats.cut_fraction
+    parallel_multi = parallel * ghost * stats.imbalance / n_devices
+    solve_multi = solve * ghost * stats.imbalance / n_devices
+    # per-iteration halo exchange (both directions, (n_devices-1) cuts in
+    # a ring pipeline -> overlapped, charge one) + dot-product all-reduce
+    bytes_per_iter = 2.0 * halo_dof * 8.0
+    comm = cg_iterations * (
+        bytes_per_iter / pcie_bandwidth + 2.0 * pcie_latency
+        + 2.0 * pcie_latency  # all-reduce of the two CG dot products
+    )
+    multi = parallel_multi + solve_multi + comm
+    return {
+        "single": single,
+        "multi": multi,
+        "speedup": single / multi if multi > 0 else float("inf"),
+        "comm": comm,
+    }

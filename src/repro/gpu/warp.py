@@ -1,0 +1,129 @@
+"""SIMT warp model: branch-divergence accounting.
+
+The paper reduces branch divergence two ways — data classification
+(Section III.A: contacts sorted into VE/VV1/VV2 and categories C1–C5 so
+each kernel sees uniform data) and branch restructuring (Section III.D).
+Both are reproduced in this repository, and their effect is *measured* with
+the same statistic Nsight reports: the fraction of executed per-warp branch
+regions whose lanes disagreed.
+
+This module turns boolean predicate arrays (one entry per thread) into
+divergence statistics, assuming the canonical thread->warp mapping
+(consecutive 32 threads form a warp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_array
+
+#: CUDA warp width on every generation the paper targets.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DivergenceStats:
+    """Result of analysing one branch region over a thread grid.
+
+    Attributes
+    ----------
+    warps:
+        Warps that executed the region.
+    divergent_warps:
+        Warps whose lanes disagreed on the predicate (both paths run).
+    wasted_lanes:
+        Lane-slots spent executing a path masked-off lanes had to wait
+        through. For a two-way branch a divergent warp executes both
+        paths, so every lane wastes exactly one path's worth of slots.
+    taken_fraction:
+        Overall fraction of threads with a true predicate.
+    """
+
+    warps: int
+    divergent_warps: int
+    wasted_lanes: int
+    taken_fraction: float
+
+    @property
+    def divergence_rate(self) -> float:
+        """``divergent_warps / warps`` (0.0 when no warps ran)."""
+        return self.divergent_warps / self.warps if self.warps else 0.0
+
+
+def pad_to_warps(mask: np.ndarray, warp_size: int = WARP_SIZE) -> np.ndarray:
+    """Pad a 1-D predicate array to a whole number of warps.
+
+    Padding lanes replicate the last thread's predicate, matching CUDA
+    practice where tail threads early-exit with the same guard and thus do
+    not add divergence on their own.
+    """
+    mask = check_array("mask", mask, ndim=1).astype(bool)
+    if mask.size == 0:
+        return mask.reshape(0, warp_size)
+    pad = (-mask.size) % warp_size
+    if pad:
+        mask = np.concatenate([mask, np.full(pad, mask[-1])])
+    return mask.reshape(-1, warp_size)
+
+
+def divergence_stats(
+    mask: np.ndarray, warp_size: int = WARP_SIZE
+) -> DivergenceStats:
+    """Analyse one two-way branch region.
+
+    Parameters
+    ----------
+    mask:
+        Boolean predicate per thread, in launch order.
+    warp_size:
+        SIMT width (32 unless testing the model itself).
+
+    Returns
+    -------
+    DivergenceStats
+    """
+    if warp_size <= 0:
+        raise ValueError(f"warp_size must be positive, got {warp_size}")
+    lanes = pad_to_warps(np.asarray(mask), warp_size)
+    if lanes.size == 0:
+        return DivergenceStats(0, 0, 0, 0.0)
+    any_true = lanes.any(axis=1)
+    all_true = lanes.all(axis=1)
+    divergent = any_true & ~all_true
+    n_warps = lanes.shape[0]
+    n_div = int(divergent.sum())
+    # Each divergent warp serializes both paths: warp_size wasted lane-slots.
+    wasted = n_div * warp_size
+    taken = float(np.count_nonzero(mask)) / max(1, np.asarray(mask).size)
+    return DivergenceStats(n_warps, n_div, wasted, taken)
+
+
+def multiway_divergence_stats(
+    labels: np.ndarray, n_paths: int, warp_size: int = WARP_SIZE
+) -> DivergenceStats:
+    """Analyse an ``n_paths``-way switch region (e.g. contact categories).
+
+    A warp executes one pass per distinct label among its lanes; lanes wait
+    through every pass that is not theirs, so wasted slots per warp are
+    ``(distinct - 1) * warp_size``.
+    """
+    labels = check_array("labels", labels, ndim=1)
+    if n_paths <= 0:
+        raise ValueError(f"n_paths must be positive, got {n_paths}")
+    if labels.size == 0:
+        return DivergenceStats(0, 0, 0, 0.0)
+    pad = (-labels.size) % warp_size
+    if pad:
+        labels = np.concatenate([labels, np.full(pad, labels[-1])])
+    lanes = labels.reshape(-1, warp_size)
+    # distinct labels per warp
+    s = np.sort(lanes, axis=1)
+    distinct = 1 + np.count_nonzero(s[:, 1:] != s[:, :-1], axis=1)
+    divergent = distinct > 1
+    wasted = int(((distinct - 1) * warp_size).sum())
+    return DivergenceStats(
+        lanes.shape[0], int(divergent.sum()), wasted, 0.0
+    )

@@ -1,0 +1,14 @@
+"""Model persistence and experiment reporting."""
+
+from repro.io.model_io import save_system, load_system
+from repro.io.reporting import ComparisonReport, paper_vs_measured_table
+from repro.io.ascii_art import render_system, render_snapshots
+
+__all__ = [
+    "save_system",
+    "load_system",
+    "ComparisonReport",
+    "paper_vs_measured_table",
+    "render_system",
+    "render_snapshots",
+]

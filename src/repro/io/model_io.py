@@ -1,0 +1,95 @@
+"""Block-system persistence (JSON header + npz arrays).
+
+A saved model is a pair of files: ``<stem>.json`` with materials, boundary
+conditions, and metadata; ``<stem>.npz`` with the geometry and state
+arrays. The pair round-trips everything an engine needs to resume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.blocks import Block, BlockSystem
+from repro.core.materials import BlockMaterial, JointMaterial
+
+
+def save_system(system: BlockSystem, stem: str | Path) -> tuple[Path, Path]:
+    """Write ``<stem>.json`` and ``<stem>.npz``; returns both paths."""
+    stem = Path(stem)
+    stem.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format": "repro-dda-model",
+        "version": 1,
+        "n_blocks": int(system.n_blocks),
+        "materials": [
+            {
+                "density": m.density,
+                "young": m.young,
+                "poisson": m.poisson,
+                "plane_strain": m.plane_strain,
+            }
+            for m in system.materials
+        ],
+        "joint_material": {
+            "friction_angle_deg": system.joint_material.friction_angle_deg,
+            "cohesion": system.joint_material.cohesion,
+            "tensile_strength": system.joint_material.tensile_strength,
+        },
+        "fixed_points": [
+            [int(b), float(x), float(y)] for b, x, y in system.fixed_points
+        ],
+        "fixed_anchors": [
+            [float(x), float(y)] for x, y in system.fixed_anchors
+        ],
+        "load_points": [
+            [int(b), float(x), float(y), float(fx), float(fy)]
+            for b, x, y, fx, fy in system.load_points
+        ],
+    }
+    json_path = stem.with_suffix(".json")
+    npz_path = stem.with_suffix(".npz")
+    json_path.write_text(json.dumps(header, indent=2))
+    np.savez_compressed(
+        npz_path,
+        vertices=system.vertices,
+        offsets=system.offsets,
+        material_id=system.material_id,
+        velocities=system.velocities,
+        stresses=system.stresses,
+    )
+    return json_path, npz_path
+
+
+def load_system(stem: str | Path) -> BlockSystem:
+    """Load a system saved by :func:`save_system`."""
+    stem = Path(stem)
+    header = json.loads(stem.with_suffix(".json").read_text())
+    if header.get("format") != "repro-dda-model":
+        raise ValueError(f"{stem}: not a repro DDA model file")
+    data = np.load(stem.with_suffix(".npz"))
+    materials = [BlockMaterial(**m) for m in header["materials"]]
+    joint = JointMaterial(**header["joint_material"])
+    offsets = data["offsets"]
+    vertices = data["vertices"]
+    material_id = data["material_id"]
+    blocks = [
+        Block(
+            vertices[offsets[i] : offsets[i + 1]].copy(),
+            materials[material_id[i]],
+        )
+        for i in range(header["n_blocks"])
+    ]
+    system = BlockSystem(blocks, joint)
+    system.velocities = data["velocities"].copy()
+    system.stresses = data["stresses"].copy()
+    for b, x, y in header["fixed_points"]:
+        system.fix_point(b, x, y)
+    anchors = header.get("fixed_anchors")
+    if anchors is not None:
+        system.fixed_anchors = [(float(x), float(y)) for x, y in anchors]
+    for b, x, y, fx, fy in header["load_points"]:
+        system.add_point_load(b, x, y, fx, fy)
+    return system

@@ -1,0 +1,34 @@
+"""Workload generation: joint sets, block cutting, and the paper's cases.
+
+The paper's models (a 4361-block slope, a 1683-block falling-rock scene)
+come from proprietary engineering data. We rebuild statistically
+equivalent models the way DDA preprocessors do: generate joint traces
+(:mod:`repro.meshing.joints`), compute the planar arrangement of domain
+boundary + joints (:mod:`repro.meshing.arrangement`), and extract the
+bounded faces as blocks (:mod:`repro.meshing.block_cutter`).
+:mod:`repro.meshing.slope_models` assembles ready-to-run Case-1-like and
+Case-2-like systems at any scale.
+"""
+
+from repro.meshing.arrangement import PlanarArrangement, extract_faces
+from repro.meshing.block_cutter import cut_blocks
+from repro.meshing.joints import generate_joint_set, JointSet
+from repro.meshing.slope_models import (
+    build_brick_wall,
+    build_slope_model,
+    build_falling_rocks_model,
+)
+from repro.meshing.voronoi import build_voronoi_rubble, voronoi_cells
+
+__all__ = [
+    "build_voronoi_rubble",
+    "voronoi_cells",
+    "PlanarArrangement",
+    "extract_faces",
+    "cut_blocks",
+    "generate_joint_set",
+    "JointSet",
+    "build_brick_wall",
+    "build_slope_model",
+    "build_falling_rocks_model",
+]

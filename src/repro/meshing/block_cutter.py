@@ -1,0 +1,82 @@
+"""Block cutting: domain polygon + joint traces -> polygonal blocks.
+
+The DDA preprocessing step ("DC" in Shi's codes): clip every joint trace
+to the domain, form the planar arrangement of boundary + clipped joints,
+and extract bounded faces as blocks. Faces inherit the domain's CCW
+orientation, ready for :class:`repro.core.blocks.Block`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polygon import ensure_ccw, point_in_polygon
+from repro.geometry.segments import segment_intersections, split_segments_at_points
+from repro.meshing.arrangement import PlanarArrangement, extract_faces
+from repro.util.validation import check_array
+
+
+def clip_segments_to_polygon(
+    segments: np.ndarray, domain: np.ndarray
+) -> np.ndarray:
+    """Keep only the parts of ``segments`` inside the CCW ``domain`` polygon.
+
+    Each segment is split at its crossings with the domain boundary and
+    pieces whose midpoint lies inside are kept.
+    """
+    segs = check_array("segments", segments, dtype=np.float64, shape=(None, 4))
+    poly = ensure_ccw(domain)
+    if segs.shape[0] == 0:
+        return segs
+    boundary = np.concatenate(
+        [poly, np.roll(poly, -1, axis=0)], axis=1
+    )  # (k, 4)
+    combined = np.concatenate([segs, boundary], axis=0)
+    n = segs.shape[0]
+    cuts: list[list[float]] = [[] for _ in range(n)]
+    for i, j, ti, tj in segment_intersections(combined):
+        if i < n <= j:
+            cuts[i].append(ti)
+        elif j < n <= i:  # pragma: no cover - i<j always in our generator
+            cuts[j].append(tj)
+    pieces = split_segments_at_points(segs, cuts)
+    mids = 0.5 * (pieces[:, 0:2] + pieces[:, 2:4])
+    inside = point_in_polygon(poly, mids)
+    return pieces[inside]
+
+
+def cut_blocks(
+    domain: np.ndarray,
+    joints: np.ndarray,
+    *,
+    min_area: float = 1e-8,
+) -> list[np.ndarray]:
+    """Cut ``domain`` (CCW polygon) by ``joints`` into block polygons.
+
+    Parameters
+    ----------
+    domain:
+        ``(k, 2)`` simple polygon bounding the rock mass.
+    joints:
+        ``(m, 4)`` joint trace segments (any extent; clipped internally).
+    min_area:
+        Faces smaller than this are discarded as numerical slivers.
+
+    Returns
+    -------
+    list of ndarray
+        CCW vertex loops, one per block. With no joints the domain itself
+        is the single block.
+    """
+    poly = ensure_ccw(domain)
+    joints = check_array("joints", joints, dtype=np.float64, shape=(None, 4))
+    boundary = np.concatenate([poly, np.roll(poly, -1, axis=0)], axis=1)
+    clipped = clip_segments_to_polygon(joints, poly)
+    all_segs = (
+        np.concatenate([boundary, clipped], axis=0) if clipped.size else boundary
+    )
+    arrangement = PlanarArrangement.from_segments(all_segs)
+    faces = extract_faces(arrangement, min_area=min_area)
+    if not faces:
+        return [poly]
+    return faces

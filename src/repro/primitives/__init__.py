@@ -1,0 +1,31 @@
+"""GPU data-parallel primitives.
+
+The paper combines its pipeline stages with scan and radix-sort primitives
+(Merrill & Grimshaw) whose reductions use Kepler warp-shuffle instructions,
+plus stream compaction (classify/abandon contact data), segmented reduction
+(sub-matrix assembly, Fig. 4) and sorted search (contact transfer).
+
+Each primitive here performs the *real* computation with NumPy and, when
+given a :class:`~repro.gpu.kernel.VirtualDevice`, records the modelled work
+of the corresponding CUDA implementation (launch structure, memory traffic,
+scatter coalescing) into the device ledger.
+"""
+
+from repro.primitives.scan import exclusive_scan, inclusive_scan
+from repro.primitives.radix_sort import radix_sort_pairs, radix_sort_keys
+from repro.primitives.reduce import device_reduce, segmented_reduce
+from repro.primitives.compact import stream_compact, partition_by_label
+from repro.primitives.sorted_search import sorted_search, lower_bound
+
+__all__ = [
+    "exclusive_scan",
+    "inclusive_scan",
+    "radix_sort_pairs",
+    "radix_sort_keys",
+    "device_reduce",
+    "segmented_reduce",
+    "stream_compact",
+    "partition_by_label",
+    "sorted_search",
+    "lower_bound",
+]

@@ -1,0 +1,122 @@
+"""Reductions: full and segmented.
+
+Full reductions model the two-kernel tree (per-block shuffle reduction,
+then a single-block pass over block partials). Segmented reduction is the
+work-horse of the paper's Fig.-4 assembly scheme: after sorting sub-matrix
+contributions by block index, entries of each segment are summed. The
+boundary-flag + scan construction used there is provided by
+:func:`segment_boundaries`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpu.counters import KernelCounters
+from repro.gpu.kernel import VirtualDevice
+from repro.gpu.memory import coalesced_transactions
+from repro.gpu.warp import WARP_SIZE
+from repro.util.validation import check_array
+
+REDUCE_BLOCK = 256
+
+
+def device_reduce(
+    values: np.ndarray,
+    device: VirtualDevice | None = None,
+) -> float:
+    """Sum-reduce a 1-D array; models the two-kernel shuffle tree."""
+    values = check_array("values", values, ndim=1)
+    n = values.size
+    if device is not None and n:
+        blocks = math.ceil(n / REDUCE_BLOCK)
+        device.launch(
+            "reduce[block]",
+            KernelCounters(
+                flops=float(n),
+                global_bytes_read=n * values.itemsize,
+                global_bytes_written=blocks * values.itemsize,
+                global_txn_read=coalesced_transactions(n, values.itemsize),
+                global_txn_written=coalesced_transactions(blocks, values.itemsize),
+                shared_accesses=2.0 * blocks * (REDUCE_BLOCK // WARP_SIZE),
+                threads=blocks * REDUCE_BLOCK,
+                warps=blocks * (REDUCE_BLOCK // WARP_SIZE),
+            ),
+        )
+        if blocks > 1:
+            device.launch(
+                "reduce[final]",
+                KernelCounters(
+                    flops=float(blocks),
+                    global_bytes_read=blocks * values.itemsize,
+                    global_bytes_written=values.itemsize,
+                    global_txn_read=coalesced_transactions(blocks, values.itemsize),
+                    global_txn_written=1,
+                    threads=REDUCE_BLOCK,
+                    warps=REDUCE_BLOCK // WARP_SIZE,
+                ),
+            )
+    return float(values.sum()) if n else 0.0
+
+
+def segment_boundaries(sorted_keys: np.ndarray) -> np.ndarray:
+    """Start offsets of each run in a sorted key array.
+
+    This is the ``di[i] = (SD[i] - SD[i-1] == 0) ? 1 : 0`` flag + scan
+    construction of the paper's Fig. 4, returning the segment start indices
+    (the scan of the negated flags compacted).
+
+    Returns an int64 array ``starts`` with ``starts[0] == 0`` and one entry
+    per distinct run; append ``len(sorted_keys)`` to close the last segment.
+    """
+    keys = check_array("sorted_keys", sorted_keys, ndim=1)
+    if keys.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    new_seg = np.ones(keys.size, dtype=bool)
+    new_seg[1:] = keys[1:] != keys[:-1]
+    return np.flatnonzero(new_seg).astype(np.int64)
+
+
+def segmented_reduce(
+    values: np.ndarray,
+    starts: np.ndarray,
+    device: VirtualDevice | None = None,
+) -> np.ndarray:
+    """Sum each segment of ``values``; segments start at ``starts``.
+
+    ``values`` may be 1-D (scalar entries) or 2-D (one row per entry, e.g.
+    flattened 6x6 sub-matrices in the Fig.-4 assembler); rows within a
+    segment are summed element-wise.
+    """
+    values = np.asarray(values)
+    if values.ndim not in (1, 2):
+        raise ValueError(f"values must be 1-D or 2-D, got ndim={values.ndim}")
+    starts = check_array("starts", starts, ndim=1, dtype=np.int64)
+    if starts.size == 0:
+        return values[:0]
+    if starts[0] != 0:
+        raise ValueError("starts[0] must be 0")
+    if np.any(np.diff(starts) <= 0) or starts[-1] >= max(1, values.shape[0]):
+        if values.shape[0] > 0 and (
+            np.any(np.diff(starts) <= 0) or starts[-1] >= values.shape[0]
+        ):
+            raise ValueError("starts must be strictly increasing and in range")
+    if device is not None and values.size:
+        row_bytes = values.itemsize * (values.shape[1] if values.ndim == 2 else 1)
+        n = values.shape[0]
+        device.launch(
+            "segmented_reduce",
+            KernelCounters(
+                flops=float(values.size),
+                global_bytes_read=n * row_bytes + starts.size * 8,
+                global_bytes_written=starts.size * row_bytes,
+                global_txn_read=coalesced_transactions(n, row_bytes),
+                global_txn_written=coalesced_transactions(starts.size, row_bytes),
+                shared_accesses=2.0 * n,
+                threads=n,
+                warps=max(1, n // WARP_SIZE),
+            ),
+        )
+    return np.add.reduceat(values, starts, axis=0)

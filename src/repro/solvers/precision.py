@@ -1,0 +1,141 @@
+"""Fixed-precision CG — the paper's double-precision requirement.
+
+The paper states "Double precision was required in the computation" and
+sizes its roofline analysis around the K40's 1.43 Tflop/s DP (vs 4.29
+Tflop/s SP) peak. The reason single precision is not an option in DDA is
+numerical: the global matrix mixes penalty-spring stiffnesses (10–100x
+Young's modulus) with inertia terms, giving condition numbers beyond
+float32's ~7 significant digits — CG stalls above any usable tolerance.
+
+:func:`cg_fixed_dtype` runs the whole Krylov recurrence in a chosen dtype
+(all vectors, the matrix, every reduction) so the effect is measurable
+rather than asserted; the residual reported back is always evaluated in
+float64 against the float64 operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.assembly.global_matrix import BS, BlockMatrix
+from repro.util.validation import check_array
+
+
+@dataclass
+class PrecisionResult:
+    """Outcome of a fixed-precision CG solve.
+
+    Attributes
+    ----------
+    iterations:
+        Iterations performed.
+    converged:
+        Whether the *in-dtype* recurrence reported convergence.
+    true_relative_residual:
+        ``||b - A x|| / ||b||`` evaluated in float64 — the honest error.
+    stalled:
+        The recurrence stopped making progress before reaching the
+        tolerance (the float32 failure mode).
+    """
+
+    iterations: int
+    converged: bool
+    true_relative_residual: float
+    stalled: bool
+
+
+def cg_fixed_dtype(
+    a: BlockMatrix,
+    b: np.ndarray,
+    dtype: type = np.float64,
+    *,
+    tol: float = 1e-8,
+    max_iterations: int = 2000,
+    use_block_jacobi: bool = True,
+) -> PrecisionResult:
+    """Solve ``A x = b`` with every operation in ``dtype``.
+
+    Parameters
+    ----------
+    dtype:
+        ``numpy.float32`` or ``numpy.float64``.
+    use_block_jacobi:
+        Precondition with the (same-dtype) block-diagonal inverse.
+    """
+    if dtype not in (np.float32, np.float64):
+        raise ValueError(f"dtype must be float32 or float64, got {dtype}")
+    b64 = check_array("b", b, dtype=np.float64, shape=(a.n * BS,))
+    diag = a.diag.astype(dtype)
+    blocks = a.blocks.astype(dtype)
+    rows, cols = a.rows, a.cols
+    inv_diag = np.linalg.inv(a.diag).astype(dtype) if use_block_jacobi else None
+
+    def matvec(x: np.ndarray) -> np.ndarray:
+        xb = x.reshape(a.n, BS)
+        y = np.einsum("nij,nj->ni", diag, xb)
+        if rows.size:
+            np.add.at(y, rows, np.einsum("mij,mj->mi", blocks, xb[cols]))
+            np.add.at(y, cols, np.einsum("mji,mj->mi", blocks, xb[rows]))
+        return y.reshape(-1)
+
+    def precond(r: np.ndarray) -> np.ndarray:
+        if inv_diag is None:
+            return r.copy()
+        return np.einsum(
+            "nij,nj->ni", inv_diag, r.reshape(a.n, BS)
+        ).reshape(-1)
+
+    bb = b64.astype(dtype)
+    b_norm = dtype(np.linalg.norm(bb))
+    x = np.zeros(a.n * BS, dtype=dtype)
+    if b_norm == 0:
+        return PrecisionResult(0, True, 0.0, False)
+    r = bb - matvec(x)
+    z = precond(r)
+    p = z.copy()
+    rz = dtype(r @ z)
+    best_rel = np.inf
+    stall_count = 0
+    converged = False
+    it = 0
+    for it in range(1, max_iterations + 1):
+        ap = matvec(p)
+        pap = dtype(p @ ap)
+        if not np.isfinite(pap) or pap <= 0:
+            break
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        rel = float(np.linalg.norm(r.astype(np.float64))) / float(b_norm)
+        if rel < tol:
+            converged = True
+            break
+        # stall detection: no meaningful progress over 50 iterations
+        if rel < best_rel * 0.999:
+            best_rel = rel
+            stall_count = 0
+        else:
+            stall_count += 1
+            if stall_count >= 50:
+                break
+        z = precond(r)
+        rz_new = dtype(r @ z)
+        if rz == 0:
+            break
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    true_res = float(
+        np.linalg.norm(b64 - _matvec64(a, x.astype(np.float64)))
+    ) / float(np.linalg.norm(b64))
+    return PrecisionResult(
+        iterations=it,
+        converged=converged,
+        true_relative_residual=true_res,
+        stalled=not converged and it < max_iterations,
+    )
+
+
+def _matvec64(a: BlockMatrix, x: np.ndarray) -> np.ndarray:
+    return a.matvec(x)

@@ -1,0 +1,146 @@
+"""Reference block/ELL SpMV formats (the related-work baselines).
+
+* **BCSR** — block CSR of the *full* matrix: exploits blockiness (one
+  column index per 6x6 block) but not symmetry, so it stores and streams
+  twice the non-diagonal data HSBCSR does.
+* **ELL** — scalar ELLPACK: rows padded to the maximum row length; robust
+  and perfectly coalesced but wasteful when row lengths vary (DDA contact
+  counts per block vary a lot — the motivation for sliced variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.assembly.global_matrix import BS, BlockMatrix
+from repro.gpu.counters import KernelCounters
+from repro.gpu.kernel import VirtualDevice
+from repro.gpu.memory import coalesced_transactions, gather_transactions
+from repro.gpu.warp import WARP_SIZE
+from repro.util.validation import check_array
+
+
+@dataclass
+class BCSRMatrix:
+    """Block CSR of the full symmetric matrix (6x6 blocks)."""
+
+    n: int
+    indptr: np.ndarray   # (n+1,) block-row pointers
+    indices: np.ndarray  # (nb,) block column per stored block
+    data: np.ndarray     # (nb, 6, 6)
+
+    @classmethod
+    def from_block_matrix(cls, a: BlockMatrix) -> "BCSRMatrix":
+        rows = np.concatenate([np.arange(a.n), a.rows, a.cols])
+        cols = np.concatenate([np.arange(a.n), a.cols, a.rows])
+        data = np.concatenate(
+            [a.diag, a.blocks, a.blocks.transpose(0, 2, 1)]
+        )
+        order = np.lexsort((cols, rows))
+        indptr = np.zeros(a.n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=a.n), out=indptr[1:])
+        return cls(a.n, indptr, cols[order].astype(np.int64), data[order])
+
+    @property
+    def storage_bytes(self) -> int:
+        return int(self.indptr.nbytes + self.indices.nbytes + self.data.nbytes)
+
+
+def bcsr_spmv(
+    a: BCSRMatrix, x: np.ndarray, device: VirtualDevice | None = None
+) -> np.ndarray:
+    """``y = A x`` with a block-row-per-warp BCSR kernel model."""
+    x = check_array("x", x, dtype=np.float64, shape=(a.n * BS,))
+    xb = x.reshape(a.n, BS)
+    prod = np.einsum("kij,kj->ki", a.data, xb[a.indices])
+    y = np.zeros((a.n, BS))
+    lengths = np.diff(a.indptr)
+    nonempty = np.flatnonzero(lengths > 0)
+    if nonempty.size:
+        y[nonempty] = np.add.reduceat(prod, a.indptr[:-1][nonempty], axis=0)
+    if device is not None:
+        nb = a.indices.size
+        device.launch(
+            "bcsr_spmv",
+            KernelCounters(
+                flops=2.0 * nb * BS * BS,
+                global_bytes_read=nb * (BS * BS * 8 + 4) + (a.n + 1) * 8,
+                global_bytes_written=a.n * BS * 8,
+                global_txn_read=coalesced_transactions(nb * BS * BS, 8)
+                + coalesced_transactions(nb, 4),
+                global_txn_written=coalesced_transactions(a.n * BS, 8),
+                # block-run x gathers: 48-byte contiguous runs fetch two
+                # 32-byte segments each (50% fetch efficiency)
+                texture_bytes=2.0 * float(nb * BS * 8),
+                shared_accesses=2.0 * nb * BS,
+                threads=nb * BS,
+                warps=max(1, nb * BS // WARP_SIZE),
+            ),
+        )
+    return y.reshape(-1)
+
+
+@dataclass
+class ELLMatrix:
+    """Scalar ELLPACK of the full symmetric matrix."""
+
+    n_rows: int
+    width: int           # max row length (padding target)
+    indices: np.ndarray  # (n_rows, width), padded with the row index
+    data: np.ndarray     # (n_rows, width), padded with zeros
+
+    @classmethod
+    def from_block_matrix(cls, a: BlockMatrix) -> "ELLMatrix":
+        csr = a.to_scipy_csr()
+        indptr, indices, data = csr.indptr, csr.indices, csr.data
+        n_rows = a.n * BS
+        lengths = np.diff(indptr)
+        width = int(lengths.max()) if n_rows else 0
+        eidx = np.tile(np.arange(n_rows)[:, None], (1, width))
+        edata = np.zeros((n_rows, width))
+        for r in range(n_rows):
+            lo, hi = indptr[r], indptr[r + 1]
+            eidx[r, : hi - lo] = indices[lo:hi]
+            edata[r, : hi - lo] = data[lo:hi]
+        return cls(n_rows, width, eidx.astype(np.int64), edata)
+
+    @property
+    def storage_bytes(self) -> int:
+        return int(self.indices.nbytes + self.data.nbytes)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Useful entries / stored entries (1.0 = no padding waste)."""
+        if self.data.size == 0:
+            return 1.0
+        return float(np.count_nonzero(self.data)) / self.data.size
+
+
+def ell_spmv(
+    a: ELLMatrix, x: np.ndarray, device: VirtualDevice | None = None
+) -> np.ndarray:
+    """``y = A x`` with the thread-per-row ELL kernel model."""
+    x = check_array("x", x, dtype=np.float64, shape=(a.n_rows,))
+    y = np.einsum("rw,rw->r", a.data, x[a.indices])
+    if device is not None:
+        stored = a.n_rows * a.width
+        device.launch(
+            "ell_spmv",
+            KernelCounters(
+                # zero-padded entries still execute their multiply-add
+                flops=2.0 * stored,
+                global_bytes_read=stored * (8 + 8),
+                global_bytes_written=a.n_rows * 8,
+                global_txn_read=coalesced_transactions(stored, 16),
+                global_txn_written=coalesced_transactions(a.n_rows, 8),
+                # scattered scalar x gathers, like CSR's
+                texture_bytes=32.0
+                * float(gather_transactions(a.indices.ravel(), 8,
+                                            transaction_bytes=32)),
+                threads=a.n_rows,
+                warps=max(1, a.n_rows // WARP_SIZE),
+            ),
+        )
+    return y

@@ -1,0 +1,232 @@
+"""HSBCSR: half slice block compressed sparse row (the paper's format).
+
+Storage (paper Fig. 6/7):
+
+* ``d_data`` / ``nd_data`` — the diagonal and upper non-diagonal 6x6
+  blocks, *sliced by local row*: slice ``s`` concatenates row ``s`` of
+  every block, in (slice, global row, global column) sort priority, padded
+  so each slice's length is a multiple of 32 (the GPU alignment
+  condition). Consecutive threads reading consecutive blocks' slice data
+  therefore access global memory fully coalesced.
+* ``rc`` — compressed (row, col) per non-diagonal block (``rows``/``cols``
+  here).
+* ``row_up_i`` — end position of each block row in the upper storage
+  (CSR-style indptr).
+* ``row_low_i`` — end position of each block row of the *implied lower
+  triangle* (CSC-style indptr over the upper storage).
+* ``row_low_p`` — for each lower-triangle entry (in (col, row) order), the
+  position of its transposed source block in the upper storage.
+
+The SpMV (paper Figs. 8/9) runs in two stages plus the diagonal pass:
+
+1. every stored block ``A_k`` (row i, col j) computes
+   ``up_res[k] = A_k x_j`` (shared-memory reduction, bank-conflict-free)
+   and ``low_res[k] = A_k^T x_i`` (register accumulation across slices);
+2. ``up_res`` is segment-summed by ``row_up_i`` (coalesced — six-row
+   integer reads by 48-thread groups) and ``low_res`` gathered through
+   ``row_low_p`` (texture path) and segment-summed by ``row_low_i``;
+3. the diagonal blocks multiply and accumulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.assembly.global_matrix import BS, BlockMatrix
+from repro.gpu.counters import KernelCounters
+from repro.gpu.kernel import VirtualDevice
+from repro.gpu.memory import coalesced_transactions, gather_transactions
+from repro.gpu.warp import WARP_SIZE
+from repro.util.validation import check_array
+
+#: Slice lengths are padded to a multiple of this (GPU alignment).
+SLICE_ALIGN = 32
+
+
+def _pad_to(n: int, align: int) -> int:
+    return ((n + align - 1) // align) * align
+
+
+def _slice_blocks(blocks: np.ndarray, align: int) -> np.ndarray:
+    """Pack ``(m, 6, 6)`` blocks into the ``(6, padded)`` slice layout."""
+    m = blocks.shape[0]
+    width = _pad_to(m * BS, align)
+    data = np.zeros((BS, width))
+    if m:
+        # slice s holds row s of every block, blocks in storage order
+        data[:, : m * BS] = blocks.transpose(1, 0, 2).reshape(BS, m * BS)
+    return data
+
+
+@dataclass
+class HSBCSRMatrix:
+    """A :class:`BlockMatrix` converted to the HSBCSR layout."""
+
+    n: int
+    n_offdiag: int
+    d_data: np.ndarray        # (6, pad(n*6))
+    nd_data: np.ndarray       # (6, pad(m*6))
+    rows: np.ndarray          # (m,) block row per upper entry
+    cols: np.ndarray          # (m,) block col per upper entry
+    row_up_i: np.ndarray      # (n+1,) indptr over rows of the upper storage
+    row_low_i: np.ndarray     # (n+1,) indptr over rows of the implied lower
+    row_low_p: np.ndarray     # (m,) upper-storage position of each lower entry
+
+    @classmethod
+    def from_block_matrix(
+        cls, a: BlockMatrix, *, align: int = SLICE_ALIGN
+    ) -> "HSBCSRMatrix":
+        """Build the HSBCSR layout (blocks are already (row, col) sorted)."""
+        m = a.n_offdiag
+        d_data = _slice_blocks(a.diag, align)
+        nd_data = _slice_blocks(a.blocks, align)
+        row_up_i = np.zeros(a.n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(a.rows, minlength=a.n), out=row_up_i[1:])
+        # lower triangle: entry (j, i) for each upper (i, j); sorted by
+        # (col, row) of the upper — i.e. by the lower entry's row
+        order = np.lexsort((a.rows, a.cols))
+        row_low_i = np.zeros(a.n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(a.cols, minlength=a.n), out=row_low_i[1:])
+        return cls(
+            n=a.n,
+            n_offdiag=m,
+            d_data=d_data,
+            nd_data=nd_data,
+            rows=a.rows.copy(),
+            cols=a.cols.copy(),
+            row_up_i=row_up_i,
+            row_low_i=row_low_i,
+            row_low_p=order.astype(np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes of block data + indices actually stored."""
+        return int(
+            self.d_data.nbytes
+            + self.nd_data.nbytes
+            + self.rows.nbytes
+            + self.cols.nbytes
+            + self.row_up_i.nbytes
+            + self.row_low_i.nbytes
+            + self.row_low_p.nbytes
+        )
+
+    def nd_view(self) -> np.ndarray:
+        """``(6, m, 6)`` view of the non-diagonal slice data."""
+        m = self.n_offdiag
+        return self.nd_data[:, : m * BS].reshape(BS, m, BS)
+
+    def d_view(self) -> np.ndarray:
+        """``(6, n, 6)`` view of the diagonal slice data."""
+        return self.d_data[:, : self.n * BS].reshape(BS, self.n, BS)
+
+
+def hsbcsr_spmv(
+    a: HSBCSRMatrix,
+    x: np.ndarray,
+    device: VirtualDevice | None = None,
+) -> np.ndarray:
+    """``y = A x`` using the two-stage HSBCSR kernel.
+
+    The computation indexes the slice arrays exactly as the CUDA kernel
+    does; the modelled cost reflects the coalesced slice reads, the
+    texture-path vector gathers, the bank-conflict-free shared reduction
+    of Fig. 8, and the regular/irregular stage-2 reductions of Fig. 9.
+    """
+    x = check_array("x", x, dtype=np.float64, shape=(a.n * BS,))
+    xb = x.reshape(a.n, BS)
+    m = a.n_offdiag
+    y = np.zeros((a.n, BS))
+
+    if m:
+        v = a.nd_view()  # (6, m, 6): v[s, k, c] = block_k[s, c]
+        xj = xb[a.cols]  # texture gathers
+        xi = xb[a.rows]
+        # stage 1
+        up_res = np.einsum("skc,kc->ks", v, xj)   # A_k x_j
+        low_res = np.einsum("skc,ks->kc", v, xi)  # A_k^T x_i
+        # stage 2: regular reduction of up_res by row_up_i
+        starts_up = a.row_up_i[:-1]
+        nonempty_up = np.flatnonzero(np.diff(a.row_up_i) > 0)
+        if nonempty_up.size:
+            sums = np.add.reduceat(up_res, starts_up[nonempty_up], axis=0)
+            y[nonempty_up] += sums
+        # irregular reduction of low_res gathered through row_low_p
+        gathered = low_res[a.row_low_p]
+        starts_low = a.row_low_i[:-1]
+        nonempty_low = np.flatnonzero(np.diff(a.row_low_i) > 0)
+        if nonempty_low.size:
+            sums = np.add.reduceat(gathered, starts_low[nonempty_low], axis=0)
+            y[nonempty_low] += sums
+
+    # stage 3: diagonal
+    d = a.d_view()
+    y += np.einsum("snc,nc->ns", d, xb)
+
+    if device is not None:
+        _record_cost(a, device)
+    return y.reshape(-1)
+
+
+def _record_cost(a: HSBCSRMatrix, device: VirtualDevice) -> None:
+    """Record the three-kernel launch sequence of the HSBCSR SpMV."""
+    m, n = a.n_offdiag, a.n
+    if m:
+        # stage 1: slice reads coalesced; x segments through texture; the
+        # Fig-8 shared reduction is conflict-free by construction
+        device.launch(
+            "hsbcsr_stage1",
+            KernelCounters(
+                flops=4.0 * m * BS * BS,          # up and low multiplies
+                global_bytes_read=a.nd_data.nbytes / BS * 1.0 * BS,
+                global_bytes_written=2.0 * m * BS * 8,
+                global_txn_read=coalesced_transactions(
+                    a.nd_data.shape[1] * BS, 8
+                )
+                + 2 * coalesced_transactions(m, 8),  # rc indices
+                global_txn_written=coalesced_transactions(2 * m * BS, 8),
+                # x_j and x_i gathers: 48-byte contiguous block runs (two
+                # 32-byte texture segments per block); x_i repeats along a
+                # block row (the (row, col) sort), so its fetches hit cache
+                texture_bytes=2.0 * m * BS * 8 + 1.0 * m * BS * 8,
+                shared_accesses=2.0 * m * BS,     # Fig-8 reduction
+                shared_bank_conflict_extra=0.0,
+                threads=m * BS,
+                warps=max(1, m * BS // WARP_SIZE),
+            ),
+        )
+        # stage 2: up_res coalesced 48-thread row groups; low_res texture
+        device.launch(
+            "hsbcsr_stage2",
+            KernelCounters(
+                flops=2.0 * (2 * m * BS),
+                global_bytes_read=m * BS * 8 + 2 * (n + 1) * 8 + m * 8,
+                global_bytes_written=n * BS * 8,
+                global_txn_read=coalesced_transactions(m * BS, 8)
+                + coalesced_transactions(2 * (n + 1) + m, 8),
+                global_txn_written=coalesced_transactions(n * BS, 8),
+                texture_bytes=float(m * BS * 8),  # low_res gathered
+                shared_accesses=2.0 * m * BS / 8.0,
+                threads=n * BS,
+                warps=max(1, n * BS // WARP_SIZE),
+            ),
+        )
+    # stage 3: diagonal multiply-accumulate
+    device.launch(
+        "hsbcsr_diag",
+        KernelCounters(
+            flops=2.0 * n * BS * BS,
+            global_bytes_read=a.d_data.nbytes * 1.0 + n * BS * 8,
+            global_bytes_written=n * BS * 8,
+            global_txn_read=coalesced_transactions(a.d_data.shape[1] * BS, 8)
+            + coalesced_transactions(n * BS, 8),
+            global_txn_written=coalesced_transactions(n * BS, 8),
+            texture_bytes=float(n * BS * 8),
+            threads=n * BS,
+            warps=max(1, n * BS // WARP_SIZE),
+        ),
+    )

@@ -1,0 +1,152 @@
+"""Merge-path CSR SpMV (related work [29], Dalton et al., IPDPS 2015).
+
+"A scheme to solve the load balance problem and expose the parallelism
+of SpMV was proposed" — merge-based SpMV treats the CSR row-pointer array
+and the non-zero array as two sorted lists and splits their *merge path*
+into equal-length diagonals, one per thread/warp. Every worker gets
+exactly the same amount of (row-advance + nonzero-consume) work, so
+pathological row-length distributions cost nothing.
+
+This implementation performs the real two-phase algorithm (path search,
+then per-partition accumulation with cross-partition fix-up) and models
+its perfectly balanced cost; the paper's HSBCSR still wins on the DDA
+matrix because merge-path fixes *balance*, not the symmetry/blockiness
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.counters import KernelCounters
+from repro.gpu.kernel import VirtualDevice
+from repro.gpu.memory import coalesced_transactions, gather_transactions
+from repro.gpu.warp import WARP_SIZE
+from repro.spmv.csr_ref import CSRMatrix
+from repro.util.validation import check_array
+
+
+def merge_path_partitions(
+    indptr: np.ndarray, n_workers: int
+) -> np.ndarray:
+    """Split the merge path into ``n_workers`` equal diagonals.
+
+    The merge path of CSR SpMV walks ``n_rows`` row-end markers and
+    ``nnz`` non-zeros — total path length ``n_rows + nnz``. Worker ``w``
+    starts at diagonal ``w * path_len / n_workers``; its starting (row,
+    nonzero) coordinate is found by binary search along the diagonal:
+    the split point is the smallest row ``r`` with
+    ``indptr[r + 1] + r >= diagonal``.
+
+    Returns
+    -------
+    ndarray ``(n_workers + 1, 2)``
+        Per-worker (row, nonzero) start coordinates, ending with
+        ``(n_rows, nnz)``.
+    """
+    indptr = check_array("indptr", indptr, dtype=np.int64, ndim=1)
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    n_rows = indptr.size - 1
+    nnz = int(indptr[-1])
+    path_len = n_rows + nnz
+    coords = np.zeros((n_workers + 1, 2), dtype=np.int64)
+    # row-end markers sit at path positions indptr[r+1] + r
+    markers = indptr[1:] + np.arange(n_rows)
+    for w in range(n_workers + 1):
+        diag = min(path_len, (w * path_len) // n_workers)
+        row = int(np.searchsorted(markers, diag, side="left"))
+        k = diag - row
+        coords[w] = (row, k)
+    coords[-1] = (n_rows, nnz)
+    return coords
+
+
+def merge_csr_spmv(
+    a: CSRMatrix,
+    x: np.ndarray,
+    device: VirtualDevice | None = None,
+    *,
+    n_workers: int | None = None,
+) -> np.ndarray:
+    """``y = A x`` by the two-phase merge-path algorithm.
+
+    Phase 1: each worker accumulates its merge-path segment, emitting
+    complete rows and a (row, partial) carry-out for the row it ends in.
+    Phase 2: carry-outs are fixed up into ``y``. Workers touch identical
+    path lengths regardless of the row-length distribution.
+    """
+    x = check_array("x", x, dtype=np.float64, shape=(a.n_rows,))
+    if n_workers is None:
+        n_workers = max(1, min(1024, a.nnz // 64 + 1))
+    coords = merge_path_partitions(a.indptr, n_workers)
+    y = np.zeros(a.n_rows)
+    carry_rows = np.full(n_workers, -1, dtype=np.int64)
+    carry_vals = np.zeros(n_workers)
+    contrib = a.data * x[a.indices]
+    for w in range(n_workers):
+        row, k = coords[w]
+        row_end, k_end = coords[w + 1]
+        row = int(row)
+        k = int(k)
+        while row < row_end:
+            stop = min(int(a.indptr[row + 1]), k_end)
+            y[row] += contrib[k:stop].sum()
+            k = stop
+            row += 1
+        if k < k_end:  # partial tail of row `row_end`
+            carry_rows[w] = row
+            carry_vals[w] = contrib[k:k_end].sum()
+    # phase 2: fix-up
+    for w in range(n_workers):
+        if carry_rows[w] >= 0:
+            y[carry_rows[w]] += carry_vals[w]
+
+    if device is not None:
+        nnz = a.nnz
+        device.launch(
+            "merge_path_search",
+            KernelCounters(
+                flops=float(n_workers) * np.log2(max(2, a.n_rows)),
+                global_bytes_read=float(n_workers)
+                * np.log2(max(2, a.n_rows)) * 8,
+                global_txn_read=n_workers,
+                threads=n_workers,
+                warps=max(1, n_workers // WARP_SIZE),
+            ),
+        )
+        device.launch(
+            "merge_csr_spmv",
+            KernelCounters(
+                # perfectly balanced: no row-padding waste (the difference
+                # from the vector-CSR kernel)
+                flops=2.0 * (nnz + a.n_rows),
+                global_bytes_read=nnz * 12.0 + (a.n_rows + 1) * 8,
+                global_bytes_written=(a.n_rows + 2 * n_workers) * 8.0,
+                global_txn_read=coalesced_transactions(nnz, 12)
+                + coalesced_transactions(a.n_rows + 1, 8),
+                global_txn_written=coalesced_transactions(
+                    a.n_rows + 2 * n_workers, 8
+                ),
+                texture_bytes=32.0
+                * float(gather_transactions(a.indices, 8,
+                                            transaction_bytes=32)),
+                threads=n_workers,
+                warps=max(1, n_workers // WARP_SIZE),
+            ),
+        )
+        device.launch(
+            "merge_fixup",
+            KernelCounters(
+                flops=float(n_workers),
+                global_bytes_read=n_workers * 16.0,
+                global_bytes_written=n_workers * 8.0,
+                global_txn_read=coalesced_transactions(n_workers, 16),
+                global_txn_written=n_workers,
+                threads=n_workers,
+                warps=max(1, n_workers // WARP_SIZE),
+            ),
+        )
+    return y

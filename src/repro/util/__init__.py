@@ -1,0 +1,24 @@
+"""Shared utilities: validation, deterministic RNG, tables, timing."""
+
+from repro.util.validation import (
+    check_array,
+    check_positive,
+    check_in_range,
+    ReproError,
+    ShapeError,
+)
+from repro.util.rng import make_rng
+from repro.util.tables import Table
+from repro.util.timing import WallTimer, ModuleTimes
+
+__all__ = [
+    "check_array",
+    "check_positive",
+    "check_in_range",
+    "ReproError",
+    "ShapeError",
+    "make_rng",
+    "Table",
+    "WallTimer",
+    "ModuleTimes",
+]

@@ -1,0 +1,107 @@
+"""Input validation helpers used across the package.
+
+All public entry points validate their inputs eagerly so that misuse fails
+with a clear message at the API boundary instead of deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument had the wrong shape, dtype, or contents."""
+
+
+def check_array(
+    name: str,
+    value: object,
+    *,
+    dtype: type | None = None,
+    ndim: int | None = None,
+    shape: Sequence[int | None] | None = None,
+    finite: bool = False,
+    allow_empty: bool = True,
+) -> np.ndarray:
+    """Coerce ``value`` to an ndarray and validate it.
+
+    Parameters
+    ----------
+    name:
+        Argument name used in error messages.
+    dtype:
+        If given, the array is converted to this dtype (safe casting).
+    ndim:
+        Required number of dimensions.
+    shape:
+        Required shape; ``None`` entries are wildcards.
+    finite:
+        Require all entries to be finite (no NaN/inf).
+    allow_empty:
+        If false, reject zero-size arrays.
+
+    Returns
+    -------
+    numpy.ndarray
+        The validated (possibly converted) array.
+    """
+    try:
+        arr = np.asarray(value)
+    except Exception as exc:  # pragma: no cover - numpy raises rarely here
+        raise ShapeError(f"{name}: cannot convert to ndarray: {exc}") from exc
+    if dtype is not None:
+        try:
+            arr = arr.astype(dtype, casting="safe", copy=False)
+        except TypeError as exc:
+            raise ShapeError(
+                f"{name}: dtype {arr.dtype} not safely castable to {np.dtype(dtype)}"
+            ) from exc
+    if ndim is not None and arr.ndim != ndim:
+        raise ShapeError(f"{name}: expected {ndim} dimensions, got {arr.ndim}")
+    if shape is not None:
+        if arr.ndim != len(shape):
+            raise ShapeError(
+                f"{name}: expected shape {tuple(shape)}, got {arr.shape}"
+            )
+        for axis, (want, got) in enumerate(zip(shape, arr.shape)):
+            if want is not None and want != got:
+                raise ShapeError(
+                    f"{name}: axis {axis} expected length {want}, got {got}"
+                )
+    if not allow_empty and arr.size == 0:
+        raise ShapeError(f"{name}: must not be empty")
+    if finite and arr.size and not np.all(np.isfinite(arr)):
+        raise ShapeError(f"{name}: contains non-finite values")
+    return arr
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate a scalar is positive (or non-negative when ``strict=False``)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ShapeError(f"{name}: must be finite, got {value}")
+    if strict and value <= 0.0:
+        raise ShapeError(f"{name}: must be > 0, got {value}")
+    if not strict and value < 0.0:
+        raise ShapeError(f"{name}: must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Validate a scalar lies in ``[low, high]`` (or the open interval)."""
+    value = float(value)
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ShapeError(
+            f"{name}: must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value}"
+        )
+    return value

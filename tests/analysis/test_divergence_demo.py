@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.analysis.divergence_demo import (
+    naive_branch_kernel,
+    restructured_branch_kernel,
+)
+from repro.gpu.device import K40
+from repro.gpu.kernel import VirtualDevice
+
+
+def make_inputs(rng, n=32 * 64, sorted_a=False):
+    a = rng.choice([0, 2], size=n).astype(np.int64)
+    if sorted_a:
+        a = np.sort(a)
+    c = rng.uniform(-1, 1, n)
+    d = rng.uniform(-1, 1, n)
+    e = rng.uniform(-2, 2, n)
+    f = rng.uniform(-2, 2, n)
+    g = rng.uniform(0.5, 2.0, n)
+    return a, c, d, e, f, g
+
+
+class TestEquivalence:
+    def test_same_results(self, rng):
+        args = make_inputs(rng)
+        np.testing.assert_allclose(
+            naive_branch_kernel(*args),
+            restructured_branch_kernel(*args),
+            rtol=1e-12,
+        )
+
+    def test_path0_value(self):
+        # a == 0: j = |tan(c d) e| - |f|
+        a = np.array([0], dtype=np.int64)
+        one = np.array([1.0])
+        j = restructured_branch_kernel(a, one * 0.5, one, one * 3, one * 2, one)
+        assert j[0] == pytest.approx(abs(np.tan(0.5) * 3) - 2)
+
+    def test_path2_epos_zeroes_b(self):
+        a = np.array([2], dtype=np.int64)
+        one = np.array([1.0])
+        j = naive_branch_kernel(a, one, one, one * 2, one * 3, one * 4)
+        assert j[0] == pytest.approx(0.0 - 3.0 / 4.0)
+
+    def test_invalid_code_rejected(self):
+        a = np.array([1], dtype=np.int64)
+        one = np.array([1.0])
+        with pytest.raises(ValueError, match="codes 0 and 2"):
+            naive_branch_kernel(a, one, one, one, one, one)
+
+    def test_zero_divisor_rejected(self):
+        a = np.array([2], dtype=np.int64)
+        one = np.array([1.0])
+        with pytest.raises(ValueError, match="non-zero"):
+            restructured_branch_kernel(a, one, one, one, one, one * 0)
+
+
+class TestDivergenceModel:
+    def test_naive_diverges_on_mixed_data(self, rng):
+        args = make_inputs(rng, sorted_a=False)
+        dev = VirtualDevice(K40)
+        naive_branch_kernel(*args, device=dev)
+        c = dev.total_counters
+        assert c.divergent_branch_regions > 0
+        assert c.wasted_lane_flops > 0
+
+    def test_restructured_never_diverges(self, rng):
+        args = make_inputs(rng, sorted_a=False)
+        dev = VirtualDevice(K40)
+        restructured_branch_kernel(*args, device=dev)
+        assert dev.total_counters.divergent_branch_regions == 0
+        assert dev.total_counters.wasted_lane_flops == 0
+
+    def test_restructured_models_faster_on_mixed_data(self, rng):
+        args = make_inputs(rng, n=32 * 512)
+        d_naive, d_rest = VirtualDevice(K40), VirtualDevice(K40)
+        naive_branch_kernel(*args, device=d_naive)
+        restructured_branch_kernel(*args, device=d_rest)
+        assert d_rest.total_counters.flops + d_rest.total_counters.wasted_lane_flops < (
+            d_naive.total_counters.flops + d_naive.total_counters.wasted_lane_flops
+        )
+
+    def test_sorted_data_reduces_naive_divergence(self, rng):
+        mixed = make_inputs(rng, sorted_a=False)
+        grouped = make_inputs(rng, sorted_a=True)
+        d_mixed, d_grouped = VirtualDevice(K40), VirtualDevice(K40)
+        naive_branch_kernel(*mixed, device=d_mixed)
+        naive_branch_kernel(*grouped, device=d_grouped)
+        assert (
+            d_grouped.total_counters.divergent_branch_regions
+            < d_mixed.total_counters.divergent_branch_regions
+        )

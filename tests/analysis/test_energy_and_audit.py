@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.analysis.energy import kinetic_energy, potential_energy, total_energy
+from repro.analysis.interpenetration import system_interpenetration_audit
+from repro.core.blocks import Block, BlockSystem
+from repro.core.materials import BlockMaterial
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+
+class TestEnergy:
+    def test_kinetic_translation(self):
+        s = BlockSystem([Block(SQ, BlockMaterial(density=2000.0))])
+        s.velocities[0, 0] = 3.0
+        # 1/2 m v^2 with m = rho * area
+        assert kinetic_energy(s) == pytest.approx(0.5 * 2000.0 * 9.0)
+
+    def test_kinetic_rotation(self):
+        s = BlockSystem([Block(SQ, BlockMaterial(density=1000.0))])
+        s.velocities[0, 2] = 2.0
+        # 1/2 I w^2 with I = rho (Sxx + Syy) = 1000 * (1/12 + 1/12)
+        assert kinetic_energy(s) == pytest.approx(0.5 * 1000.0 / 6.0 * 4.0)
+
+    def test_kinetic_zero_at_rest(self):
+        s = BlockSystem([Block(SQ)])
+        assert kinetic_energy(s) == 0.0
+
+    def test_potential(self):
+        s = BlockSystem([Block(SQ + [0.0, 4.0], BlockMaterial(density=1000.0))])
+        assert potential_energy(s, gravity=10.0) == pytest.approx(
+            1000.0 * 10.0 * 1.0 * 4.5
+        )
+
+    def test_total(self):
+        s = BlockSystem([Block(SQ, BlockMaterial(density=1.0))])
+        s.velocities[0, 1] = 1.0
+        assert total_energy(s, gravity=0.0) == pytest.approx(kinetic_energy(s))
+
+    def test_settling_dissipates_energy(self):
+        from repro.core.materials import JointMaterial
+        from repro.core.state import SimulationControls
+        from repro.engine.gpu_engine import GpuEngine
+
+        base = np.array([[0, 0], [3, 0], [3, 1], [0, 1.0]])
+        mat = BlockMaterial(young=1e9)
+        s = BlockSystem(
+            [Block(base, mat), Block(SQ + np.array([1.0, 1.005]), mat)],
+            JointMaterial(friction_angle_deg=30.0),
+        )
+        s.fix_block(0)
+        c = SimulationControls(time_step=1e-3, dynamic=True, gravity=9.81,
+                               max_displacement_ratio=0.05)
+        e0 = total_energy(s)
+        GpuEngine(s, c).run(steps=150)
+        assert total_energy(s) < e0
+
+
+class TestInterpenetrationAudit:
+    def test_clean_system(self):
+        s = BlockSystem([Block(SQ), Block(SQ + np.array([2.0, 0.0]))])
+        rep = system_interpenetration_audit(s)
+        assert rep.max_depth == 0.0
+        assert rep.n_penetrating == 0
+        assert rep.offender_block == -1
+
+    def test_detects_overlap(self):
+        # corner of block 1 at (0.9, 0.4): strictly inside block 0 with
+        # 0.1 extraction distance to the nearest (x = 1) edge
+        s = BlockSystem([Block(SQ), Block(SQ + np.array([0.9, 0.4]))])
+        rep = system_interpenetration_audit(s)
+        assert rep.n_penetrating > 0
+        assert rep.max_depth == pytest.approx(0.1, abs=1e-9)
+        assert rep.offender_block in (0, 1)
+
+    def test_touching_not_penetrating(self):
+        s = BlockSystem([Block(SQ), Block(SQ + np.array([1.0 + 1e-9, 0.0]))])
+        rep = system_interpenetration_audit(s)
+        assert rep.max_depth == pytest.approx(0.0, abs=1e-8)

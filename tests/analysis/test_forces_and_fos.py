@@ -1,0 +1,128 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.forces import contact_forces
+from repro.analysis.strength_reduction import (
+    factor_of_safety,
+    probe_stability,
+    reduced_joint,
+)
+from repro.contact.contact_set import ContactSet
+from repro.core.blocks import Block, BlockSystem
+from repro.core.materials import BlockMaterial, JointMaterial
+from repro.core.state import SimulationControls
+from repro.engine.gpu_engine import GpuEngine
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+MAT = BlockMaterial(young=1e9)
+
+
+def settled_stack():
+    base = np.array([[0, 0], [3, 0], [3, 1], [0, 1.0]])
+    s = BlockSystem(
+        [Block(base, MAT), Block(SQ + np.array([1.0, 1.001]), MAT)],
+        JointMaterial(friction_angle_deg=30.0),
+    )
+    s.fix_block(0)
+    e = GpuEngine(
+        s, SimulationControls(time_step=1e-3, dynamic=True,
+                              max_displacement_ratio=0.05),
+    )
+    e.run(steps=150)
+    return s, e
+
+
+class TestContactForces:
+    def test_resting_block_carries_its_weight(self):
+        s, e = settled_stack()
+        forces = contact_forces(s, e._contacts)
+        weight = 2600.0 * 9.81 * 1.0  # rho g area
+        assert forces.total_normal == pytest.approx(weight, rel=0.2)
+
+    def test_open_contacts_carry_nothing(self):
+        s, e = settled_stack()
+        forces = contact_forces(s, e._contacts)
+        open_mask = forces.states == 0
+        np.testing.assert_allclose(forces.normal[open_mask], 0.0)
+
+    def test_mobilisation_bounded(self):
+        s, e = settled_stack()
+        forces = contact_forces(s, e._contacts)
+        assert ((forces.mobilisation >= 0) & (forces.mobilisation <= 1)).all()
+
+    def test_carrying_selector(self):
+        s, e = settled_stack()
+        forces = contact_forces(s, e._contacts)
+        idx = forces.carrying()
+        assert idx.size >= 1
+        assert (forces.normal[idx] > 0).all()
+
+    def test_empty_contacts(self):
+        s = BlockSystem([Block(SQ)])
+        forces = contact_forces(s, ContactSet.empty())
+        assert forces.normal.size == 0
+        assert forces.total_normal == 0.0
+
+
+class TestStrengthReduction:
+    @staticmethod
+    def _ramp_builder(slope_deg=30.0, phi_deg=40.0):
+        def build():
+            th = math.radians(slope_deg)
+            ramp = np.array(
+                [[0, 0], [10, 0], [10, 10 * math.tan(th)]]
+            )[::-1]
+            c, s_ = math.cos(th), math.sin(th)
+            rot = np.array([[c, -s_], [s_, c]])
+            sq = (SQ - [0.5, 0]) @ rot.T
+            center = np.array([5.0, 5 * math.tan(th)]) + rot @ [0, 0.001]
+            system = BlockSystem(
+                [Block(ramp, MAT), Block(sq + center, MAT)],
+                JointMaterial(friction_angle_deg=phi_deg),
+            )
+            system.fix_block(0)
+            return system
+
+        return build
+
+    def test_reduced_joint(self):
+        j = JointMaterial(friction_angle_deg=45.0, cohesion=100.0)
+        r = reduced_joint(j, 2.0)
+        assert r.tan_phi == pytest.approx(0.5)
+        assert r.cohesion == pytest.approx(50.0)
+
+    def test_reduced_joint_identity(self):
+        j = JointMaterial(friction_angle_deg=33.0, cohesion=7.0)
+        r = reduced_joint(j, 1.0)
+        assert r.friction_angle_deg == pytest.approx(33.0)
+
+    def test_probe_detects_failure(self):
+        # block on a 30-degree ramp with phi = 40: stable at F = 1,
+        # failed at F = 3 (phi reduces to ~15.6 < 30)
+        build = self._ramp_builder()
+        controls = SimulationControls(time_step=1e-3, dynamic=True,
+                                      max_displacement_ratio=0.05)
+        _, failed_low = probe_stability(build, controls, 1.0, steps=150)
+        _, failed_high = probe_stability(build, controls, 3.0, steps=150)
+        assert not failed_low
+        assert failed_high
+
+    def test_factor_of_safety_matches_analytic(self):
+        # analytic FoS of a block on an incline: tan(phi) / tan(theta)
+        # = tan(40) / tan(30) = 1.45
+        build = self._ramp_builder(slope_deg=30.0, phi_deg=40.0)
+        controls = SimulationControls(time_step=1e-3, dynamic=True,
+                                      max_displacement_ratio=0.05)
+        result = factor_of_safety(
+            build, controls, f_min=0.5, f_max=4.0, tolerance=0.25, steps=150
+        )
+        expected = math.tan(math.radians(40)) / math.tan(math.radians(30))
+        assert result.factor_of_safety == pytest.approx(expected, rel=0.3)
+        lo, hi = result.bracket
+        assert lo <= result.factor_of_safety <= hi
+
+    def test_invalid_bracket(self):
+        with pytest.raises(ValueError):
+            factor_of_safety(lambda: None, f_min=2.0, f_max=1.0)

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.assembly.categories import (
+    ABANDONED,
+    C1,
+    C2,
+    C3,
+    C4,
+    C5,
+    N_CATEGORIES,
+    classify_categories,
+    switch_indicators,
+)
+from repro.assembly.contact_springs import LOCK, OPEN, SLIDE
+
+
+class TestSwitchIndicators:
+    def test_open_to_lock(self):
+        p1, p2 = switch_indicators(np.array([OPEN]), np.array([LOCK]))
+        assert p1[0] == 1 and p2[0] == 1
+
+    def test_lock_to_open(self):
+        p1, p2 = switch_indicators(np.array([LOCK]), np.array([OPEN]))
+        assert p1[0] == -1 and p2[0] == -1
+
+    def test_lock_to_slide(self):
+        p1, p2 = switch_indicators(np.array([LOCK]), np.array([SLIDE]))
+        assert p1[0] == 0 and p2[0] == -1
+
+    def test_steady(self):
+        p1, p2 = switch_indicators(np.array([SLIDE]), np.array([SLIDE]))
+        assert p1[0] == 0 and p2[0] == 0
+
+
+class TestClassifyCategories:
+    def test_ve_transitions(self):
+        prev = np.array([OPEN, LOCK, SLIDE, OPEN])
+        cur = np.array([LOCK, SLIDE, SLIDE, OPEN])
+        vv2 = np.zeros(4, dtype=bool)
+        cat = classify_categories(prev, cur, vv2)
+        np.testing.assert_array_equal(cat, [C1, C2, C3, ABANDONED])
+
+    def test_vv2_transitions(self):
+        prev = np.array([OPEN, LOCK, SLIDE, OPEN])
+        cur = np.array([LOCK, SLIDE, SLIDE, OPEN])
+        vv2 = np.ones(4, dtype=bool)
+        cat = classify_categories(prev, cur, vv2)
+        np.testing.assert_array_equal(cat, [C4, C5, C5, ABANDONED])
+
+    def test_partition(self):
+        # every contact receives exactly one category code
+        rng = np.random.default_rng(0)
+        prev = rng.integers(0, 3, size=500)
+        cur = rng.integers(0, 3, size=500)
+        vv2 = rng.random(500) < 0.3
+        cat = classify_categories(prev, cur, vv2)
+        assert ((cat >= 0) & (cat < N_CATEGORIES)).all()
+
+    def test_abandoned_only_for_steady_open(self):
+        rng = np.random.default_rng(1)
+        prev = rng.integers(0, 3, size=300)
+        cur = rng.integers(0, 3, size=300)
+        vv2 = rng.random(300) < 0.5
+        cat = classify_categories(prev, cur, vv2)
+        steady_open = (prev == OPEN) & (cur == OPEN)
+        np.testing.assert_array_equal(cat == ABANDONED, steady_open)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            classify_categories(np.zeros(3), np.zeros(2), np.zeros(3, dtype=bool))

@@ -1,0 +1,176 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assembly.global_matrix import (
+    BS,
+    BlockMatrix,
+    assemble_gpu,
+    assemble_serial,
+)
+
+
+def random_contributions(rng, n, q, m):
+    diag_idx = rng.integers(0, n, size=q)
+    diag_blocks = rng.normal(size=(q, BS, BS))
+    pairs = []
+    while len(pairs) < m:
+        i, j = rng.integers(0, n, size=2)
+        if i != j:
+            pairs.append((i, j))
+    off = np.array(pairs, dtype=np.int64)
+    off_blocks = rng.normal(size=(m, BS, BS))
+    return diag_idx.astype(np.int64), diag_blocks, off[:, 0], off[:, 1], off_blocks
+
+
+def dense_reference(n, diag_idx, diag_blocks, off_rows, off_cols, off_blocks):
+    a = np.zeros((n * BS, n * BS))
+    for idx, blk in zip(diag_idx, diag_blocks):
+        a[idx * BS : (idx + 1) * BS, idx * BS : (idx + 1) * BS] += blk
+    for i, j, blk in zip(off_rows, off_cols, off_blocks):
+        a[i * BS : (i + 1) * BS, j * BS : (j + 1) * BS] += blk
+        a[j * BS : (j + 1) * BS, i * BS : (i + 1) * BS] += blk.T
+    return a
+
+
+class TestBlockMatrix:
+    def _simple(self):
+        diag = np.stack([np.eye(BS) * (k + 1) for k in range(3)])
+        rows = np.array([0], dtype=np.int64)
+        cols = np.array([2], dtype=np.int64)
+        blocks = np.arange(36, dtype=float).reshape(1, BS, BS)
+        return BlockMatrix(3, diag, rows, cols, blocks)
+
+    def test_matvec_matches_dense(self, rng):
+        bm = self._simple()
+        x = rng.normal(size=3 * BS)
+        np.testing.assert_allclose(bm.matvec(x), bm.to_dense() @ x)
+
+    def test_dense_symmetric(self):
+        a = self._simple().to_dense()
+        np.testing.assert_allclose(a, a.T)
+
+    def test_scipy_roundtrip(self, rng):
+        bm = self._simple()
+        x = rng.normal(size=3 * BS)
+        np.testing.assert_allclose(bm.to_scipy_csr() @ x, bm.matvec(x))
+
+    def test_nnz_scalar(self):
+        bm = self._simple()
+        assert bm.nnz_scalar == 3 * 36 + 2 * 36
+
+    def test_rejects_lower_triangle(self):
+        with pytest.raises(ValueError, match="row < col"):
+            BlockMatrix(
+                3,
+                np.zeros((3, BS, BS)),
+                np.array([2], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+                np.zeros((1, BS, BS)),
+            )
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            BlockMatrix(
+                4,
+                np.zeros((4, BS, BS)),
+                np.array([1, 0], dtype=np.int64),
+                np.array([2, 1], dtype=np.int64),
+                np.zeros((2, BS, BS)),
+            )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="range"):
+            BlockMatrix(
+                2,
+                np.zeros((2, BS, BS)),
+                np.array([0], dtype=np.int64),
+                np.array([5], dtype=np.int64),
+                np.zeros((1, BS, BS)),
+            )
+
+
+class TestAssembleSerial:
+    def test_matches_dense_reference(self, rng):
+        args = random_contributions(rng, n=6, q=20, m=30)
+        bm = assemble_serial(6, *args)
+        np.testing.assert_allclose(bm.to_dense(), dense_reference(6, *args), atol=1e-12)
+
+    def test_duplicate_pairs_summed(self):
+        blk = np.ones((2, BS, BS))
+        bm = assemble_serial(
+            3,
+            np.zeros(0, dtype=np.int64), np.zeros((0, BS, BS)),
+            np.array([0, 0], dtype=np.int64),
+            np.array([1, 1], dtype=np.int64),
+            blk,
+        )
+        assert bm.n_offdiag == 1
+        np.testing.assert_allclose(bm.blocks[0], 2.0)
+
+    def test_lower_orientation_transposed(self, rng):
+        blk = rng.normal(size=(1, BS, BS))
+        bm = assemble_serial(
+            3,
+            np.zeros(0, dtype=np.int64), np.zeros((0, BS, BS)),
+            np.array([2], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            blk,
+        )
+        assert bm.rows[0] == 0 and bm.cols[0] == 2
+        np.testing.assert_allclose(bm.blocks[0], blk[0].T)
+
+    def test_diag_only(self, rng):
+        diag_idx = np.array([1, 1, 0], dtype=np.int64)
+        diag_blocks = rng.normal(size=(3, BS, BS))
+        bm = assemble_serial(
+            2, diag_idx, diag_blocks,
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            np.zeros((0, BS, BS)),
+        )
+        np.testing.assert_allclose(bm.diag[1], diag_blocks[0] + diag_blocks[1])
+        assert bm.n_offdiag == 0
+
+    def test_rejects_row_eq_col(self):
+        with pytest.raises(ValueError, match="row == col"):
+            assemble_serial(
+                2,
+                np.zeros(0, dtype=np.int64), np.zeros((0, BS, BS)),
+                np.array([1], dtype=np.int64), np.array([1], dtype=np.int64),
+                np.zeros((1, BS, BS)),
+            )
+
+
+class TestAssembleGpu:
+    def test_matches_serial(self, rng, device):
+        args = random_contributions(rng, n=8, q=25, m=40)
+        serial = assemble_serial(8, *args)
+        gpu = assemble_gpu(8, *args, device=device)
+        np.testing.assert_allclose(gpu.to_dense(), serial.to_dense(), atol=1e-12)
+        assert device.launches() > 0
+
+    def test_works_without_device(self, rng):
+        args = random_contributions(rng, n=5, q=10, m=12)
+        gpu = assemble_gpu(5, *args)
+        serial = assemble_serial(5, *args)
+        np.testing.assert_allclose(gpu.to_dense(), serial.to_dense(), atol=1e-12)
+
+    def test_empty_offdiag(self, rng):
+        bm = assemble_gpu(
+            3,
+            np.array([0], dtype=np.int64), rng.normal(size=(1, BS, BS)),
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            np.zeros((0, BS, BS)),
+        )
+        assert bm.n_offdiag == 0
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=25, deadline=None)
+    def test_property_gpu_equals_serial(self, m, seed):
+        rng = np.random.default_rng(seed)
+        n = 7
+        args = random_contributions(rng, n=n, q=n, m=m)
+        a = assemble_serial(n, *args).to_dense()
+        b = assemble_gpu(n, *args).to_dense()
+        np.testing.assert_allclose(a, b, atol=1e-10)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import K40, E5620
+from repro.gpu.kernel import VirtualDevice
+
+
+@pytest.fixture
+def device() -> VirtualDevice:
+    """A fresh K40 virtual device."""
+    return VirtualDevice(K40)
+
+
+@pytest.fixture
+def cpu_device() -> VirtualDevice:
+    """A fresh E5620 (serial CPU) virtual device."""
+    return VirtualDevice(E5620)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.assembly.contact_springs import LOCK, OPEN
+from repro.contact.contact_set import VE, VV2, ContactSet
+from repro.core.blocks import Block, BlockSystem
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+
+def make_set(m=3):
+    return ContactSet(
+        block_i=np.zeros(m, dtype=np.int64),
+        block_j=np.ones(m, dtype=np.int64),
+        vertex_idx=np.arange(m, dtype=np.int64),
+        e1_idx=np.arange(m, dtype=np.int64) + 4,
+        e2_idx=np.arange(m, dtype=np.int64) + 5,
+        kind=np.full(m, VE, dtype=np.int64),
+    )
+
+
+class TestContactSet:
+    def test_defaults(self):
+        cs = make_set()
+        assert cs.m == 3
+        assert (cs.state == OPEN).all()
+        assert (cs.ratio == 0.5).all()
+        assert (cs.shear_sign == 1.0).all()
+
+    def test_empty(self):
+        cs = ContactSet.empty()
+        assert cs.m == 0
+
+    def test_self_contact_rejected(self):
+        with pytest.raises(ValueError, match="self-contact"):
+            ContactSet(
+                block_i=np.array([0]),
+                block_j=np.array([0]),
+                vertex_idx=np.array([0]),
+                e1_idx=np.array([1]),
+                e2_idx=np.array([2]),
+                kind=np.array([VE]),
+            )
+
+    def test_keys_unique_per_contact_data(self):
+        cs = make_set(4)
+        keys = cs.keys(100)
+        assert np.unique(keys).size == 4
+
+    def test_keys_equal_for_equal_data(self):
+        a = make_set(2)
+        b = make_set(2)
+        np.testing.assert_array_equal(a.keys(50), b.keys(50))
+
+    def test_minor_block(self):
+        cs = ContactSet(
+            block_i=np.array([3, 1]),
+            block_j=np.array([2, 5]),
+            vertex_idx=np.zeros(2, dtype=np.int64),
+            e1_idx=np.ones(2, dtype=np.int64),
+            e2_idx=np.full(2, 2, dtype=np.int64),
+            kind=np.zeros(2, dtype=np.int64),
+        )
+        np.testing.assert_array_equal(cs.minor_block(), [2, 1])
+
+    def test_select(self):
+        cs = make_set(5)
+        cs.state[:] = np.arange(5) % 3
+        sub = cs.select(np.array([4, 0]))
+        assert sub.m == 2
+        np.testing.assert_array_equal(sub.vertex_idx, [4, 0])
+        np.testing.assert_array_equal(sub.state, [1, 0])
+
+    def test_copy_independent(self):
+        cs = make_set()
+        c = cs.copy()
+        c.state[0] = LOCK
+        assert cs.state[0] == OPEN
+
+    def test_geometry(self):
+        system = BlockSystem([Block(SQ), Block(SQ + np.array([2.0, 0.0]))])
+        cs = ContactSet(
+            block_i=np.array([0]),
+            block_j=np.array([1]),
+            vertex_idx=np.array([1]),  # (1, 0) of block 0
+            e1_idx=np.array([4]),  # (2, 0)
+            e2_idx=np.array([7]),  # (2, 1)
+            kind=np.array([VV2]),
+        )
+        p1, e1, e2, ci, cj = cs.geometry(system)
+        np.testing.assert_allclose(p1[0], [1.0, 0.0])
+        np.testing.assert_allclose(e1[0], [2.0, 0.0])
+        np.testing.assert_allclose(ci[0], [0.5, 0.5])
+        np.testing.assert_allclose(cj[0], [2.5, 0.5])

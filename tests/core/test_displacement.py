@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.displacement import (
+    displace_points,
+    displacement_matrix,
+    update_geometry,
+)
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+CENTER = np.array([0.5, 0.5])
+
+
+class TestDisplacementMatrix:
+    def test_shape(self):
+        t = displacement_matrix(SQ, np.tile(CENTER, (4, 1)))
+        assert t.shape == (4, 2, 6)
+
+    def test_translation_columns(self):
+        t = displacement_matrix(SQ, np.tile(CENTER, (4, 1)))
+        np.testing.assert_allclose(t[:, 0, 0], 1.0)
+        np.testing.assert_allclose(t[:, 1, 1], 1.0)
+        np.testing.assert_allclose(t[:, 0, 1], 0.0)
+
+    def test_rotation_column_at_centroid_zero(self):
+        t = displacement_matrix(CENTER[None, :], CENTER[None, :])
+        np.testing.assert_allclose(t[0, :, 2], 0.0)
+
+    def test_rotation_column(self):
+        p = np.array([[1.0, 0.5]])  # dx=0.5, dy=0
+        t = displacement_matrix(p, CENTER[None, :])
+        # u = -dy*r = 0, v = dx*r = 0.5 r
+        assert t[0, 0, 2] == pytest.approx(0.0)
+        assert t[0, 1, 2] == pytest.approx(0.5)
+
+    def test_shear_column_symmetric(self):
+        p = np.array([[1.0, 1.0]])
+        t = displacement_matrix(p, CENTER[None, :])
+        assert t[0, 0, 5] == pytest.approx(0.25)
+        assert t[0, 1, 5] == pytest.approx(0.25)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            displacement_matrix(SQ, CENTER[None, :])
+
+
+class TestDisplacePoints:
+    def test_pure_translation(self):
+        d = np.array([0.3, -0.2, 0, 0, 0, 0.0])
+        out = displace_points(SQ, CENTER, d)
+        np.testing.assert_allclose(out, SQ + [0.3, -0.2])
+
+    def test_pure_strain(self):
+        d = np.array([0, 0, 0, 0.1, 0.0, 0.0])
+        out = displace_points(SQ, CENTER, d)
+        # ex stretches x about the centroid
+        np.testing.assert_allclose(out[:, 0] - 0.5, (SQ[:, 0] - 0.5) * 1.1)
+        np.testing.assert_allclose(out[:, 1], SQ[:, 1])
+
+    def test_small_rotation_first_order(self):
+        r = 1e-6
+        d = np.array([0, 0, r, 0, 0, 0.0])
+        out = displace_points(SQ, CENTER, d)
+        exact = update_geometry(SQ, CENTER, d)
+        np.testing.assert_allclose(out, exact, atol=1e-11)
+
+
+class TestUpdateGeometry:
+    def test_finite_rotation_preserves_shape(self):
+        d = np.array([0, 0, 0.5, 0, 0, 0.0])  # ~28.6 degrees
+        out = update_geometry(SQ, CENTER, d)
+        # area preserved under exact rotation (first-order would inflate)
+        from repro.geometry.polygon import polygon_area
+
+        assert polygon_area(out) == pytest.approx(1.0, rel=1e-12)
+
+    def test_first_order_rotation_inflates(self):
+        from repro.geometry.polygon import polygon_area
+
+        d = np.array([0, 0, 0.5, 0, 0, 0.0])
+        inflated = displace_points(SQ, CENTER, d)
+        assert polygon_area(inflated) > 1.01
+
+    def test_translation(self):
+        d = np.array([1.0, 2.0, 0, 0, 0, 0.0])
+        np.testing.assert_allclose(update_geometry(SQ, CENTER, d), SQ + [1, 2])
+
+    def test_strain_changes_area_consistently(self):
+        from repro.geometry.polygon import polygon_area
+
+        d = np.array([0, 0, 0, 0.1, 0.1, 0.0])
+        out = update_geometry(SQ, CENTER, d)
+        assert polygon_area(out) == pytest.approx(1.1 * 1.1)
+
+    @given(
+        st.floats(min_value=-0.01, max_value=0.01),
+        st.floats(min_value=-0.01, max_value=0.01),
+        st.floats(min_value=-0.01, max_value=0.01),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_agrees_with_linear_at_small_d(self, u0, v0, r0):
+        d = np.array([u0, v0, r0, 0, 0, 0.0])
+        lin = displace_points(SQ, CENTER, d)
+        ex = update_geometry(SQ, CENTER, d)
+        np.testing.assert_allclose(lin, ex, atol=1e-4)

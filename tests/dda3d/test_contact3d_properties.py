@@ -1,0 +1,120 @@
+"""Property tests of the 3-D vertex–face contact machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dda3d.contact3d import (
+    detect_contacts_3d,
+    normal_vectors_3d,
+    relative_slip_3d,
+    tangent_vectors_3d,
+)
+from repro.dda3d.displacement3d import DOF3
+from repro.dda3d.geometry3d import make_box
+
+
+def two_boxes(dz, dx=0.05, dy=0.05):
+    """A small box hovering ``dz`` above a big box's top face."""
+    lower = make_box((2, 2, 1))
+    upper = make_box((0.8, 0.8, 0.8), origin=(0.6 + dx, 0.6 + dy, 1.0 + dz))
+    return [lower, upper]
+
+
+class TestNormalLinearisation:
+    def test_gap_measured_correctly(self):
+        polys = two_boxes(dz=0.01)
+        contacts = detect_contacts_3d(polys, 0.05)
+        centroids = np.array([p.centroid for p in polys])
+        assert contacts
+        for c in contacts:
+            _, _, d0, _ = normal_vectors_3d(c, polys, centroids)
+            assert d0 == pytest.approx(0.01, abs=1e-12)
+
+    def test_penetration_negative(self):
+        polys = two_boxes(dz=-0.01)
+        contacts = detect_contacts_3d(polys, 0.05)
+        centroids = np.array([p.centroid for p in polys])
+        for c in contacts:
+            _, _, d0, _ = normal_vectors_3d(c, polys, centroids)
+            assert d0 == pytest.approx(-0.01, abs=1e-12)
+
+    @given(
+        st.floats(min_value=-1e-7, max_value=1e-7),
+        st.floats(min_value=-1e-7, max_value=1e-7),
+        st.floats(min_value=-1e-7, max_value=1e-7),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_linearisation_fd(self, du, dw, dr, seed):
+        # d_n(d_i, d_j) = d0 + e.d_i + g.d_j to first order
+        polys = two_boxes(dz=0.005)
+        centroids = np.array([p.centroid for p in polys])
+        contacts = detect_contacts_3d(polys, 0.05)
+        c = contacts[0]
+        rng = np.random.default_rng(seed)
+        di = rng.normal(0, 1e-7, DOF3) + np.array(
+            [du, dw, dr] + [0.0] * 9
+        )
+        dj = rng.normal(0, 1e-7, DOF3)
+        e, g, d0, nrm = normal_vectors_3d(c, polys, centroids)
+        predicted = d0 + float(e @ di + g @ dj)
+        # move the geometry (di on the vertex owner, dj on the face owner)
+        from repro.dda3d.displacement3d import update_geometry_3d
+        from repro.dda3d.geometry3d import Polyhedron
+
+        per_block = {c.block_i: di, c.block_j: dj}
+        moved = [
+            Polyhedron(
+                update_geometry_3d(p.vertices, centroids[k], per_block[k]),
+                [list(f) for f in p.faces],
+            )
+            for k, p in enumerate(polys)
+        ]
+        e2, g2, d0_new, _ = normal_vectors_3d(c, moved, centroids)
+        assert d0_new == pytest.approx(predicted, abs=1e-10)
+
+    def test_action_reaction(self):
+        # translating both blocks together leaves the gap unchanged
+        polys = two_boxes(dz=0.01)
+        centroids = np.array([p.centroid for p in polys])
+        c = detect_contacts_3d(polys, 0.05)[0]
+        e, g, _, _ = normal_vectors_3d(c, polys, centroids)
+        np.testing.assert_allclose(e[:3] + g[:3], 0.0, atol=1e-12)
+
+
+class TestTangentAndSlip:
+    def test_tangent_orthogonal_to_normal(self):
+        polys = two_boxes(dz=0.005)
+        centroids = np.array([p.centroid for p in polys])
+        c = detect_contacts_3d(polys, 0.05)[0]
+        _, _, _, nrm = normal_vectors_3d(c, polys, centroids)
+        t = np.array([1.0, 0.0, 0.0])
+        et, gt = tangent_vectors_3d(c, polys, centroids, t)
+        # pure tangential translation of block i slips by +1 along t
+        d = np.zeros(DOF3)
+        d[:3] = t
+        assert float(et @ d) == pytest.approx(1.0)
+
+    def test_relative_slip_in_plane(self):
+        polys = two_boxes(dz=0.005)
+        centroids = np.array([p.centroid for p in polys])
+        c = detect_contacts_3d(polys, 0.05)[0]
+        _, _, _, nrm = normal_vectors_3d(c, polys, centroids)
+        d = np.zeros(2 * DOF3)
+        d[1 * DOF3 + 0] = 0.0  # (block order: i may be 1)
+        d[c.block_i * DOF3 + 0] = 1e-3
+        slip = relative_slip_3d(c, polys, centroids, d)
+        assert float(np.dot(slip, nrm)) == pytest.approx(0.0, abs=1e-15)
+        assert slip[0] == pytest.approx(1e-3)
+
+    def test_common_translation_no_slip(self):
+        polys = two_boxes(dz=0.005)
+        centroids = np.array([p.centroid for p in polys])
+        c = detect_contacts_3d(polys, 0.05)[0]
+        d = np.zeros(2 * DOF3)
+        d[0:3] = [1e-3, 2e-3, -1e-3]
+        d[DOF3 : DOF3 + 3] = [1e-3, 2e-3, -1e-3]
+        slip = relative_slip_3d(c, polys, centroids, d)
+        np.testing.assert_allclose(slip, 0.0, atol=1e-15)

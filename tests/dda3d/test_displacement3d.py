@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dda3d.displacement3d import (
+    DOF3,
+    affine_decomposition,
+    displacement_matrix_3d,
+    rodrigues,
+    update_geometry_3d,
+)
+from repro.dda3d.geometry3d import make_box
+
+
+class TestDisplacementMatrix:
+    def test_shape(self):
+        p = np.zeros((5, 3))
+        t = displacement_matrix_3d(p, p)
+        assert t.shape == (5, 3, DOF3)
+
+    def test_translation_identity(self):
+        p = np.array([[1.0, 2.0, 3.0]])
+        t = displacement_matrix_3d(p, p)
+        np.testing.assert_allclose(t[0, :, :3], np.eye(3))
+
+    def test_rotation_antisymmetric(self):
+        # the rotation columns at offset r produce u = r x X... i.e.
+        # displacement = omega cross position: check against np.cross
+        c = np.zeros((1, 3))
+        p = np.array([[0.3, -0.7, 1.1]])
+        t = displacement_matrix_3d(p, c)
+        omega = np.array([0.2, -0.5, 0.9])
+        d = np.zeros(DOF3)
+        d[3:6] = omega
+        u = t[0] @ d
+        np.testing.assert_allclose(u, np.cross(omega, p[0]), atol=1e-12)
+
+    def test_normal_strain_columns(self):
+        c = np.zeros((1, 3))
+        p = np.array([[2.0, 3.0, 4.0]])
+        t = displacement_matrix_3d(p, c)
+        d = np.zeros(DOF3)
+        d[6] = 0.1  # ex
+        u = t[0] @ d
+        np.testing.assert_allclose(u, [0.2, 0.0, 0.0])
+
+    def test_shear_symmetric(self):
+        c = np.zeros((1, 3))
+        p = np.array([[1.0, 1.0, 1.0]])
+        t = displacement_matrix_3d(p, c)
+        d = np.zeros(DOF3)
+        d[11] = 0.2  # gxy
+        u = t[0] @ d
+        np.testing.assert_allclose(u, [0.1, 0.1, 0.0])
+
+    def test_affine_decomposition_consistent(self):
+        # A + B r must reproduce T's columns at random points
+        a, b = affine_decomposition()
+        rng = np.random.default_rng(3)
+        p = rng.normal(size=(4, 3))
+        c = rng.normal(size=(4, 3))
+        t = displacement_matrix_3d(p, c)
+        r = p - c
+        for k in range(4):
+            recon = a + np.einsum("irj,j->ir", b, r[k])
+            np.testing.assert_allclose(t[k].T, recon, atol=1e-12)
+
+
+class TestRodrigues:
+    def test_identity_at_zero(self):
+        np.testing.assert_allclose(rodrigues(np.zeros(3)), np.eye(3))
+
+    def test_orthogonal(self):
+        r = rodrigues(np.array([0.3, -0.8, 0.5]))
+        np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_quarter_turn_z(self):
+        r = rodrigues(np.array([0.0, 0.0, np.pi / 2]))
+        np.testing.assert_allclose(r @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    @given(st.floats(-1.0, 1.0), st.floats(-1.0, 1.0), st.floats(-1.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_rotation_preserves_norm(self, a, b, c):
+        r = rodrigues(np.array([a, b, c]))
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.linalg.norm(r @ v) == pytest.approx(np.linalg.norm(v))
+
+
+class TestUpdateGeometry3D:
+    def test_translation(self):
+        box = make_box()
+        d = np.zeros(DOF3)
+        d[:3] = [1.0, -2.0, 3.0]
+        out = update_geometry_3d(box.vertices, box.centroid, d)
+        np.testing.assert_allclose(out, box.vertices + [1.0, -2.0, 3.0])
+
+    def test_finite_rotation_preserves_volume(self):
+        from repro.dda3d.geometry3d import Polyhedron
+
+        box = make_box((1, 2, 3))
+        d = np.zeros(DOF3)
+        d[3:6] = [0.4, -0.3, 0.6]
+        out = Polyhedron(
+            update_geometry_3d(box.vertices, box.centroid, d),
+            [list(f) for f in box.faces],
+        )
+        assert out.volume == pytest.approx(6.0, rel=1e-12)
+
+    def test_uniform_strain_scales_volume(self):
+        from repro.dda3d.geometry3d import Polyhedron
+
+        box = make_box()
+        d = np.zeros(DOF3)
+        d[6:9] = 0.1
+        out = Polyhedron(
+            update_geometry_3d(box.vertices, box.centroid, d),
+            [list(f) for f in box.faces],
+        )
+        assert out.volume == pytest.approx(1.1**3, rel=1e-12)
+
+    def test_first_order_agreement(self):
+        rng = np.random.default_rng(1)
+        box = make_box()
+        d = rng.normal(0, 1e-7, DOF3)
+        t = displacement_matrix_3d(
+            box.vertices, np.broadcast_to(box.centroid, box.vertices.shape)
+        )
+        linear = box.vertices + np.einsum("vij,j->vi", t, d)
+        exact = update_geometry_3d(box.vertices, box.centroid, d)
+        np.testing.assert_allclose(linear, exact, atol=1e-12)

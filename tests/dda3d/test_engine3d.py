@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+
+from repro.dda3d.contact3d import LOCK3, OPEN3, detect_contacts_3d
+from repro.dda3d.engine3d import Block3D, Controls3D, Engine3D, System3D
+from repro.dda3d.geometry3d import make_box
+
+
+def slab_and_box(gap=0.002, young=1e9, phi=30.0):
+    slab = Block3D(make_box((4, 4, 1), origin=(-1.5, -1.5, -1.0)),
+                   young=young, fixed=True)
+    box = Block3D(make_box(origin=(0.0, 0.0, gap)), young=young)
+    system = System3D([slab, box])
+    controls = Controls3D(
+        time_step=1e-3, gravity=9.81, contact_threshold=0.05,
+        friction_angle_deg=phi,
+    )
+    return system, controls
+
+
+class TestContactDetection3D:
+    def test_box_on_slab_four_corner_contacts(self):
+        system, controls = slab_and_box(gap=0.002)
+        polys = [b.poly for b in system.blocks]
+        contacts = detect_contacts_3d(polys, 0.05)
+        vf = [(c.block_i, c.block_j) for c in contacts]
+        # the box's four bottom corners against the slab's top face
+        assert vf.count((1, 0)) == 4
+
+    def test_far_blocks_no_contacts(self):
+        polys = [make_box().translated(np.zeros(3)),
+                 make_box().translated(np.array([5.0, 0, 0]))]
+        assert detect_contacts_3d(polys, 0.05) == []
+
+    def test_state_transfer(self):
+        system, _ = slab_and_box()
+        polys = [b.poly for b in system.blocks]
+        first = detect_contacts_3d(polys, 0.05)
+        first[0].state = LOCK3
+        second = detect_contacts_3d(polys, 0.05, previous=first)
+        keyed = {
+            (c.block_i, c.vertex_id, c.block_j, c.face_id): c for c in second
+        }
+        k0 = (first[0].block_i, first[0].vertex_id,
+              first[0].block_j, first[0].face_id)
+        assert keyed[k0].state == LOCK3
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            detect_contacts_3d([make_box()], 0.0)
+
+
+class TestEngine3D:
+    def test_free_fall_exact(self):
+        system = System3D([Block3D(make_box())])
+        engine = Engine3D(system, Controls3D(time_step=1e-3, gravity=10.0))
+        engine.run(steps=20)
+        t = 0.02
+        assert system.centroids[0, 2] - 0.5 == pytest.approx(
+            -0.5 * 10.0 * t * t, rel=1e-9
+        )
+        assert system.velocities[0, 2] == pytest.approx(-10.0 * t, rel=1e-9)
+
+    def test_box_settles_on_slab(self):
+        system, controls = slab_and_box(gap=0.002)
+        engine = Engine3D(system, controls)
+        infos = engine.run(steps=150)
+        assert system.centroids[1, 2] == pytest.approx(0.5, abs=5e-3)
+        assert np.abs(system.velocities[1, :3]).max() < 0.05
+        assert max(i.max_penetration for i in infos) < 1e-3
+
+    def test_fixed_slab_does_not_move(self):
+        # the anchored penalty springs bound the fixed slab's drift at a
+        # few spring deflections regardless of step count
+        system, controls = slab_and_box()
+        engine = Engine3D(system, controls)
+        start = system.centroids[0].copy()
+        engine.run(steps=100)
+        np.testing.assert_allclose(system.centroids[0], start, atol=5e-5)
+
+    def test_sliding_friction_matches_stopping_distance(self):
+        # settle first, then shove: arrest distance = v^2 / (2 g tan phi),
+        # measured at the step the forward motion stops (the settled box
+        # keeps micro-rocking afterwards, which is not sliding)
+        def arrest_distance(phi, shove=0.2, max_steps=150):
+            system, controls = slab_and_box(gap=0.0005, phi=phi)
+            engine = Engine3D(system, controls)
+            engine.run(steps=60)
+            system.velocities[1, :] = 0.0
+            system.velocities[1, 0] = shove
+            start = float(system.centroids[1, 0])
+            for _ in range(max_steps):
+                engine.run(steps=1)
+                if system.velocities[1, 0] <= 0.0:
+                    break
+            return float(system.centroids[1, 0] - start)
+
+        grippy = arrest_distance(45.0)
+        # theory: 0.2^2 / (2 * 9.81 * tan 45) = 2.0 mm
+        assert grippy == pytest.approx(0.2**2 / (2 * 9.81), rel=0.5)
+        slick = arrest_distance(2.0)
+        assert slick > 5.0 * grippy  # barely decelerates at phi = 2
+
+    def test_volume_preserved_through_rotating_fall(self):
+        system = System3D([Block3D(make_box((1, 2, 3)))])
+        system.velocities[0, 3:6] = [1.0, -2.0, 0.5]  # tumbling
+        engine = Engine3D(system, Controls3D(time_step=1e-3, gravity=9.81))
+        engine.run(steps=50)
+        assert system.volumes[0] == pytest.approx(6.0, rel=1e-6)
+
+    def test_invalid_steps(self):
+        system = System3D([Block3D(make_box())])
+        with pytest.raises(ValueError):
+            Engine3D(system).run(steps=0)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            System3D([])

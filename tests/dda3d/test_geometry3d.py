@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.dda3d.geometry3d import Polyhedron, make_box, make_tetrahedron
+from repro.util.validation import ShapeError
+
+
+class TestMakeBox:
+    def test_volume(self):
+        assert make_box((2, 3, 4)).volume == pytest.approx(24.0)
+
+    def test_centroid(self):
+        b = make_box((2, 2, 2), origin=(1, 1, 1))
+        np.testing.assert_allclose(b.centroid, [2, 2, 2])
+
+    def test_second_moments_analytic(self):
+        # central M2 of a box: diag(V a^2/12, V b^2/12, V c^2/12)
+        a, b, c = 2.0, 3.0, 4.0
+        box = make_box((a, b, c), origin=(-5, 2, 7))
+        m2 = box.second_moments()
+        v = a * b * c
+        np.testing.assert_allclose(
+            m2, np.diag([v * a**2 / 12, v * b**2 / 12, v * c**2 / 12]),
+            atol=1e-9,
+        )
+
+    def test_aabb(self):
+        b = make_box((1, 2, 3), origin=(1, 1, 1))
+        np.testing.assert_allclose(b.aabb, [1, 1, 1, 2, 3, 4])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_box((0, 1, 1))
+
+    def test_face_normals_outward(self):
+        b = make_box()
+        center = b.centroid
+        for fid in range(len(b.faces)):
+            n = b.face_normal(fid)
+            anchor = b.face_polygon(fid).mean(axis=0)
+            assert np.dot(anchor - center, n) > 0  # points away
+
+    def test_translated(self):
+        b = make_box().translated(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(b.centroid, [1.5, 2.5, 3.5])
+
+
+class TestTetrahedron:
+    def test_volume(self):
+        assert make_tetrahedron().volume == pytest.approx(1.0 / 6.0)
+
+    def test_scaled_volume(self):
+        assert make_tetrahedron(2.0).volume == pytest.approx(8.0 / 6.0)
+
+    def test_centroid(self):
+        t = make_tetrahedron()
+        np.testing.assert_allclose(t.centroid, [0.25, 0.25, 0.25])
+
+    def test_moments_match_quadrature(self):
+        t = make_tetrahedron()
+        m2 = t.second_moments()
+        # Monte-Carlo quadrature in the reference tetrahedron
+        rng = np.random.default_rng(0)
+        pts = rng.random((400_000, 3))
+        inside = pts.sum(axis=1) <= 1.0
+        p = pts[inside] - t.centroid
+        v = 1.0 / 6.0
+        quad = (p[:, :, None] * p[:, None, :]).mean(axis=0) * v
+        np.testing.assert_allclose(m2, quad, rtol=0.03, atol=1e-4)
+
+
+class TestValidation:
+    def test_inverted_faces_rejected(self):
+        b = make_box()
+        flipped = [list(reversed(f)) for f in b.faces]
+        with pytest.raises(ShapeError, match="orientation"):
+            Polyhedron(b.vertices, flipped)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ShapeError):
+            Polyhedron(np.zeros((3, 3)), [[0, 1, 2]] * 4)
+
+    def test_bad_face_index(self):
+        b = make_box()
+        with pytest.raises(ShapeError, match="out of range"):
+            Polyhedron(b.vertices, [[0, 1, 99]] + b.faces[1:])
+
+    def test_second_moments_positive_definite(self):
+        for poly in (make_box((1, 2, 3)), make_tetrahedron()):
+            eigs = np.linalg.eigvalsh(poly.second_moments())
+            assert (eigs > 0).all()

@@ -1,0 +1,94 @@
+"""Sanity checks of the virtual-device ledgers produced by full runs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.state import SimulationControls
+from repro.engine.gpu_engine import GpuEngine
+from repro.engine.serial_engine import SerialEngine
+from repro.meshing.slope_models import build_brick_wall
+from repro.util.timing import PIPELINE_MODULES
+
+
+@pytest.fixture(scope="module")
+def gpu_run():
+    engine = GpuEngine(
+        build_brick_wall(3, 4),
+        SimulationControls(time_step=5e-4, dynamic=True),
+    )
+    return engine.run(steps=5), engine
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    engine = SerialEngine(
+        build_brick_wall(3, 4),
+        SimulationControls(time_step=5e-4, dynamic=True),
+    )
+    return engine.run(steps=5), engine
+
+
+class TestLedgerSanity:
+    def test_all_counters_finite_nonnegative(self, gpu_run):
+        result, _ = gpu_run
+        for record in result.device.records:
+            for f in dataclasses.fields(record.counters):
+                v = getattr(record.counters, f.name)
+                assert np.isfinite(v), (record.name, f.name)
+                assert v >= 0.0, (record.name, f.name)
+
+    def test_every_kernel_has_positive_time(self, gpu_run):
+        result, _ = gpu_run
+        assert all(r.seconds > 0 for r in result.device.records)
+
+    def test_every_module_present(self, gpu_run):
+        result, _ = gpu_run
+        modeled = result.modeled_module_times()
+        for module in PIPELINE_MODULES:
+            assert module in modeled, module
+            assert modeled[module] > 0
+
+    def test_no_unattributed_kernels(self, gpu_run):
+        result, _ = gpu_run
+        assert "other" not in result.device.time_by_module()
+
+    def test_wall_times_cover_modules(self, gpu_run):
+        result, _ = gpu_run
+        for module in PIPELINE_MODULES:
+            assert result.module_times.times[module] > 0
+
+    def test_counters_scale_with_steps(self):
+        def total_flops(steps):
+            e = GpuEngine(
+                build_brick_wall(3, 4),
+                SimulationControls(time_step=5e-4, dynamic=True),
+            )
+            r = e.run(steps=steps)
+            return r.device.total_counters.flops
+
+        f2, f6 = total_flops(2), total_flops(6)
+        # roughly linear in steps; early steps run extra open–close sweeps
+        # so sublinearity up to ~2x is expected
+        assert 1.5 < f6 / f2 < 4.5
+
+    def test_serial_ledger_single_threaded(self, serial_run):
+        result, _ = serial_run
+        # serial kernels report warp width 1 (no SIMT parallelism claimed)
+        for record in result.device.records:
+            if record.name.startswith("serial_"):
+                assert record.counters.warps <= 1
+
+    def test_serial_profile_is_cpu(self, serial_run):
+        _, engine = serial_run
+        assert engine.device.profile.kind == "cpu"
+
+    def test_gpu_profile_is_gpu(self, gpu_run):
+        _, engine = gpu_run
+        assert engine.device.profile.kind == "gpu"
+
+    def test_divergence_only_from_divergent_kernels(self, gpu_run):
+        result, _ = gpu_run
+        total = result.device.total_counters
+        assert total.divergent_branch_regions <= total.branch_regions

@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.core.blocks import Block, BlockSystem
+from repro.core.materials import BlockMaterial
+from repro.core.state import SimulationControls
+from repro.engine.drivers import run_until_static
+from repro.engine.gpu_engine import GpuEngine
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+MAT = BlockMaterial(young=1e9)
+
+
+def resting_system():
+    base = np.array([[0, 0], [3, 0], [3, 1], [0, 1.0]])
+    s = BlockSystem([Block(base, MAT), Block(SQ + np.array([1.0, 1.0]), MAT)])
+    s.fix_block(0)
+    return s
+
+
+class TestRunUntilStatic:
+    def test_resting_system_stops_early(self):
+        engine = GpuEngine(
+            resting_system(),
+            SimulationControls(time_step=1e-3, dynamic=True),
+        )
+        result, static = run_until_static(
+            engine, max_steps=400, burst=20,
+            displacement_tolerance=2e-6,
+        )
+        assert static
+        assert result.n_steps < 400
+
+    def test_free_faller_exhausts_budget(self):
+        s = BlockSystem([Block(SQ, MAT)])
+        engine = GpuEngine(
+            s, SimulationControls(time_step=1e-3, dynamic=True,
+                                  max_displacement_ratio=1.0),
+        )
+        result, static = run_until_static(
+            engine, max_steps=30, burst=10, displacement_tolerance=1e-9
+        )
+        assert not static
+        assert result.n_steps == 30
+
+    def test_merged_steps_renumbered(self):
+        engine = GpuEngine(
+            resting_system(),
+            SimulationControls(time_step=1e-3, dynamic=True),
+        )
+        result, _ = run_until_static(
+            engine, max_steps=30, burst=10, displacement_tolerance=1e-12
+        )
+        ids = [s.step for s in result.steps]
+        assert ids == list(range(len(ids)))
+
+    def test_invalid_args(self):
+        engine = GpuEngine(
+            resting_system(),
+            SimulationControls(time_step=1e-3, dynamic=True),
+        )
+        with pytest.raises(ValueError):
+            run_until_static(engine, max_steps=0)
+        with pytest.raises(Exception):
+            run_until_static(engine, displacement_tolerance=-1.0)
+
+
+class TestResultExtras:
+    def test_to_csv(self, tmp_path):
+        engine = GpuEngine(
+            resting_system(),
+            SimulationControls(time_step=1e-3, dynamic=True),
+        )
+        result = engine.run(steps=3)
+        path = tmp_path / "steps.csv"
+        result.to_csv(path)
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("step,dt,cg_iterations")
+        assert len(lines) == 4
+
+    def test_merge_accumulates_module_times(self):
+        engine = GpuEngine(
+            resting_system(),
+            SimulationControls(time_step=1e-3, dynamic=True),
+        )
+        a = engine.run(steps=2)
+        b = engine.run(steps=3)
+        merged = a.merge(b)
+        assert merged.n_steps == 5
+        assert merged.module_times.total >= a.module_times.total

@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.core.state import SimulationControls
+from repro.engine.gpu_engine import GpuEngine
+from repro.engine.hybrid_engine import PCIE, HybridEngine
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import E5620, K40
+from repro.gpu.kernel import RoutedVirtualDevice
+from repro.meshing.slope_models import build_brick_wall
+
+
+def controls():
+    return SimulationControls(time_step=5e-4, dynamic=True)
+
+
+class TestRoutedDevice:
+    def test_routing_by_prefix(self):
+        dev = RoutedVirtualDevice(K40, routes={"serial_": E5620, "pcie_": PCIE})
+        c = KernelCounters(flops=1e9, global_bytes_read=1e8,
+                           global_txn_read=1e8 / 128)
+        t_gpu = dev.launch("spmv", c)
+        t_cpu = dev.launch("serial_spmv", c)
+        assert t_cpu > t_gpu  # the CPU profile prices the same work slower
+
+    def test_pcie_transfer_priced_by_bandwidth(self):
+        dev = RoutedVirtualDevice(K40, routes={"pcie_": PCIE})
+        t = dev.launch(
+            "pcie_h2d", KernelCounters(global_bytes_read=6e9,
+                                       global_txn_read=6e9 / 128)
+        )
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_region_attribution_preserved(self):
+        dev = RoutedVirtualDevice(K40, routes={"pcie_": PCIE})
+        with dev.region("equation_solving"):
+            dev.launch("pcie_h2d", KernelCounters(global_bytes_read=8.0))
+        assert "equation_solving" in dev.time_by_module()
+
+
+class TestHybridEngine:
+    def test_same_trajectory_as_gpu(self):
+        h = HybridEngine(build_brick_wall(3, 4), controls())
+        g = GpuEngine(build_brick_wall(3, 4), controls())
+        h.run(steps=10)
+        g.run(steps=10)
+        np.testing.assert_allclose(
+            h.system.centroids, g.system.centroids, atol=1e-9
+        )
+
+    def test_transfers_recorded(self):
+        h = HybridEngine(build_brick_wall(3, 4), controls())
+        h.run(steps=2)
+        names = set(h.device.time_by_kernel())
+        assert any(n.startswith("pcie_h2d_geometry") for n in names)
+        assert any(n.startswith("pcie_h2d_matrix") for n in names)
+        assert any(n.startswith("pcie_d2h_solution") for n in names)
+        assert h.transfer_time() > 0
+
+    def test_cpu_modules_priced_serially(self):
+        h = HybridEngine(build_brick_wall(3, 4), controls())
+        h.run(steps=2)
+        serial_time = sum(
+            r.seconds for r in h.device.records
+            if r.name.startswith("serial_")
+        )
+        assert serial_time > 0
+
+    def test_slower_than_full_gpu(self):
+        h = HybridEngine(build_brick_wall(4, 8), controls())
+        g = GpuEngine(build_brick_wall(4, 8), controls())
+        rh = h.run(steps=3)
+        rg = g.run(steps=3)
+        assert rh.device.total_time > rg.device.total_time
+
+    def test_matrix_upload_per_open_close_iteration(self):
+        # the defining cost of the hybrid design: the matrix crosses PCIe
+        # inside the innermost loop
+        h = HybridEngine(build_brick_wall(3, 4), controls())
+        r = h.run(steps=3)
+        uploads = sum(
+            1 for rec in h.device.records
+            if rec.name.startswith("pcie_h2d_matrix")
+        )
+        oc_total = sum(s.open_close_iterations for s in r.steps)
+        assert uploads >= oc_total

@@ -1,0 +1,148 @@
+"""Seismic base-loading tests: the Newmark sliding-block benchmark.
+
+A block resting on a flat frictional surface under horizontal base
+shaking slides only while the base acceleration exceeds ``g tan(phi)``
+(the yield acceleration). This analytic threshold is the standard
+validation of dynamic DDA implementations.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import Block, BlockSystem
+from repro.core.materials import BlockMaterial, JointMaterial
+from repro.core.state import SimulationControls
+from repro.engine.gpu_engine import GpuEngine
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+MAT = BlockMaterial(young=1e9)
+
+
+def table_system(phi_deg):
+    base = np.array([[-2, 0], [5, 0], [5, 1], [-2, 1.0]])
+    s = BlockSystem(
+        [Block(base, MAT), Block(SQ + np.array([1.0, 1.0]), MAT)],
+        JointMaterial(friction_angle_deg=phi_deg),
+    )
+    s.fix_block(0)
+    return s
+
+
+def pulse_controls(amplitude, t0, duration):
+    """One-sided horizontal acceleration pulse (Newmark's classic input)."""
+    return SimulationControls(
+        time_step=1e-3, dynamic=True, gravity=9.81,
+        max_displacement_ratio=0.05,
+        base_acceleration=lambda t: (
+            amplitude if t0 <= t < t0 + duration else 0.0, 0.0
+        ),
+    )
+
+
+def newmark_slip(phi_deg, amplitude_g, duration=0.1, settle=40, steps=300):
+    """Measured net slip under a one-sided pulse starting after settling."""
+    s = table_system(phi_deg)
+    t0 = settle * 1e-3
+    e = GpuEngine(s, pulse_controls(amplitude_g * 9.81, t0, duration))
+    e.run(steps=settle)
+    start = s.centroids[1, 0]
+    e.run(steps=steps)
+    return abs(s.centroids[1, 0] - start)
+
+
+def newmark_analytic(phi_deg, amplitude_g, duration):
+    """Closed-form Newmark sliding-block displacement for a box pulse."""
+    g = 9.81
+    ay = g * math.tan(math.radians(phi_deg))  # yield acceleration
+    a = amplitude_g * g
+    if a <= ay:
+        return 0.0
+    v_peak = (a - ay) * duration
+    slip_during = 0.5 * (a - ay) * duration**2
+    slip_after = v_peak**2 / (2.0 * ay)
+    return slip_during + slip_after
+
+
+class TestNewmarkSlidingBlock:
+    def test_below_yield_acceleration_holds(self):
+        # phi = 35 deg -> yield acceleration 0.70 g; pulse at 0.3 g
+        moved = newmark_slip(35.0, 0.3)
+        assert moved < 1e-3
+
+    def test_above_yield_matches_newmark_analytic(self):
+        # phi = 15 deg -> yield 0.268 g; pulse at 0.4 g for 0.1 s
+        moved = newmark_slip(15.0, 0.4)
+        expected = newmark_analytic(15.0, 0.4, 0.1)
+        assert expected > 0.005
+        assert moved == pytest.approx(expected, rel=0.5)
+
+    def test_stronger_pulse_slides_farther(self):
+        weak = newmark_slip(15.0, 0.35)
+        strong = newmark_slip(15.0, 0.8)
+        assert strong > weak
+
+    def test_symmetric_sine_gives_no_net_slip(self):
+        # symmetric shaking above yield slides back and forth with ~zero
+        # net displacement — the block oscillates around its start
+        s = table_system(15.0)
+        c = SimulationControls(
+            time_step=1e-3, dynamic=True, gravity=9.81,
+            max_displacement_ratio=0.05,
+            base_acceleration=lambda t: (
+                0.4 * 9.81 * math.sin(2 * math.pi * 5.0 * t), 0.0
+            ),
+        )
+        e = GpuEngine(s, c)
+        e.run(steps=40)
+        start = s.centroids[1, 0]
+        e.run(steps=400)  # whole number of cycles
+        assert abs(s.centroids[1, 0] - start) < 0.02
+
+    def test_no_shaking_no_motion(self):
+        s = table_system(15.0)
+        c = SimulationControls(time_step=1e-3, dynamic=True, gravity=9.81,
+                               max_displacement_ratio=0.05)
+        e = GpuEngine(s, c)
+        e.run(steps=40)
+        start = s.centroids[1, 0]
+        e.run(steps=200)
+        assert abs(s.centroids[1, 0] - start) < 1e-3
+
+
+class TestBaseAccelerationPlumbing:
+    def test_sim_time_advances(self):
+        s = table_system(30.0)
+        e = GpuEngine(s, pulse_controls(0.0, 0.0, 0.0))
+        e.run(steps=10)
+        assert e.sim_time == pytest.approx(10 * 1e-3, rel=0.3)
+
+    def test_constant_horizontal_acceleration_on_free_block(self):
+        # d'Alembert check: shaking the base at +a pushes a free block -a
+        s = BlockSystem([Block(SQ, MAT)])
+        c = SimulationControls(
+            time_step=1e-3, dynamic=True, gravity=0.0,
+            max_displacement_ratio=1.0,
+            base_acceleration=lambda t: (2.0, 0.0),
+        )
+        e = GpuEngine(s, c)
+        e.run(steps=10)
+        t = 10 * 1e-3
+        assert s.velocities[0, 0] == pytest.approx(-2.0 * t, rel=1e-9)
+
+    def test_vertical_shaking_adds_to_gravity(self):
+        s = BlockSystem([Block(SQ, MAT)])
+        c = SimulationControls(
+            time_step=1e-3, dynamic=True, gravity=10.0,
+            max_displacement_ratio=1.0,
+            base_acceleration=lambda t: (0.0, 5.0),
+        )
+        e = GpuEngine(s, c)
+        e.run(steps=10)
+        t = 10 * 1e-3
+        assert s.velocities[0, 1] == pytest.approx(-15.0 * t, rel=1e-9)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ValueError, match="callable"):
+            SimulationControls(base_acceleration=3.0)

@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.geometry.distance import (
+    edge_penetration,
+    point_point_distance,
+    point_segment_distance,
+    signed_triangle_area2,
+)
+
+
+class TestPointPoint:
+    def test_basic(self):
+        p = np.array([[0.0, 0.0], [1.0, 1.0]])
+        q = np.array([[3.0, 4.0], [1.0, 1.0]])
+        np.testing.assert_allclose(point_point_distance(p, q), [5.0, 0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            point_point_distance(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestPointSegment:
+    def test_projection_interior(self):
+        p = np.array([[0.5, 1.0]])
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0]])
+        d, t = point_segment_distance(p, a, b)
+        assert d[0] == pytest.approx(1.0)
+        assert t[0] == pytest.approx(0.5)
+
+    def test_clamped_to_endpoint(self):
+        p = np.array([[-1.0, 0.0]])
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0]])
+        d, t = point_segment_distance(p, a, b)
+        assert d[0] == pytest.approx(1.0)
+        assert t[0] == 0.0
+
+    def test_degenerate_segment(self):
+        p = np.array([[3.0, 4.0]])
+        a = b = np.array([[0.0, 0.0]])
+        d, t = point_segment_distance(p, a, b)
+        assert d[0] == pytest.approx(5.0)
+        assert t[0] == 0.0
+
+
+class TestSignedArea:
+    def test_left_positive(self):
+        # vertex left of directed edge p2->p3 gives a positive determinant
+        p1 = np.array([[0.0, 1.0]])
+        p2 = np.array([[0.0, 0.0]])
+        p3 = np.array([[1.0, 0.0]])
+        assert signed_triangle_area2(p1, p2, p3)[0] > 0
+
+    def test_sign_convention(self):
+        # det convention: positive when (p1, p2, p3) is CCW
+        p1 = np.array([[0.0, 0.0]])
+        p2 = np.array([[1.0, 0.0]])
+        p3 = np.array([[0.0, 1.0]])
+        assert signed_triangle_area2(p1, p2, p3)[0] == pytest.approx(1.0)
+
+    def test_collinear_zero(self):
+        p = np.array([[0.0, 0.0]])
+        q = np.array([[1.0, 1.0]])
+        r = np.array([[2.0, 2.0]])
+        assert signed_triangle_area2(p, q, r)[0] == pytest.approx(0.0)
+
+
+class TestEdgePenetration:
+    def test_positive_outside(self):
+        # vertex above a left-to-right edge: det([[p1],[p2],[p3]]) with
+        # p2->p3 rightward and p1 above gives negative 2-area in the
+        # (p1,p2,p3) ordering; check magnitude is the perpendicular distance
+        p1 = np.array([[0.5, 2.0]])
+        p2 = np.array([[0.0, 0.0]])
+        p3 = np.array([[1.0, 0.0]])
+        d = edge_penetration(p1, p2, p3)
+        assert abs(d[0]) == pytest.approx(2.0)
+
+    def test_sign_flips_across_edge(self):
+        above = np.array([[0.5, 1.0]])
+        below = np.array([[0.5, -1.0]])
+        p2 = np.array([[0.0, 0.0]])
+        p3 = np.array([[1.0, 0.0]])
+        da = edge_penetration(above, p2, p3)[0]
+        db = edge_penetration(below, p2, p3)[0]
+        assert da * db < 0
+
+    def test_zero_length_edge_rejected(self):
+        p = np.array([[0.0, 1.0]])
+        q = np.array([[0.0, 0.0]])
+        with pytest.raises(ValueError, match="degenerate"):
+            edge_penetration(p, q, q)
+
+    def test_scaling(self):
+        # distance is independent of edge length
+        p1 = np.array([[0.0, 3.0]])
+        p2 = np.array([[-1.0, 0.0]])
+        p3 = np.array([[1.0, 0.0]])
+        d_short = edge_penetration(p1, p2, p3)[0]
+        d_long = edge_penetration(p1, p2 * 5, p3 * 5)[0]
+        assert abs(d_short) == pytest.approx(abs(d_long)) == pytest.approx(3.0)

@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.geometry.segments import segment_intersections, split_segments_at_points
+
+
+class TestSegmentIntersections:
+    def test_cross(self):
+        segs = np.array([[0, 0, 2, 2], [0, 2, 2, 0]], dtype=float)
+        hits = segment_intersections(segs)
+        assert len(hits) == 1
+        i, j, ti, tj = hits[0]
+        assert (i, j) == (0, 1)
+        assert ti == pytest.approx(0.5)
+        assert tj == pytest.approx(0.5)
+
+    def test_no_intersection(self):
+        segs = np.array([[0, 0, 1, 0], [0, 1, 1, 1]], dtype=float)
+        assert segment_intersections(segs) == []
+
+    def test_touching_endpoint(self):
+        segs = np.array([[0, 0, 1, 0], [1, 0, 1, 1]], dtype=float)
+        hits = segment_intersections(segs)
+        assert len(hits) == 1
+        _, _, ti, tj = hits[0]
+        assert ti == pytest.approx(1.0)
+        assert tj == pytest.approx(0.0)
+
+    def test_parallel_disjoint(self):
+        segs = np.array([[0, 0, 1, 1], [2, 0, 3, 1]], dtype=float)
+        assert segment_intersections(segs) == []
+
+    def test_collinear_overlap_reports_endpoints(self):
+        segs = np.array([[0, 0, 2, 0], [1, 0, 3, 0]], dtype=float)
+        hits = segment_intersections(segs)
+        assert hits  # overlap endpoints reported
+        params_on_0 = sorted(t for i, j, t, _ in hits if i == 0)
+        assert any(abs(t - 0.5) < 1e-9 for t in params_on_0)
+
+    def test_single_segment(self):
+        assert segment_intersections(np.array([[0, 0, 1, 1.0]])) == []
+
+    def test_many_grid(self):
+        # 2 horizontal x 2 vertical = 4 crossings
+        segs = np.array(
+            [
+                [0, 1, 3, 1],
+                [0, 2, 3, 2],
+                [1, 0, 1, 3],
+                [2, 0, 2, 3],
+            ],
+            dtype=float,
+        )
+        assert len(segment_intersections(segs)) == 4
+
+
+class TestSplitSegments:
+    def test_split_middle(self):
+        segs = np.array([[0, 0, 2, 0]], dtype=float)
+        out = split_segments_at_points(segs, [[0.5]])
+        assert out.shape == (2, 4)
+        np.testing.assert_allclose(out[0], [0, 0, 1, 0])
+        np.testing.assert_allclose(out[1], [1, 0, 2, 0])
+
+    def test_no_cuts_passthrough(self):
+        segs = np.array([[0, 0, 1, 1]], dtype=float)
+        out = split_segments_at_points(segs, [[]])
+        np.testing.assert_allclose(out, segs)
+
+    def test_duplicate_and_endpoint_params_ignored(self):
+        segs = np.array([[0, 0, 4, 0]], dtype=float)
+        out = split_segments_at_points(segs, [[0.0, 0.25, 0.25, 1.0]])
+        assert out.shape == (2, 4)
+
+    def test_mismatched_params_rejected(self):
+        with pytest.raises(ValueError):
+            split_segments_at_points(np.array([[0, 0, 1, 0.0]]), [[], []])
+
+    def test_total_length_conserved(self):
+        segs = np.array([[0, 0, 3, 4]], dtype=float)
+        out = split_segments_at_points(segs, [[0.3, 0.7]])
+        lengths = np.hypot(out[:, 2] - out[:, 0], out[:, 3] - out[:, 1])
+        assert lengths.sum() == pytest.approx(5.0)

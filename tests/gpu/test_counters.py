@@ -1,0 +1,47 @@
+import pytest
+
+from repro.gpu.counters import KernelCounters
+
+
+class TestKernelCounters:
+    def test_add(self):
+        a = KernelCounters(flops=1.0, warps=2.0)
+        b = KernelCounters(flops=3.0, global_bytes_read=8.0)
+        c = a + b
+        assert c.flops == 4.0
+        assert c.warps == 2.0
+        assert c.global_bytes_read == 8.0
+        # originals untouched
+        assert a.flops == 1.0
+
+    def test_iadd(self):
+        a = KernelCounters(flops=1.0)
+        a += KernelCounters(flops=2.0, atomic_ops=5.0)
+        assert a.flops == 3.0
+        assert a.atomic_ops == 5.0
+
+    def test_scaled(self):
+        a = KernelCounters(flops=2.0, texture_bytes=4.0)
+        b = a.scaled(10)
+        assert b.flops == 20.0
+        assert b.texture_bytes == 40.0
+        assert a.flops == 2.0
+
+    def test_divergence_rate_zero_when_no_branches(self):
+        assert KernelCounters().divergence_rate == 0.0
+
+    def test_divergence_rate(self):
+        c = KernelCounters(branch_regions=10, divergent_branch_regions=3)
+        assert c.divergence_rate == pytest.approx(0.3)
+
+    def test_coalescing_efficiency_perfect(self):
+        c = KernelCounters(global_bytes_read=1280, global_txn_read=10)
+        assert c.coalescing_efficiency() == pytest.approx(1.0)
+
+    def test_coalescing_efficiency_poor(self):
+        # 32 lanes each in their own transaction, 8 useful bytes each
+        c = KernelCounters(global_bytes_read=256, global_txn_read=32)
+        assert c.coalescing_efficiency() == pytest.approx(256 / (32 * 128))
+
+    def test_coalescing_efficiency_no_traffic(self):
+        assert KernelCounters().coalescing_efficiency() == 1.0

@@ -1,0 +1,63 @@
+import pytest
+
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import K40
+from repro.gpu.kernel import VirtualDevice
+
+
+class TestVirtualDevice:
+    def test_launch_records_and_returns_time(self):
+        dev = VirtualDevice(K40)
+        t = dev.launch("k", KernelCounters(flops=1e9))
+        assert t > 0
+        assert dev.launches() == 1
+        assert dev.total_time == pytest.approx(t)
+
+    def test_region_attribution(self):
+        dev = VirtualDevice(K40)
+        with dev.region("equation_solving"):
+            dev.launch("spmv", KernelCounters(flops=1.0))
+        dev.launch("misc", KernelCounters(flops=1.0))
+        by_mod = dev.time_by_module()
+        assert "equation_solving" in by_mod
+        assert "other" in by_mod
+
+    def test_explicit_module_overrides_region(self):
+        dev = VirtualDevice(K40)
+        with dev.region("a"):
+            dev.launch("k", KernelCounters(), module="b")
+        assert "b" in dev.time_by_module()
+
+    def test_nested_regions(self):
+        dev = VirtualDevice(K40)
+        with dev.region("outer"):
+            with dev.region("inner"):
+                dev.launch("k", KernelCounters())
+        assert list(dev.time_by_module()) == ["inner"]
+
+    def test_total_counters_sum(self):
+        dev = VirtualDevice(K40)
+        dev.launch("a", KernelCounters(flops=2.0))
+        dev.launch("b", KernelCounters(flops=3.0, atomic_ops=1.0))
+        total = dev.total_counters
+        assert total.flops == 5.0
+        assert total.atomic_ops == 1.0
+
+    def test_time_by_kernel_groups(self):
+        dev = VirtualDevice(K40)
+        dev.launch("k", KernelCounters(flops=1.0))
+        dev.launch("k", KernelCounters(flops=1.0))
+        assert len(dev.time_by_kernel()) == 1
+
+    def test_counters_by_module(self):
+        dev = VirtualDevice(K40)
+        with dev.region("m"):
+            dev.launch("k", KernelCounters(flops=4.0))
+        assert dev.counters_by_module()["m"].flops == 4.0
+
+    def test_reset(self):
+        dev = VirtualDevice(K40)
+        dev.launch("k", KernelCounters())
+        dev.reset()
+        assert dev.launches() == 0
+        assert dev.total_time == 0.0

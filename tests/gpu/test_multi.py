@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import K40
+from repro.gpu.kernel import VirtualDevice
+from repro.gpu.multi import PartitionStats, partition_blocks, predict_multi_gpu_time
+from repro.meshing.slope_models import build_brick_wall
+
+
+@pytest.fixture
+def system():
+    return build_brick_wall(4, 8)
+
+
+class TestPartitionBlocks:
+    def test_labels_cover_all_blocks(self, system):
+        labels, stats = partition_blocks(system, 4)
+        assert labels.size == system.n_blocks
+        assert set(np.unique(labels)) <= set(range(4))
+        assert stats.counts.sum() == system.n_blocks
+
+    def test_balanced_counts(self, system):
+        _, stats = partition_blocks(system, 3)
+        assert stats.counts.max() - stats.counts.min() <= 1
+        assert stats.imbalance < 1.1
+
+    def test_single_device(self, system):
+        labels, stats = partition_blocks(system, 1)
+        assert (labels == 0).all()
+        assert stats.cut_fraction == 0.0
+
+    def test_stripes_are_spatial(self, system):
+        labels, _ = partition_blocks(system, 2)
+        x = system.centroids[:, 0]
+        assert x[labels == 0].max() <= x[labels == 1].min() + 1e-9
+
+    def test_cut_fraction_bounded(self, system):
+        _, stats = partition_blocks(system, 4, margin=0.1)
+        assert 0.0 <= stats.cut_fraction <= 1.0
+
+    def test_more_devices_more_cut(self, system):
+        _, s2 = partition_blocks(system, 2, margin=0.1)
+        _, s8 = partition_blocks(system, 8, margin=0.1)
+        assert s8.cut_fraction >= s2.cut_fraction
+
+    def test_invalid_count(self, system):
+        with pytest.raises(ValueError):
+            partition_blocks(system, 0)
+
+
+class TestPredictMultiGpuTime:
+    def _ledger(self, solve=1.0, other=1.0):
+        dev = VirtualDevice(K40)
+        # synthesize one memory-bound kernel per module, scaled to land at
+        # the requested modelled seconds
+        bw = K40.mem_bandwidth * K40.efficiency
+        dev.launch("k", KernelCounters(global_bytes_read=solve * bw),
+                   module="equation_solving")
+        dev.launch("k", KernelCounters(global_bytes_read=other * bw),
+                   module="contact_detection")
+        return dev
+
+    def _stats(self, cut=0.1, imbalance=1.05):
+        return PartitionStats(np.array([10, 10]), cut, imbalance)
+
+    def test_single_device_identity(self):
+        out = predict_multi_gpu_time(
+            self._ledger(), self._stats(), 1, cg_iterations=100, halo_dof=60
+        )
+        assert out["speedup"] == 1.0
+
+    def test_two_devices_faster(self):
+        out = predict_multi_gpu_time(
+            self._ledger(), self._stats(), 2, cg_iterations=100, halo_dof=60
+        )
+        assert 1.0 < out["speedup"] <= 2.0
+
+    def test_comm_grows_with_iterations(self):
+        a = predict_multi_gpu_time(
+            self._ledger(), self._stats(), 2, cg_iterations=10, halo_dof=60
+        )
+        b = predict_multi_gpu_time(
+            self._ledger(), self._stats(), 2, cg_iterations=1000, halo_dof=60
+        )
+        assert b["comm"] > a["comm"]
+
+    def test_ghost_and_imbalance_hurt(self):
+        clean = predict_multi_gpu_time(
+            self._ledger(), self._stats(cut=0.0, imbalance=1.0), 4,
+            cg_iterations=100, halo_dof=60,
+        )
+        messy = predict_multi_gpu_time(
+            self._ledger(), self._stats(cut=0.4, imbalance=1.5), 4,
+            cg_iterations=100, halo_dof=60,
+        )
+        assert messy["multi"] > clean["multi"]
+
+    def test_latency_floor_limits_tiny_problems(self):
+        # a tiny run with many iterations is communication-dominated
+        out = predict_multi_gpu_time(
+            self._ledger(solve=1e-5, other=1e-5), self._stats(), 8,
+            cg_iterations=10_000, halo_dof=600,
+        )
+        assert out["speedup"] < 1.0  # slower than one device
+
+    def test_invalid_devices(self):
+        with pytest.raises(ValueError):
+            predict_multi_gpu_time(
+                self._ledger(), self._stats(), 0, cg_iterations=1, halo_dof=6
+            )

@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.gpu.warp import (
+    WARP_SIZE,
+    divergence_stats,
+    multiway_divergence_stats,
+    pad_to_warps,
+)
+
+
+class TestPadToWarps:
+    def test_exact_multiple(self):
+        out = pad_to_warps(np.ones(64, dtype=bool))
+        assert out.shape == (2, WARP_SIZE)
+
+    def test_padding_replicates_last(self):
+        mask = np.zeros(33, dtype=bool)
+        mask[-1] = True
+        out = pad_to_warps(mask)
+        assert out.shape == (2, WARP_SIZE)
+        assert out[1].all()  # pad lanes copy the last (True) predicate
+
+    def test_empty(self):
+        assert pad_to_warps(np.zeros(0, dtype=bool)).shape == (0, WARP_SIZE)
+
+
+class TestDivergenceStats:
+    def test_uniform_true_no_divergence(self):
+        s = divergence_stats(np.ones(128, dtype=bool))
+        assert s.warps == 4
+        assert s.divergent_warps == 0
+        assert s.wasted_lanes == 0
+        assert s.divergence_rate == 0.0
+
+    def test_uniform_false_no_divergence(self):
+        s = divergence_stats(np.zeros(64, dtype=bool))
+        assert s.divergent_warps == 0
+
+    def test_alternating_fully_divergent(self):
+        mask = np.arange(128) % 2 == 0
+        s = divergence_stats(mask)
+        assert s.divergent_warps == 4
+        assert s.wasted_lanes == 4 * WARP_SIZE
+        assert s.divergence_rate == 1.0
+
+    def test_sorted_data_minimises_divergence(self):
+        # The paper's data-classification argument: grouping equal-predicate
+        # data adjacently leaves at most one divergent boundary warp.
+        rng = np.random.default_rng(0)
+        mask = rng.random(32 * 64) < 0.5
+        scattered = divergence_stats(mask)
+        grouped = divergence_stats(np.sort(mask))
+        assert grouped.divergent_warps <= 1
+        assert grouped.divergent_warps < scattered.divergent_warps
+
+    def test_taken_fraction(self):
+        mask = np.zeros(64, dtype=bool)
+        mask[:16] = True
+        assert divergence_stats(mask).taken_fraction == pytest.approx(0.25)
+
+    def test_empty(self):
+        s = divergence_stats(np.zeros(0, dtype=bool))
+        assert s.warps == 0 and s.divergence_rate == 0.0
+
+    def test_bad_warp_size(self):
+        with pytest.raises(ValueError):
+            divergence_stats(np.ones(4, dtype=bool), warp_size=0)
+
+
+class TestMultiwayDivergence:
+    def test_uniform_labels(self):
+        s = multiway_divergence_stats(np.zeros(64, dtype=np.int64), 5)
+        assert s.divergent_warps == 0
+        assert s.wasted_lanes == 0
+
+    def test_all_distinct_paths_in_warp(self):
+        labels = np.arange(32) % 4
+        s = multiway_divergence_stats(labels, 4)
+        assert s.warps == 1
+        assert s.divergent_warps == 1
+        assert s.wasted_lanes == 3 * WARP_SIZE
+
+    def test_grouped_labels_waste_less(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 5, size=32 * 40)
+        scattered = multiway_divergence_stats(labels, 5)
+        grouped = multiway_divergence_stats(np.sort(labels), 5)
+        assert grouped.wasted_lanes < scattered.wasted_lanes
+
+    def test_invalid_n_paths(self):
+        with pytest.raises(ValueError):
+            multiway_divergence_stats(np.zeros(4, dtype=np.int64), 0)

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.meshing.arrangement import PlanarArrangement, extract_faces
+
+
+def square_segments(size=1.0):
+    return np.array(
+        [
+            [0, 0, size, 0],
+            [size, 0, size, size],
+            [size, size, 0, size],
+            [0, size, 0, 0],
+        ],
+        dtype=float,
+    )
+
+
+class TestPlanarArrangement:
+    def test_square(self):
+        arr = PlanarArrangement.from_segments(square_segments())
+        assert arr.points.shape == (4, 2)
+        assert arr.edges.shape == (4, 2)
+
+    def test_crossing_segments_create_vertex(self):
+        segs = np.array([[0, 0, 2, 2], [0, 2, 2, 0]], dtype=float)
+        arr = PlanarArrangement.from_segments(segs)
+        assert arr.points.shape[0] == 5  # 4 endpoints + crossing
+        assert arr.edges.shape[0] == 4  # each segment split in two
+
+    def test_duplicate_edges_merged(self):
+        segs = np.array([[0, 0, 1, 0], [0, 0, 1, 0]], dtype=float)
+        arr = PlanarArrangement.from_segments(segs)
+        assert arr.edges.shape[0] == 1
+
+    def test_prune_dangling(self):
+        segs = np.vstack([square_segments(), [[0.5, 0.5, 2.0, 0.5]]])
+        arr = PlanarArrangement.from_segments(segs).prune_dangling()
+        # the dangling spur (both its halves) is gone; square edges remain
+        # spur crosses the square edge, splitting it: interior piece +
+        # exterior piece both dangle after iteration
+        deg = np.bincount(arr.edges.ravel(), minlength=arr.points.shape[0])
+        assert (deg[np.unique(arr.edges)] >= 2).all()
+
+    def test_adjacency_ccw_order(self):
+        # plus-shaped junction at origin
+        segs = np.array(
+            [[0, 0, 1, 0], [0, 0, 0, 1], [0, 0, -1, 0], [0, 0, 0, -1]],
+            dtype=float,
+        )
+        arr = PlanarArrangement.from_segments(segs)
+        nbrs = arr.adjacency()
+        center = int(np.argmin(np.abs(arr.points).sum(axis=1)))
+        ring = nbrs[center]
+        angles = [
+            np.arctan2(arr.points[w][1], arr.points[w][0]) for w in ring
+        ]
+        assert angles == sorted(angles)
+
+
+class TestExtractFaces:
+    def test_square_single_face(self):
+        arr = PlanarArrangement.from_segments(square_segments())
+        faces = extract_faces(arr)
+        assert len(faces) == 1
+        from repro.geometry.polygon import polygon_area
+
+        assert polygon_area(faces[0]) == pytest.approx(1.0)
+
+    def test_cross_cut_square_four_faces(self):
+        segs = np.vstack(
+            [
+                square_segments(2.0),
+                [[1, 0, 1, 2], [0, 1, 2, 1]],  # cross through the middle
+            ]
+        )
+        arr = PlanarArrangement.from_segments(segs)
+        faces = extract_faces(arr)
+        assert len(faces) == 4
+        from repro.geometry.polygon import polygon_area
+
+        total = sum(polygon_area(f) for f in faces)
+        assert total == pytest.approx(4.0)
+
+    def test_faces_are_ccw(self):
+        from repro.geometry.polygon import polygon_area
+
+        segs = np.vstack([square_segments(2.0), [[1, 0, 1, 2]]])
+        faces = extract_faces(PlanarArrangement.from_segments(segs))
+        assert len(faces) == 2
+        for f in faces:
+            assert polygon_area(f) > 0
+
+    def test_dangling_joint_does_not_split(self):
+        segs = np.vstack(
+            [square_segments(2.0), [[1.0, 0.5, 1.0, 1.5]]]  # interior dangle
+        )
+        faces = extract_faces(PlanarArrangement.from_segments(segs))
+        assert len(faces) == 1
+
+    def test_two_disjoint_squares(self):
+        segs = np.vstack([square_segments(), square_segments() + 5.0])
+        faces = extract_faces(PlanarArrangement.from_segments(segs))
+        assert len(faces) == 2
+
+    def test_empty(self):
+        arr = PlanarArrangement(
+            points=np.zeros((0, 2)), edges=np.zeros((0, 2), dtype=np.int64)
+        )
+        assert extract_faces(arr) == []

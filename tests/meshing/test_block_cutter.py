@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import polygon_area
+from repro.meshing.block_cutter import clip_segments_to_polygon, cut_blocks
+
+SQUARE = np.array([[0.0, 0.0], [4.0, 0.0], [4.0, 4.0], [0.0, 4.0]])
+
+
+class TestClipSegments:
+    def test_interior_segment_kept(self):
+        segs = np.array([[1, 1, 3, 3]], dtype=float)
+        out = clip_segments_to_polygon(segs, SQUARE)
+        np.testing.assert_allclose(out, segs)
+
+    def test_exterior_segment_dropped(self):
+        segs = np.array([[10, 10, 12, 12]], dtype=float)
+        assert clip_segments_to_polygon(segs, SQUARE).shape[0] == 0
+
+    def test_crossing_segment_clipped(self):
+        segs = np.array([[-2, 2, 6, 2]], dtype=float)
+        out = clip_segments_to_polygon(segs, SQUARE)
+        assert out.shape[0] == 1
+        xs = np.sort(out[0, [0, 2]])
+        np.testing.assert_allclose(xs, [0.0, 4.0], atol=1e-9)
+
+    def test_empty_input(self):
+        out = clip_segments_to_polygon(np.zeros((0, 4)), SQUARE)
+        assert out.shape[0] == 0
+
+
+class TestCutBlocks:
+    def test_no_joints_returns_domain(self):
+        blocks = cut_blocks(SQUARE, np.zeros((0, 4)))
+        assert len(blocks) == 1
+        assert polygon_area(blocks[0]) == pytest.approx(16.0)
+
+    def test_single_cut_two_blocks(self):
+        joints = np.array([[-1, 2, 5, 2]], dtype=float)
+        blocks = cut_blocks(SQUARE, joints)
+        assert len(blocks) == 2
+        areas = sorted(polygon_area(b) for b in blocks)
+        np.testing.assert_allclose(areas, [8.0, 8.0])
+
+    def test_grid_cut_area_conserved(self):
+        joints = np.array(
+            [
+                [-1, 1, 5, 1],
+                [-1, 2, 5, 2],
+                [-1, 3, 5, 3],
+                [1, -1, 1, 5],
+                [2, -1, 2, 5],
+                [3, -1, 3, 5],
+            ],
+            dtype=float,
+        )
+        blocks = cut_blocks(SQUARE, joints)
+        assert len(blocks) == 16
+        assert sum(polygon_area(b) for b in blocks) == pytest.approx(16.0)
+
+    def test_diagonal_cuts(self):
+        joints = np.array([[-1, -1, 5, 5]], dtype=float)
+        blocks = cut_blocks(SQUARE, joints)
+        assert len(blocks) == 2
+        assert sum(polygon_area(b) for b in blocks) == pytest.approx(16.0)
+
+    def test_non_persistent_joint_ignored(self):
+        joints = np.array([[1, 1, 3, 3]], dtype=float)  # ends inside
+        blocks = cut_blocks(SQUARE, joints)
+        assert len(blocks) == 1
+
+    def test_all_blocks_ccw(self):
+        joints = np.array([[-1, 2, 5, 2], [2, -1, 2, 5]], dtype=float)
+        for b in cut_blocks(SQUARE, joints):
+            assert polygon_area(b) > 0
+
+    def test_property_area_conservation_random_grids(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            n = rng.integers(1, 5)
+            ys = rng.uniform(0.5, 3.5, size=n)
+            joints = np.array([[-1.0, y, 5.0, y] for y in ys])
+            blocks = cut_blocks(SQUARE, joints)
+            assert sum(polygon_area(b) for b in blocks) == pytest.approx(
+                16.0, rel=1e-6
+            )

@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.meshing.joints import JointSet, generate_joint_set
+
+BOUNDS = np.array([0.0, 0.0, 10.0, 10.0])
+
+
+class TestJointSet:
+    def test_valid(self):
+        JointSet(dip_deg=30.0, spacing=1.0)
+
+    def test_invalid_spacing(self):
+        with pytest.raises(Exception):
+            JointSet(dip_deg=0.0, spacing=0.0)
+
+    def test_invalid_cov(self):
+        with pytest.raises(ValueError):
+            JointSet(dip_deg=0.0, spacing=1.0, spacing_cov=1.0)
+
+    def test_invalid_persistence(self):
+        with pytest.raises(ValueError):
+            JointSet(dip_deg=0.0, spacing=1.0, persistence=0.0)
+
+
+class TestGenerateJointSet:
+    def test_deterministic(self):
+        js = JointSet(dip_deg=30.0, spacing=2.0, spacing_cov=0.1)
+        a = generate_joint_set(js, BOUNDS, seed=5)
+        b = generate_joint_set(js, BOUNDS, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_trace_count_scales_with_spacing(self):
+        fine = generate_joint_set(JointSet(0.0, 0.5), BOUNDS)
+        coarse = generate_joint_set(JointSet(0.0, 2.0), BOUNDS)
+        assert fine.shape[0] > coarse.shape[0]
+
+    def test_traces_parallel(self):
+        segs = generate_joint_set(JointSet(dip_deg=30.0, spacing=2.0), BOUNDS)
+        d = segs[:, 2:4] - segs[:, 0:2]
+        ang = np.arctan2(d[:, 1], d[:, 0])
+        np.testing.assert_allclose(np.degrees(ang), 30.0, atol=1e-9)
+
+    def test_traces_span_box(self):
+        segs = generate_joint_set(JointSet(dip_deg=45.0, spacing=3.0), BOUNDS)
+        lengths = np.hypot(segs[:, 2] - segs[:, 0], segs[:, 3] - segs[:, 1])
+        diag = np.hypot(10, 10)
+        assert (lengths >= diag).all()
+
+    def test_persistence_shortens(self):
+        full = generate_joint_set(JointSet(0.0, 2.0, persistence=1.0), BOUNDS)
+        part = generate_joint_set(JointSet(0.0, 2.0, persistence=0.5), BOUNDS)
+        lf = np.hypot(full[:, 2] - full[:, 0], full[:, 3] - full[:, 1]).mean()
+        lp = np.hypot(part[:, 2] - part[:, 0], part[:, 3] - part[:, 1]).mean()
+        assert lp < lf
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            generate_joint_set(JointSet(0.0, 1.0), np.array([0, 0, 0, 10.0]))

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import polygon_area
+from repro.meshing.voronoi import build_voronoi_rubble, voronoi_cells
+
+
+class TestVoronoiCells:
+    def test_cells_tile_rectangle(self):
+        cells = voronoi_cells(10.0, 5.0, 25, seed=1)
+        assert len(cells) == 25
+        total = sum(polygon_area(c) for c in cells)
+        assert total == pytest.approx(50.0, rel=1e-6)
+
+    def test_cells_inside_bounds(self):
+        cells = voronoi_cells(8.0, 4.0, 15, seed=2)
+        for c in cells:
+            assert c[:, 0].min() >= -1e-9 and c[:, 0].max() <= 8.0 + 1e-9
+            assert c[:, 1].min() >= -1e-9 and c[:, 1].max() <= 4.0 + 1e-9
+
+    def test_cells_ccw_and_convex(self):
+        cells = voronoi_cells(10.0, 10.0, 20, seed=3)
+        for c in cells:
+            assert polygon_area(c) > 0
+            # convexity: every cross product of consecutive edges >= 0
+            a = c
+            b = np.roll(c, -1, axis=0)
+            d = b - a
+            cross = d[:, 0] * np.roll(d, -1, axis=0)[:, 1] - d[:, 1] * np.roll(
+                d, -1, axis=0
+            )[:, 0]
+            assert (cross > -1e-6).all()
+
+    def test_deterministic(self):
+        a = voronoi_cells(5.0, 5.0, 10, seed=7)
+        b = voronoi_cells(5.0, 5.0, 10, seed=7)
+        for pa, pb in zip(a, b):
+            np.testing.assert_allclose(pa, pb)
+
+    def test_relaxation_evens_areas(self):
+        raw = voronoi_cells(10.0, 10.0, 30, seed=4, relax=0)
+        relaxed = voronoi_cells(10.0, 10.0, 30, seed=4, relax=3)
+        cv = lambda cells: np.std([polygon_area(c) for c in cells]) / np.mean(
+            [polygon_area(c) for c in cells]
+        )
+        assert cv(relaxed) < cv(raw)
+
+    def test_invalid_args(self):
+        with pytest.raises(Exception):
+            voronoi_cells(0.0, 5.0, 10)
+        with pytest.raises(ValueError):
+            voronoi_cells(5.0, 5.0, 0)
+
+
+class TestBuildVoronoiRubble:
+    def test_builds_system(self):
+        s = build_voronoi_rubble(n_blocks=20, seed=1)
+        assert s.n_blocks == 20
+        assert len(s.fixed_points) >= 2
+
+    def test_shrink_opens_joints(self):
+        tight = build_voronoi_rubble(n_blocks=15, seed=2, shrink=0.0)
+        loose = build_voronoi_rubble(n_blocks=15, seed=2, shrink=0.05)
+        assert loose.areas.sum() < tight.areas.sum()
+
+    def test_invalid_shrink(self):
+        with pytest.raises(ValueError):
+            build_voronoi_rubble(n_blocks=5, shrink=0.5)
+
+    def test_runs_in_engine(self):
+        from repro.core.state import SimulationControls
+        from repro.engine.gpu_engine import GpuEngine
+
+        s = build_voronoi_rubble(n_blocks=12, seed=3, shrink=0.02)
+        r = GpuEngine(
+            s, SimulationControls(time_step=1e-3, dynamic=True)
+        ).run(steps=3)
+        assert r.n_steps == 3

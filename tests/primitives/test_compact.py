@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.primitives.compact import partition_by_label, stream_compact
+
+
+class TestStreamCompact:
+    def test_matches_flatnonzero(self, rng, device):
+        mask = rng.random(500) < 0.4
+        np.testing.assert_array_equal(
+            stream_compact(mask, device), np.flatnonzero(mask)
+        )
+        assert device.launches() >= 2  # scan + scatter
+
+    def test_all_false(self):
+        assert stream_compact(np.zeros(10, dtype=bool)).size == 0
+
+    def test_all_true(self):
+        np.testing.assert_array_equal(
+            stream_compact(np.ones(5, dtype=bool)), np.arange(5)
+        )
+
+    def test_empty(self):
+        assert stream_compact(np.zeros(0, dtype=bool)).size == 0
+
+
+class TestPartitionByLabel:
+    def test_groups_contiguous(self, rng):
+        labels = rng.integers(0, 4, size=300)
+        perm, offsets = partition_by_label(labels, 4)
+        grouped = labels[perm]
+        for g in range(4):
+            seg = grouped[offsets[g] : offsets[g + 1]]
+            assert (seg == g).all()
+            assert seg.size == (labels == g).sum()
+
+    def test_stability(self):
+        labels = np.array([1, 0, 1, 0], dtype=np.int64)
+        perm, offsets = partition_by_label(labels, 2)
+        np.testing.assert_array_equal(perm, [1, 3, 0, 2])
+
+    def test_perm_is_permutation(self, rng):
+        labels = rng.integers(0, 7, size=97)
+        perm, _ = partition_by_label(labels, 7)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(97))
+
+    def test_offsets_cover_all(self, rng):
+        labels = rng.integers(0, 3, size=50)
+        _, offsets = partition_by_label(labels, 3)
+        assert offsets[0] == 0 and offsets[-1] == 50
+
+    def test_missing_labels_empty_groups(self):
+        labels = np.array([2, 2], dtype=np.int64)
+        _, offsets = partition_by_label(labels, 4)
+        np.testing.assert_array_equal(offsets, [0, 0, 0, 2, 2])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            partition_by_label(np.array([0, 5], dtype=np.int64), 3)
+
+    def test_float_labels_rejected(self):
+        with pytest.raises(TypeError):
+            partition_by_label(np.array([0.0, 1.0]), 2)

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.assembly.global_matrix import BS
+from repro.solvers.cg import pcg
+from repro.solvers.polynomial import NeumannPreconditioner
+from repro.solvers.preconditioners import (
+    BlockJacobiPreconditioner,
+    make_preconditioner,
+)
+from repro.spmv.synthetic import synthetic_block_matrix
+
+
+@pytest.fixture
+def matrix():
+    return synthetic_block_matrix(12, 26, seed=17)
+
+
+class TestNeumannPreconditioner:
+    def test_order_zero_is_block_jacobi(self, matrix, rng):
+        m = NeumannPreconditioner(matrix, order=0)
+        bj = BlockJacobiPreconditioner(matrix)
+        r = rng.normal(size=matrix.n * BS)
+        np.testing.assert_allclose(m.apply(r), bj.apply(r), rtol=1e-12)
+
+    def test_symmetric_operator(self, matrix, rng):
+        m = NeumannPreconditioner(matrix, order=2)
+        u = rng.normal(size=matrix.n * BS)
+        v = rng.normal(size=matrix.n * BS)
+        assert u @ m.apply(v) == pytest.approx(v @ m.apply(u), rel=1e-8)
+
+    def test_positive_definite(self, matrix, rng):
+        m = NeumannPreconditioner(matrix, order=2)
+        for _ in range(5):
+            u = rng.normal(size=matrix.n * BS)
+            assert u @ m.apply(u) > 0
+
+    def test_higher_order_better_approximation(self, matrix, rng):
+        # ||M^{-1} A x - x|| shrinks with the series order
+        x = rng.normal(size=matrix.n * BS)
+        ax = matrix.matvec(x)
+        errs = []
+        for order in (0, 2, 4):
+            m = NeumannPreconditioner(matrix, order=order)
+            errs.append(np.linalg.norm(m.apply(ax) - x))
+        assert errs[2] < errs[1] < errs[0]
+
+    def test_reduces_cg_iterations(self, matrix, rng):
+        b = matrix.matvec(rng.normal(size=matrix.n * BS))
+        bj = pcg(matrix, b, preconditioner=BlockJacobiPreconditioner(matrix),
+                 tol=1e-10, max_iterations=1000)
+        nm = pcg(matrix, b, preconditioner=NeumannPreconditioner(matrix, order=2),
+                 tol=1e-10, max_iterations=1000)
+        assert nm.converged and bj.converged
+        assert nm.iterations < bj.iterations
+
+    def test_odd_order_rejected(self, matrix):
+        with pytest.raises(ValueError, match="even"):
+            NeumannPreconditioner(matrix, order=1)
+
+    def test_factory(self, matrix):
+        m = make_preconditioner("neumann", matrix)
+        assert m.name == "neumann"
+
+    def test_device_recording(self, matrix, device, rng):
+        m = NeumannPreconditioner(matrix, device, order=2)
+        m.apply(rng.normal(size=matrix.n * BS), device)
+        kernels = device.time_by_kernel()
+        assert "neumann_construct" in kernels
+        assert "neumann_apply" in kernels
+
+    def test_no_triangular_solves(self, matrix, device, rng):
+        m = NeumannPreconditioner(matrix, device, order=4)
+        m.apply(rng.normal(size=matrix.n * BS), device)
+        assert not any("tss" in k for k in device.time_by_kernel())

@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.solvers.precision import cg_fixed_dtype
+from repro.spmv.synthetic import synthetic_block_matrix
+
+
+@pytest.fixture
+def easy_system(rng):
+    a = synthetic_block_matrix(10, 18, seed=5)
+    x = rng.normal(size=a.n * 6)
+    return a, x, a.matvec(x)
+
+
+class TestCgFixedDtype:
+    def test_float64_solves(self, easy_system):
+        a, x_true, b = easy_system
+        res = cg_fixed_dtype(a, b, np.float64, tol=1e-10)
+        assert res.converged
+        assert res.true_relative_residual < 1e-9
+
+    def test_float32_solves_well_conditioned(self, easy_system):
+        # the synthetic dominance-regularised matrix is benign enough for
+        # float32 at a loose tolerance
+        a, _, b = easy_system
+        res = cg_fixed_dtype(a, b, np.float32, tol=1e-4)
+        assert res.true_relative_residual < 1e-3
+
+    def test_float32_true_residual_floor(self, easy_system):
+        # at a double-precision tolerance, float32's *true* residual
+        # cannot follow — it floors near single-precision epsilon levels
+        a, _, b = easy_system
+        r32 = cg_fixed_dtype(a, b, np.float32, tol=1e-12)
+        r64 = cg_fixed_dtype(a, b, np.float64, tol=1e-12)
+        assert r64.true_relative_residual < r32.true_relative_residual
+        assert r32.true_relative_residual > 1e-9
+
+    def test_without_preconditioner(self, easy_system):
+        a, _, b = easy_system
+        res = cg_fixed_dtype(a, b, np.float64, tol=1e-8,
+                             use_block_jacobi=False)
+        assert res.converged
+
+    def test_zero_rhs(self, easy_system):
+        a, _, _ = easy_system
+        res = cg_fixed_dtype(a, np.zeros(a.n * 6), np.float64)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_invalid_dtype(self, easy_system):
+        a, _, b = easy_system
+        with pytest.raises(ValueError, match="dtype"):
+            cg_fixed_dtype(a, b, np.int32)
+
+    def test_iteration_cap(self, easy_system):
+        a, _, b = easy_system
+        res = cg_fixed_dtype(a, b, np.float64, tol=1e-16, max_iterations=2)
+        assert res.iterations == 2
+        assert not res.converged

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assembly.global_matrix import BS
+from repro.spmv.formats import ELLMatrix
+from repro.spmv.sell import SELLMatrix, sell_spmv
+from repro.spmv.synthetic import synthetic_block_matrix
+
+
+@pytest.fixture
+def matrix():
+    return synthetic_block_matrix(14, 30, seed=13)
+
+
+class TestSELLLayout:
+    def test_perm_is_permutation(self, matrix):
+        s = SELLMatrix.from_block_matrix(matrix)
+        np.testing.assert_array_equal(
+            np.sort(s.perm), np.arange(matrix.n * BS)
+        )
+
+    def test_slice_widths_cover_rows(self, matrix):
+        s = SELLMatrix.from_block_matrix(matrix, c=8, sigma=64)
+        csr = matrix.to_scipy_csr()
+        lengths = np.diff(csr.indptr)
+        for k in range(matrix.n * BS):
+            slice_id = np.searchsorted(
+                np.arange(s.slice_width.size) * s.c, k, side="right"
+            ) - 1
+            assert s.slice_width[slice_id] >= lengths[s.perm[k]]
+
+    def test_better_fill_than_plain_ell(self, matrix):
+        sell = SELLMatrix.from_block_matrix(matrix, c=4, sigma=512)
+        ell = ELLMatrix.from_block_matrix(matrix)
+        assert sell.fill_ratio >= ell.fill_ratio
+
+    def test_smaller_storage_than_ell(self, matrix):
+        sell = SELLMatrix.from_block_matrix(matrix, c=4, sigma=512)
+        ell = ELLMatrix.from_block_matrix(matrix)
+        assert sell.data.nbytes <= ell.data.nbytes
+
+    def test_invalid_params(self, matrix):
+        with pytest.raises(ValueError):
+            SELLMatrix.from_block_matrix(matrix, c=0)
+        with pytest.raises(ValueError):
+            SELLMatrix.from_block_matrix(matrix, sigma=0)
+
+
+class TestSELLSpmv:
+    def test_matches_scipy(self, matrix, rng):
+        s = SELLMatrix.from_block_matrix(matrix)
+        x = rng.normal(size=matrix.n * BS)
+        np.testing.assert_allclose(
+            sell_spmv(s, x), matrix.to_scipy_csr() @ x, rtol=1e-12
+        )
+
+    def test_device_recording(self, matrix, device, rng):
+        s = SELLMatrix.from_block_matrix(matrix)
+        sell_spmv(s, rng.normal(size=matrix.n * BS), device)
+        assert "sell_spmv" in device.time_by_kernel()
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=512),
+        st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_dense(self, n, c, sigma, seed):
+        m = min(2 * n, n * (n - 1) // 2)
+        a = synthetic_block_matrix(n, m, seed=seed)
+        s = SELLMatrix.from_block_matrix(a, c=c, sigma=sigma)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.normal(size=n * BS)
+        np.testing.assert_allclose(
+            sell_spmv(s, x), a.to_dense() @ x, rtol=1e-9, atol=1e-9
+        )

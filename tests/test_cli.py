@@ -1,0 +1,73 @@
+"""Tests for the ``python -m repro`` command-line runner."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, build_system, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.model == "wall"
+        assert args.engine == "gpu"
+        assert args.steps == 20
+
+    def test_model_and_load_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--model", "slope", "--load", "x"])
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--model", "nonsense"])
+
+
+class TestBuildSystem:
+    @pytest.mark.parametrize("model", ["wall", "rocks", "rubble"])
+    def test_bundled_models(self, model):
+        args = build_parser().parse_args(["--model", model])
+        system = build_system(args)
+        assert system.n_blocks > 1
+
+    def test_load_roundtrip(self, tmp_path):
+        from repro.io.model_io import save_system
+        from repro.meshing.slope_models import build_brick_wall
+
+        save_system(build_brick_wall(2, 2), tmp_path / "m")
+        args = build_parser().parse_args(["--load", str(tmp_path / "m")])
+        system = build_system(args)
+        assert system.n_blocks == 6  # base + 2 bricks + 3 offset pieces
+
+
+class TestMain:
+    def test_end_to_end_wall(self, capsys):
+        rc = main(["--model", "wall", "--steps", "2", "--dynamic",
+                   "--no-render"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "equation_solving" in out
+        assert "CG iterations total" in out
+
+    def test_render_included_by_default(self, capsys):
+        main(["--model", "wall", "--steps", "1", "--dynamic"])
+        out = capsys.readouterr().out
+        assert "#" in out  # a block glyph appears in the raster
+
+    def test_serial_engine(self, capsys):
+        rc = main(["--model", "wall", "--engine", "serial", "--steps", "1",
+                   "--dynamic", "--no-render"])
+        assert rc == 0
+        assert "E5620" in capsys.readouterr().out
+
+    def test_save(self, tmp_path, capsys):
+        rc = main(["--model", "wall", "--steps", "1", "--dynamic",
+                   "--no-render", "--save", str(tmp_path / "out")])
+        assert rc == 0
+        assert (tmp_path / "out.json").exists()
+        assert (tmp_path / "out.npz").exists()
+
+    def test_k20_profile(self, capsys):
+        rc = main(["--model", "wall", "--steps", "1", "--dynamic",
+                   "--profile", "k20", "--no-render"])
+        assert rc == 0
+        assert "K20" in capsys.readouterr().out

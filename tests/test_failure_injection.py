@@ -1,0 +1,136 @@
+"""Failure-injection tests: wrong inputs fail loudly at the API boundary.
+
+Production numerical code must reject garbage before it reaches a kernel;
+these tests drive representative bad inputs through every public layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.assembly.global_matrix import BS, BlockMatrix
+from repro.core.blocks import Block, BlockSystem
+from repro.core.materials import BlockMaterial
+from repro.solvers.cg import pcg
+from repro.spmv.hsbcsr import HSBCSRMatrix, hsbcsr_spmv
+from repro.spmv.synthetic import synthetic_block_matrix
+from repro.util.validation import ShapeError
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+
+class TestSolverFailures:
+    def test_pcg_indefinite_matrix_reports_not_converged(self, rng):
+        a = synthetic_block_matrix(4, 4, seed=0)
+        # flip the sign of one diagonal block: no longer SPD
+        a.diag[0] = -a.diag[0]
+        b = rng.normal(size=a.n * BS)
+        res = pcg(a, b, tol=1e-10, max_iterations=50)
+        assert not res.converged
+
+    def test_pcg_wrong_rhs_length(self):
+        a = synthetic_block_matrix(4, 4, seed=0)
+        with pytest.raises(ShapeError):
+            pcg(a, np.ones(7))
+
+    def test_pcg_nan_rhs_does_not_hang(self):
+        a = synthetic_block_matrix(4, 4, seed=0)
+        b = np.full(a.n * BS, np.nan)
+        res = pcg(a, b, max_iterations=10)
+        assert not res.converged or not np.isfinite(res.x).all()
+
+    def test_spmv_wrong_vector_length(self):
+        a = synthetic_block_matrix(4, 4, seed=0)
+        h = HSBCSRMatrix.from_block_matrix(a)
+        with pytest.raises(ShapeError):
+            hsbcsr_spmv(h, np.ones(5))
+
+
+class TestGeometryFailures:
+    def test_block_with_nan_vertices(self):
+        bad = SQ.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ShapeError, match="non-finite"):
+            Block(bad)
+
+    def test_block_with_two_vertices(self):
+        with pytest.raises(ShapeError):
+            Block(np.array([[0.0, 0.0], [1.0, 1.0]]))
+
+    def test_self_intersecting_polygon_cutter(self):
+        # a bow-tie "polygon" has (near-)zero signed area
+        bowtie = np.array([[0, 0], [1, 1], [1, 0], [0, 1.0]])
+        from repro.geometry.polygon import polygon_area
+
+        assert abs(polygon_area(bowtie)) < 1.0  # degenerate, not a crash
+
+    def test_block_matrix_nan_rejected_downstream(self):
+        a = synthetic_block_matrix(3, 2, seed=0)
+        a.blocks[0, 0, 0] = np.inf
+        # matvec carries the inf; pcg must not report convergence
+        res = pcg(a, np.ones(a.n * BS), max_iterations=5)
+        assert not res.converged
+
+
+class TestEngineFailures:
+    def test_engine_rejects_bad_controls(self):
+        from repro.core.state import SimulationControls
+
+        with pytest.raises(ValueError):
+            SimulationControls(time_step=-1.0)
+
+    def test_system_index_errors(self):
+        s = BlockSystem([Block(SQ)])
+        with pytest.raises(IndexError):
+            s.fix_point(3, 0.0, 0.0)
+        with pytest.raises(IndexError):
+            s.add_point_load(-2, 0, 0, 1, 1)
+
+    def test_overlapping_initial_blocks_resolve_not_crash(self):
+        # deliberately overlapping blocks: the engine must push them
+        # apart (or at least not crash / blow up)
+        from repro.core.state import SimulationControls
+        from repro.engine.gpu_engine import GpuEngine
+
+        mat = BlockMaterial(young=1e9)
+        s = BlockSystem(
+            [Block(SQ, mat), Block(SQ + np.array([0.9, 0.0]), mat)]
+        )
+        c = SimulationControls(time_step=1e-3, dynamic=True,
+                               max_displacement_ratio=0.05)
+        engine = GpuEngine(s, c)
+        engine.run(steps=30)
+        # blocks separated (or at least moved apart), velocities finite
+        assert np.isfinite(s.velocities).all()
+        gap = s.centroids[1, 0] - s.centroids[0, 0]
+        assert gap > 0.9  # pushed apart from the 0.9 overlap start
+
+    def test_single_fixed_block_is_stable_forever(self):
+        from repro.core.state import SimulationControls
+        from repro.engine.gpu_engine import GpuEngine
+
+        s = BlockSystem([Block(SQ)])
+        s.fix_block(0)
+        engine = GpuEngine(
+            s, SimulationControls(time_step=1e-3, dynamic=True)
+        )
+        r = engine.run(steps=100)
+        assert r.max_total_displacement() < 1e-4
+
+
+class TestBlockMatrixValidation:
+    def test_wrong_block_shape(self):
+        with pytest.raises(ShapeError):
+            BlockMatrix(
+                2, np.zeros((2, 5, 6)),
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                np.zeros((0, 6, 6)),
+            )
+
+    def test_mismatched_row_col_lengths(self):
+        with pytest.raises(ShapeError):
+            BlockMatrix(
+                3, np.zeros((3, 6, 6)),
+                np.array([0], dtype=np.int64),
+                np.array([1, 2], dtype=np.int64),
+                np.zeros((1, 6, 6)),
+            )

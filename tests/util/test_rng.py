@@ -1,0 +1,30 @@
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        a = make_rng(7).random(4)
+        b = make_rng(7).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(8), make_rng(2).random(8))
+
+
+class TestSpawn:
+    def test_children_independent_and_deterministic(self):
+        kids1 = spawn(make_rng(3), 2)
+        kids2 = spawn(make_rng(3), 2)
+        np.testing.assert_array_equal(kids1[0].random(4), kids2[0].random(4))
+        assert not np.array_equal(kids1[0].random(4), kids1[1].random(4))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
