@@ -41,6 +41,16 @@ _EXPORTS = {
     "BlockMaterial": "repro.core.materials",
     "JointMaterial": "repro.core.materials",
     "SimulationControls": "repro.core.state",
+    "ResilienceControls": "repro.core.state",
+    "SimulationError": "repro.engine.resilience",
+    "StepRejected": "repro.engine.resilience",
+    "SolverBreakdown": "repro.engine.resilience",
+    "NumericalBlowup": "repro.engine.resilience",
+    "CheckpointCorrupt": "repro.engine.resilience",
+    "FailureReport": "repro.engine.resilience",
+    "Checkpoint": "repro.engine.resilience",
+    "save_checkpoint": "repro.io.model_io",
+    "load_checkpoint": "repro.io.model_io",
     "SerialEngine": "repro.engine.serial_engine",
     "GpuEngine": "repro.engine.gpu_engine",
     "DeviceProfile": "repro.gpu.device",

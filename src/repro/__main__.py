@@ -33,7 +33,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     src.add_argument("--load", metavar="STEM",
                      help="load a model saved with repro.io.save_system")
-    p.add_argument("--engine", choices=("gpu", "serial"), default="gpu")
+    p.add_argument("--engine", choices=("gpu", "serial", "hybrid"),
+                   default="gpu")
     p.add_argument("--profile", choices=("k40", "k20"), default="k40",
                    help="GPU device profile (gpu engine only)")
     p.add_argument("--steps", type=int, default=20)
@@ -51,6 +52,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="save the final state with repro.io.save_system")
     p.add_argument("--no-render", action="store_true",
                    help="skip the ASCII rendering of the final state")
+    res = p.add_argument_group("resilience (long-run survival)")
+    res.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                     help="full-state checkpoint every N accepted steps "
+                          "(0 = off; enables rollback recovery)")
+    res.add_argument("--checkpoint-dir", metavar="DIR",
+                     help="persist checkpoints (npz + checksum) to DIR")
+    res.add_argument("--max-rollbacks", type=int, default=3, metavar="N",
+                     help="fatal-failure rollbacks allowed per run")
+    res.add_argument("--on-failure", choices=("raise", "partial"),
+                     default="raise",
+                     help="'partial' returns the accepted prefix with a "
+                          "failure report instead of raising")
+    res.add_argument("--no-solver-fallback", action="store_true",
+                     help="disable the preconditioner fallback ladder")
     return p
 
 
@@ -80,8 +95,9 @@ def build_system(args: argparse.Namespace):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    from repro.core.state import SimulationControls
+    from repro.core.state import ResilienceControls, SimulationControls
     from repro.engine.gpu_engine import GpuEngine
+    from repro.engine.hybrid_engine import HybridEngine
     from repro.engine.serial_engine import SerialEngine
     from repro.gpu.device import K20, K40
     from repro.util.tables import Table
@@ -92,13 +108,21 @@ def main(argv: list[str] | None = None) -> int:
         time_step=args.dt,
         dynamic=args.dynamic,
         preconditioner=args.preconditioner,
+        resilience=ResilienceControls(
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            max_rollbacks=args.max_rollbacks,
+            on_failure=args.on_failure,
+            solver_fallback=not args.no_solver_fallback,
+        ),
     )
+    gpu_profile = K20 if args.profile == "k20" else K40
     if args.engine == "serial":
         engine = SerialEngine(system, controls)
+    elif args.engine == "hybrid":
+        engine = HybridEngine(system, controls, profile=gpu_profile)
     else:
-        engine = GpuEngine(
-            system, controls, profile=K20 if args.profile == "k20" else K40
-        )
+        engine = GpuEngine(system, controls, profile=gpu_profile)
     result = engine.run(steps=args.steps)
 
     table = Table(
@@ -115,6 +139,20 @@ def main(argv: list[str] | None = None) -> int:
         f"CG iterations total: {result.total_cg_iterations}; "
         f"max displacement: {result.max_total_displacement():.3e} m"
     )
+    degraded = sum(1 for s in result.steps if s.solver_rung > 0)
+    if degraded:
+        print(
+            f"solver fallback engaged on {degraded}/{result.n_steps} steps "
+            f"(max rung {result.max_solver_rung})"
+        )
+    if result.rollbacks:
+        print(f"checkpoint rollbacks: {result.rollbacks}")
+    for warning in result.warnings:
+        print(
+            f"warning [step {warning.step}, {warning.guard}]: "
+            f"{warning.message}",
+            file=sys.stderr,
+        )
     if not args.no_render:
         from repro.io.ascii_art import render_system
 
@@ -124,6 +162,10 @@ def main(argv: list[str] | None = None) -> int:
 
         paths = save_system(system, args.save)
         print(f"saved: {paths[0]}, {paths[1]}", file=sys.stderr)
+    if result.failure is not None:
+        print(f"RUN FAILED (partial result): {result.failure.summary()}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

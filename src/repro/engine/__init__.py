@@ -18,6 +18,20 @@ from repro.engine.physics import (
     update_contact_states,
     StateUpdate,
 )
+from repro.engine.resilience import (
+    Checkpoint,
+    CheckpointCorrupt,
+    CheckpointManager,
+    FailureReport,
+    HealthMonitor,
+    HealthWarning,
+    NumericalBlowup,
+    SimulationError,
+    SolverBreakdown,
+    StepContext,
+    StepRejected,
+    solver_ladder,
+)
 from repro.engine.results import SimulationResult, StepRecord
 from repro.engine.serial_engine import SerialEngine
 from repro.engine.gpu_engine import GpuEngine
@@ -35,4 +49,16 @@ __all__ = [
     "StepRecord",
     "SerialEngine",
     "GpuEngine",
+    "Checkpoint",
+    "CheckpointCorrupt",
+    "CheckpointManager",
+    "FailureReport",
+    "HealthMonitor",
+    "HealthWarning",
+    "NumericalBlowup",
+    "SimulationError",
+    "SolverBreakdown",
+    "StepContext",
+    "StepRejected",
+    "solver_ladder",
 ]

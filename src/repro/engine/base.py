@@ -4,6 +4,11 @@ Subclasses provide the per-module implementations (serial or GPU-style);
 this base class owns loop 1 (time stepping), loop 2 (maximum-displacement
 step control) and loop 3 (open–close iteration), the adaptive time step,
 and the bookkeeping that Tables II/III report.
+
+Wrapped around all three loops sits the resilience layer
+(:mod:`repro.engine.resilience`): a solver fallback ladder tried before
+any loop-2 dt-halving, per-step health guards after data updating, and
+periodic checkpoints the run rolls back to when a step fails fatally.
 """
 
 from __future__ import annotations
@@ -17,10 +22,22 @@ from repro.contact.contact_set import ContactSet
 from repro.core.blocks import DOF, BlockSystem
 from repro.core.displacement import displacement_matrix, update_geometry
 from repro.core.state import SimulationControls
+from repro.engine.resilience import (
+    Checkpoint,
+    CheckpointManager,
+    FailureReport,
+    HealthMonitor,
+    HealthWarning,
+    SimulationError,
+    SolverBreakdown,
+    StepContext,
+    StepRejected,
+    solver_ladder,
+)
 from repro.engine.results import SimulationResult, StepRecord
 from repro.gpu.device import DeviceProfile, K40
 from repro.gpu.kernel import VirtualDevice
-from repro.solvers.cg import pcg
+from repro.solvers.cg import CGResult, pcg
 from repro.solvers.preconditioners import make_preconditioner
 from repro.util.timing import ModuleTimes
 
@@ -62,6 +79,21 @@ class EngineBase:
         )
         mean_diam = float(np.sqrt(system.areas.mean()))
         self.contact_threshold = self.controls.contact_distance_factor * mean_diam
+        densities_all = np.array(
+            [m.density for m in system.materials]
+        )[system.material_id]
+        # natural energy scale: dropping the whole model through its own
+        # diagonal — the kinetic-energy guard stays silent below this
+        energy_scale = float(
+            np.sum(densities_all * system.areas)
+            * max(self.controls.gravity, 1.0)
+            * self._model_size
+        )
+        self._monitor = HealthMonitor(
+            self.controls.resilience,
+            contact_threshold=self.contact_threshold,
+            energy_scale=energy_scale,
+        )
         # noise floor for open–close significance: state switches whose
         # contact force stays below a small fraction of a typical block
         # weight are label churn (contact-force indeterminacy), not physics
@@ -115,6 +147,15 @@ class EngineBase:
     ) -> SimulationResult:
         """Run ``steps`` accepted time steps (the paper's loop 1).
 
+        With checkpointing enabled (``resilience.checkpoint_every > 0``)
+        a fatal step failure rolls the engine back to the last good
+        checkpoint, shrinks ``dt``, and retries, up to
+        ``resilience.max_rollbacks`` times. When recovery is impossible,
+        the ``resilience.on_failure`` policy decides between raising the
+        typed :class:`SimulationError` (default) and returning the
+        accepted prefix as a *partial* result with an attached
+        :class:`~repro.engine.resilience.FailureReport`.
+
         Parameters
         ----------
         steps:
@@ -126,22 +167,144 @@ class EngineBase:
         """
         if steps < 1:
             raise ValueError(f"steps must be >= 1, got {steps}")
+        rcontrols = self.controls.resilience
         times = ModuleTimes()
         result = SimulationResult(module_times=times, device=self.device)
         start_centroids = self.system.centroids.copy()
-        for step in range(steps):
-            record = self._run_one_step(step, times)
-            result.steps.append(record)
-            if snapshot_every and (step + 1) % snapshot_every == 0:
-                result.snapshots.append(
-                    (step + 1, self.system.centroids.copy())
+        manager: CheckpointManager | None = None
+        if rcontrols.checkpoint_every > 0:
+            manager = CheckpointManager(
+                keep=rcontrols.keep_checkpoints,
+                persist_dir=rcontrols.checkpoint_dir,
+            )
+            manager.take(self, step=0)
+        self._monitor.reset()
+        rollbacks = 0
+        step = 0
+        while step < steps:
+            try:
+                record = self._run_one_step(step, times, result.warnings)
+            except SimulationError as err:
+                cp = manager.latest if manager is not None else None
+                if (
+                    cp is not None
+                    and rollbacks < rcontrols.max_rollbacks
+                    and err.recoverable
+                ):
+                    rollbacks += 1
+                    self.restore_checkpoint(cp)
+                    self.dt = cp.dt * rcontrols.rollback_dt_factor
+                    self._monitor.reset()
+                    # drop the steps the rollback un-did
+                    del result.steps[cp.step:]
+                    result.snapshots = [
+                        (s, c) for s, c in result.snapshots if s <= cp.step
+                    ]
+                    result.warnings.append(
+                        HealthWarning(
+                            step=step,
+                            guard="rollback",
+                            message=(
+                                f"rolled back to step {cp.step} after "
+                                f"{type(err).__name__}: {err} "
+                                f"(retrying at dt={self.dt:.3e})"
+                            ),
+                        )
+                    )
+                    step = cp.step
+                    continue
+                result.rollbacks = rollbacks
+                report = FailureReport(
+                    error=type(err).__name__,
+                    message=str(err),
+                    context=err.context,
+                    steps_completed=len(result.steps),
+                    rollbacks=rollbacks,
                 )
-        result.snapshots.append((steps, self.system.centroids.copy()))
+                if rcontrols.on_failure == "partial":
+                    result.failure = report
+                    break
+                err.report = report  # for callers catching the raise
+                raise
+            result.steps.append(record)
+            step += 1
+            if manager is not None and step % rcontrols.checkpoint_every == 0:
+                manager.take(self, step=step)
+            if snapshot_every and step % snapshot_every == 0:
+                result.snapshots.append(
+                    (step, self.system.centroids.copy())
+                )
+        result.rollbacks = rollbacks
+        result.snapshots.append(
+            (len(result.steps), self.system.centroids.copy())
+        )
         result.displacements = self.system.centroids - start_centroids
         return result
 
-    def _run_one_step(self, step: int, times: ModuleTimes) -> StepRecord:
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, step: int = 0) -> Checkpoint:
+        """Snapshot the full engine state (see :class:`Checkpoint`)."""
+        return Checkpoint.capture(self, step)
+
+    def restore_checkpoint(self, cp: Checkpoint) -> None:
+        """Restore a snapshot taken by :meth:`checkpoint` (in place)."""
+        cp.restore(self)
+
+    def _solve_with_fallback(
+        self, matrix: BlockMatrix, rhs: np.ndarray
+    ) -> tuple[CGResult, int, int]:
+        """One equation solve, escalating through the fallback ladder.
+
+        Walks :func:`repro.engine.resilience.solver_ladder` — configured
+        preconditioner, stronger preconditioner, cold restart — and stops
+        at the first converged rung. Returns ``(result, rung,
+        total_cg_iterations)``; when every rung fails the last result is
+        returned (``converged=False``) and loop 2 takes over with a
+        dt-halving.
+        """
         controls = self.controls
+        ladder = solver_ladder(
+            controls.preconditioner, controls.resilience.solver_fallback
+        )
+        total_iters = 0
+        res: CGResult | None = None
+        rung = 0
+        for rung, (name, warm) in enumerate(ladder):
+            try:
+                pre = make_preconditioner(name, matrix, self.device)
+            except Exception:
+                continue  # rung unbuildable (e.g. ILU on a zero pivot)
+            res = pcg(
+                matrix,
+                rhs,
+                x0=self._prev_solution if warm else None,
+                preconditioner=pre,
+                tol=controls.cg_tolerance,
+                max_iterations=controls.cg_max_iterations,
+                device=self.device,
+            )
+            total_iters += res.iterations
+            if res.converged:
+                return res, rung, total_iters
+        if res is None:  # every rung failed to even construct
+            raise SolverBreakdown(
+                "no preconditioner on the fallback ladder could be built",
+                StepContext(step=-1, dt=self.dt, cause="cg_breakdown"),
+            )
+        return res, rung, total_iters
+
+    def _run_one_step(
+        self,
+        step: int,
+        times: ModuleTimes,
+        warnings: list[HealthWarning] | None = None,
+    ) -> StepRecord:
+        controls = self.controls
+        last_res: CGResult | None = None
+        cause = "cg_non_convergence"
+        max_pen = 0.0
         for retry in range(MAX_STEP_RETRIES + 1):
             saved_velocities = self.system.velocities.copy()
             # ---- contact detection ----------------------------------
@@ -162,6 +325,7 @@ class EngineBase:
             oc_iters = 0
             converged = True
             oc_converged = False
+            step_rung = 0
             max_pen = 0.0
             for oc in range(controls.max_open_close_iterations):
                 oc_iters = oc + 1
@@ -180,21 +344,18 @@ class EngineBase:
                 # ---- equation solving --------------------------------
                 with times.measure("equation_solving"):
                     with self.device.region("equation_solving"):
-                        pre = make_preconditioner(
-                            controls.preconditioner, matrix, self.device
+                        res, rung, iters = self._solve_with_fallback(
+                            matrix, f_base + f_contact
                         )
-                        res = pcg(
-                            matrix,
-                            f_base + f_contact,
-                            x0=self._prev_solution,
-                            preconditioner=pre,
-                            tol=controls.cg_tolerance,
-                            max_iterations=controls.cg_max_iterations,
-                            device=self.device,
-                        )
-                cg_total += res.iterations
+                cg_total += iters
+                step_rung = max(step_rung, rung)
+                last_res = res
                 if not res.converged:
                     converged = False
+                    cause = (
+                        "cg_breakdown" if res.breakdown
+                        else "cg_non_convergence"
+                    )
                     break
                 d = res.x
                 # ---- interpenetration checking ------------------------
@@ -216,8 +377,9 @@ class EngineBase:
             # and redo the step (Shi's rule). On the last allowed retry the
             # result is accepted anyway so a marginal oscillation cannot
             # wedge the run.
-            if not oc_converged and retry < MAX_STEP_RETRIES:
+            if converged and not oc_converged and retry < MAX_STEP_RETRIES:
                 converged = False
+                cause = "open_close_oscillation"
 
             # ---- loop 2: maximum displacement control ----------------
             max_disp = self._max_vertex_displacement(d)
@@ -233,11 +395,12 @@ class EngineBase:
                 with times.measure("data_updating"):
                     with self.device.region("data_updating"):
                         self._update_data(d)
-                self.sim_time += self.dt
+                accepted_dt = self.dt
+                self.sim_time += accepted_dt
                 self.dt = min(self.dt * 1.5, controls.time_step)
-                return StepRecord(
+                record = StepRecord(
                     step=step,
-                    dt=self.dt,
+                    dt=accepted_dt,
                     cg_iterations=cg_total,
                     open_close_iterations=oc_iters,
                     n_contacts=contacts.m,
@@ -251,14 +414,34 @@ class EngineBase:
                     max_displacement=max_disp,
                     max_penetration=max_pen,
                     retries=retry,
+                    solver_rung=step_rung,
+                    oc_converged=oc_converged,
                 )
+                # health guards run on the freshly-updated state; a fatal
+                # guard raises NumericalBlowup for the run loop to handle
+                guard_warnings = self._monitor.after_step(self.system, record)
+                if warnings is not None:
+                    warnings.extend(guard_warnings)
+                return record
+            if converged:
+                cause = "max_displacement"
             # halve the physical time and redo (the paper's rule for both
             # non-convergence and over-large displacement)
             self.system.velocities = saved_velocities
             self.dt *= 0.5
-        raise RuntimeError(
+        context = StepContext(
+            step=step,
+            dt=self.dt,
+            retries=MAX_STEP_RETRIES,
+            cg_residuals=list(last_res.residuals) if last_res else [],
+            max_penetration=max_pen,
+            cause=cause,
+        )
+        error_cls = SolverBreakdown if cause == "cg_breakdown" else StepRejected
+        raise error_cls(
             f"step {step}: no acceptable time step after "
-            f"{MAX_STEP_RETRIES} halvings (dt={self.dt:.3e})"
+            f"{MAX_STEP_RETRIES} halvings (dt={self.dt:.3e}, cause={cause})",
+            context,
         )
 
     # ------------------------------------------------------------------

@@ -38,7 +38,10 @@ def run_until_static(
     -------
     (result, is_static)
         The concatenated run result and whether the stopping rule fired
-        (``False`` means the budget ran out first).
+        (``False`` means the budget ran out first, or — under the
+        ``resilience.on_failure="partial"`` policy — that a burst failed
+        fatally; the merged result then keeps every accepted step and
+        carries the burst's ``FailureReport``).
     """
     if max_steps < 1 or burst < 1:
         raise ValueError("max_steps and burst must be >= 1")
@@ -53,8 +56,12 @@ def run_until_static(
     while steps_done < max_steps:
         n = min(burst, max_steps - steps_done)
         result = engine.run(steps=n)
-        steps_done += n
+        steps_done += result.n_steps
         total = result if total is None else total.merge(result)
+        if result.failure is not None:
+            # a mid-burst fatal failure (partial policy): keep the
+            # accepted prefix of every burst, stop driving
+            break
         if max(s.max_displacement for s in result.steps) < displacement_tolerance:
             is_static = True
             break

@@ -6,13 +6,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.resilience import FailureReport, HealthWarning
 from repro.gpu.kernel import VirtualDevice
 from repro.util.timing import ModuleTimes
 
 
 @dataclass
 class StepRecord:
-    """Diagnostics of one accepted time step."""
+    """Diagnostics of one accepted time step.
+
+    ``dt`` is the time step the accepted attempt actually integrated
+    with (not the grown value carried into the next step).
+    ``solver_rung`` is the highest fallback-ladder rung the step needed
+    (0 = the configured preconditioner converged every solve); nonzero
+    values flag solver degradation long before a run fails outright.
+    """
 
     step: int
     dt: float
@@ -23,6 +31,8 @@ class StepRecord:
     max_displacement: float
     max_penetration: float
     retries: int
+    solver_rung: int = 0
+    oc_converged: bool = True
 
 
 @dataclass
@@ -42,6 +52,15 @@ class SimulationResult:
         accepted steps (plus the final state).
     displacements:
         Total centroid displacement per block since the start.
+    warnings:
+        Health-guard warnings and rollback events emitted during the run.
+    failure:
+        ``None`` for a complete run. On a fatal failure under the
+        ``on_failure="partial"`` policy, the :class:`FailureReport`
+        describing why the run stopped early (the ``steps`` list then
+        holds the accepted prefix).
+    rollbacks:
+        Checkpoint rollbacks performed during the run.
     """
 
     module_times: ModuleTimes
@@ -49,10 +68,23 @@ class SimulationResult:
     steps: list[StepRecord] = field(default_factory=list)
     snapshots: list[tuple[int, np.ndarray]] = field(default_factory=list)
     displacements: np.ndarray | None = None
+    warnings: list[HealthWarning] = field(default_factory=list)
+    failure: FailureReport | None = None
+    rollbacks: int = 0
 
     @property
     def n_steps(self) -> int:
         return len(self.steps)
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether the run stopped early with an attached failure report."""
+        return self.failure is not None
+
+    @property
+    def max_solver_rung(self) -> int:
+        """Highest fallback-ladder rung any step needed (0 = none)."""
+        return max((s.solver_rung for s in self.steps), default=0)
 
     @property
     def total_cg_iterations(self) -> int:
@@ -82,7 +114,7 @@ class SimulationResult:
         fields = [
             "step", "dt", "cg_iterations", "open_close_iterations",
             "n_contacts", "n_offdiag_blocks", "max_displacement",
-            "max_penetration", "retries",
+            "max_penetration", "retries", "solver_rung", "oc_converged",
         ]
         with open(path, "w", newline="") as fh:
             writer = csv.writer(fh)
@@ -112,7 +144,26 @@ class SimulationResult:
             displacements=other.displacements
             if other.displacements is not None
             else self.displacements,
+            warnings=self.warnings
+            + [
+                dataclasses.replace(w, step=w.step + offset)
+                for w in other.warnings
+            ],
+            failure=other.failure if other.failure is not None else self.failure,
+            rollbacks=self.rollbacks + other.rollbacks,
         )
+        if other.failure is not None:
+            # renumber the report into the merged step space
+            context = other.failure.context
+            if context is not None:
+                context = dataclasses.replace(
+                    context, step=context.step + offset
+                )
+            merged.failure = dataclasses.replace(
+                other.failure,
+                context=context,
+                steps_completed=offset + other.failure.steps_completed,
+            )
         for module, seconds in other.module_times.times.items():
             if other.module_times is not self.module_times:
                 merged.module_times.add(module, seconds)

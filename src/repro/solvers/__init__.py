@@ -26,6 +26,8 @@ from repro.solvers.preconditioners import (
     ILU0Preconditioner,
     IdentityPreconditioner,
     make_preconditioner,
+    stronger_preconditioner,
+    STRENGTH_ORDER,
 )
 from repro.solvers.triangular import (
     sparse_triangular_solve,
@@ -48,6 +50,8 @@ __all__ = [
     "ILU0Preconditioner",
     "IdentityPreconditioner",
     "make_preconditioner",
+    "stronger_preconditioner",
+    "STRENGTH_ORDER",
     "sparse_triangular_solve",
     "level_schedule",
     "ilu0_factorize",

@@ -43,12 +43,18 @@ class CGResult:
     residuals:
         Relative residual after each iteration (length ``iterations``),
         the series plotted in the paper's Fig. 5.
+    breakdown:
+        ``True`` when the solve stopped because ``p^T A p <= 0`` — the
+        matrix is not SPD along the search direction. The engine's
+        fallback ladder distinguishes this from a plain iteration-cap
+        non-convergence.
     """
 
     x: np.ndarray
     iterations: int
     converged: bool
     residuals: list[float] = field(default_factory=list)
+    breakdown: bool = False
 
 
 def _vector_ops_counters(n: int, ops: int) -> KernelCounters:
@@ -102,9 +108,9 @@ def pcg(
         raise ValueError(f"tol must be > 0, got {tol}")
     if max_iterations < 1:
         raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
-    m = preconditioner or IdentityPreconditioner.__new__(IdentityPreconditioner)
-    if preconditioner is None:
-        m.n = h.n  # type: ignore[attr-defined]
+    m = preconditioner if preconditioner is not None else IdentityPreconditioner()
+    if isinstance(m, IdentityPreconditioner) and m.n is None:
+        m.n = h.n
 
     x = np.zeros(n) if x0 is None else check_array("x0", x0, dtype=np.float64,
                                                    shape=(n,)).copy()
@@ -125,9 +131,9 @@ def pcg(
         ap = hsbcsr_spmv(h, p, device)
         pap = float(p @ ap)
         if pap <= 0.0:
-            # matrix not SPD along p (defensive): report divergence
+            # matrix not SPD along p (defensive): report breakdown
             return CGResult(x=x, iterations=it, converged=False,
-                            residuals=residuals)
+                            residuals=residuals, breakdown=True)
         alpha = rz / pap
         x += alpha * p
         r -= alpha * ap

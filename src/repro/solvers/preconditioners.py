@@ -34,12 +34,21 @@ class Preconditioner:
 
 
 class IdentityPreconditioner(Preconditioner):
-    """No preconditioning (plain CG)."""
+    """No preconditioning (plain CG).
+
+    The matrix argument is optional: the identity needs no data, so the
+    PCG driver can construct a standalone instance when no
+    preconditioner was supplied.
+    """
 
     name = "none"
 
-    def __init__(self, a: BlockMatrix, device: VirtualDevice | None = None) -> None:
-        self.n = a.n
+    def __init__(
+        self,
+        a: BlockMatrix | None = None,
+        device: VirtualDevice | None = None,
+    ) -> None:
+        self.n = a.n if a is not None else None
 
     def apply(self, r: np.ndarray, device: VirtualDevice | None = None) -> np.ndarray:
         return r.copy()
@@ -292,6 +301,24 @@ _REGISTRY = {
     "ssor": SSORAIPreconditioner,
     "ilu": ILU0Preconditioner,
 }
+
+#: Preconditioners ordered by strength, weakest first — the escalation
+#: axis of the solver fallback ladder (see
+#: :func:`repro.engine.resilience.solver_ladder`).
+STRENGTH_ORDER = ("none", "jacobi", "neumann", "bj", "ssor", "ilu")
+
+
+def stronger_preconditioner(name: str) -> str:
+    """The next-stronger preconditioner after ``name``.
+
+    Returns ``name`` unchanged when it is already the strongest (or
+    unknown, to stay permissive toward future registrations).
+    """
+    try:
+        idx = STRENGTH_ORDER.index(name)
+    except ValueError:
+        return name
+    return STRENGTH_ORDER[min(idx + 1, len(STRENGTH_ORDER) - 1)]
 
 
 def make_preconditioner(

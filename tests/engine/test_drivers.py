@@ -54,6 +54,45 @@ class TestRunUntilStatic:
         ids = [s.step for s in result.steps]
         assert ids == list(range(len(ids)))
 
+    def test_mid_burst_failure_returns_partial_merged_result(self, monkeypatch):
+        # a fatal fault in the second burst must stop the driver and hand
+        # back every accepted step with the failure report attached
+        import repro.engine.base as engine_base
+        from repro.core.state import ResilienceControls
+        from repro.solvers.cg import CGResult, pcg as real_pcg
+
+        calls = {"n": 0}
+
+        def flaky(a, b, x0=None, preconditioner=None, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 12:  # fail forever from inside burst 2
+                return CGResult(x=np.zeros(b.size), iterations=1,
+                                converged=False, residuals=[1.0])
+            return real_pcg(a, b, x0=x0, preconditioner=preconditioner,
+                            **kwargs)
+
+        monkeypatch.setattr(engine_base, "pcg", flaky)
+        engine = GpuEngine(
+            resting_system(),
+            SimulationControls(
+                time_step=1e-3, dynamic=True,
+                resilience=ResilienceControls(
+                    on_failure="partial", solver_fallback=False,
+                    max_rollbacks=0,
+                ),
+            ),
+        )
+        result, static = run_until_static(
+            engine, max_steps=40, burst=10, displacement_tolerance=1e-12
+        )
+        assert not static
+        assert result.failure is not None
+        assert result.failure.error == "StepRejected"
+        assert 10 < result.n_steps < 40  # burst 1 whole, burst 2 truncated
+        assert result.failure.steps_completed == result.n_steps
+        ids = [s.step for s in result.steps]
+        assert ids == list(range(len(ids)))  # merged numbering contiguous
+
     def test_invalid_args(self):
         engine = GpuEngine(
             resting_system(),

@@ -1,0 +1,409 @@
+"""Resilience layer: taxonomy, fallback ladder, guards, checkpoint/rollback.
+
+The headline scenario: a run that previously died with a bare
+``RuntimeError`` on forced mid-run non-convergence now rolls back to the
+last checkpoint, retries at a smaller dt, and completes (or returns a
+partial result with an attached ``FailureReport``) — on all three
+engines, with the fallback-ladder rung visible in the step records.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engine.base as engine_base
+from repro.core.blocks import Block, BlockSystem
+from repro.core.materials import BlockMaterial
+from repro.core.state import ResilienceControls, SimulationControls
+from repro.engine.gpu_engine import GpuEngine
+from repro.engine.hybrid_engine import HybridEngine
+from repro.engine.resilience import (
+    Checkpoint,
+    CheckpointCorrupt,
+    CheckpointManager,
+    HealthMonitor,
+    NumericalBlowup,
+    SimulationError,
+    SolverBreakdown,
+    StepContext,
+    StepRejected,
+    kinetic_energy,
+    solver_ladder,
+)
+from repro.engine.results import StepRecord
+from repro.engine.serial_engine import SerialEngine
+from repro.solvers.cg import CGResult, pcg
+from repro.solvers.preconditioners import stronger_preconditioner
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+MAT = BlockMaterial(young=1e9)
+
+ENGINES = [SerialEngine, GpuEngine, HybridEngine]
+
+
+def stacked():
+    base = np.array([[0, 0], [3, 0], [3, 1], [0, 1.0]])
+    s = BlockSystem([Block(base, MAT), Block(SQ + np.array([1.0, 1.0]), MAT)])
+    s.fix_block(0)
+    return s
+
+
+def controls(**resilience_kwargs) -> SimulationControls:
+    return SimulationControls(
+        time_step=1e-3, dynamic=True, max_displacement_ratio=0.05,
+        resilience=ResilienceControls(**resilience_kwargs),
+    )
+
+
+class FlakyPCG:
+    """Wrap the real pcg, failing a chosen window of calls.
+
+    Calls ``fail_from <= i < fail_from + fail_count`` (0-based) return a
+    non-converged result without running CG; everything else passes
+    through. Deterministic, so rollback-retries land on healed calls.
+    """
+
+    def __init__(self, fail_from: int, fail_count: int, breakdown=False):
+        self.fail_from = fail_from
+        self.fail_count = fail_count
+        self.breakdown = breakdown
+        self.calls = 0
+        self.failed = 0
+        self.rungs_seen: list[tuple[str, bool]] = []
+
+    def __call__(self, a, b, x0=None, preconditioner=None, **kwargs):
+        i = self.calls
+        self.calls += 1
+        self.rungs_seen.append(
+            (getattr(preconditioner, "name", "none"), x0 is not None)
+        )
+        if self.fail_from <= i < self.fail_from + self.fail_count:
+            self.failed += 1
+            return CGResult(
+                x=np.zeros(b.size), iterations=1, converged=False,
+                residuals=[1.0], breakdown=self.breakdown,
+            )
+        return pcg(a, b, x0=x0, preconditioner=preconditioner, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# taxonomy
+# ----------------------------------------------------------------------
+class TestTaxonomy:
+    def test_hierarchy(self):
+        for cls in (StepRejected, SolverBreakdown, NumericalBlowup,
+                    CheckpointCorrupt):
+            assert issubclass(cls, SimulationError)
+            assert issubclass(cls, RuntimeError)
+
+    def test_context_carried_and_described(self):
+        ctx = StepContext(step=7, dt=1e-4, retries=3,
+                          cg_residuals=[0.5, 0.1], max_penetration=2e-3,
+                          cause="cg_breakdown")
+        err = SolverBreakdown("boom", ctx)
+        assert err.context.step == 7
+        text = err.context.describe()
+        assert "step 7" in text and "cg_breakdown" in text
+        assert "1.000e-01" in text  # last residual
+
+    def test_blowup_policy_controls_recoverability(self):
+        assert NumericalBlowup("x", policy="rollback").recoverable
+        assert not NumericalBlowup("x", policy="fail_fast").recoverable
+        assert not CheckpointCorrupt("x").recoverable
+
+    def test_step_rejection_carries_context(self):
+        c = SimulationControls(
+            time_step=1e-3, dynamic=True, cg_tolerance=1e-300,
+            cg_max_iterations=2, max_displacement_ratio=0.05,
+        )
+        engine = GpuEngine(stacked(), c)
+        with pytest.raises(StepRejected) as exc_info:
+            engine.run(steps=1)
+        ctx = exc_info.value.context
+        assert ctx.step == 0
+        assert ctx.retries == engine_base.MAX_STEP_RETRIES
+        assert ctx.cause == "cg_non_convergence"
+        assert len(ctx.cg_residuals) > 0
+
+
+# ----------------------------------------------------------------------
+# fallback ladder
+# ----------------------------------------------------------------------
+class TestFallbackLadder:
+    def test_ladder_shape(self):
+        assert solver_ladder("bj") == [
+            ("bj", True), ("ssor", True), ("ssor", False),
+        ]
+        assert solver_ladder("ilu") == [("ilu", True), ("ilu", False)]
+        assert solver_ladder("bj", enabled=False) == [("bj", True)]
+
+    def test_strength_order(self):
+        assert stronger_preconditioner("none") == "jacobi"
+        assert stronger_preconditioner("bj") == "ssor"
+        assert stronger_preconditioner("ilu") == "ilu"
+        assert stronger_preconditioner("mystery") == "mystery"
+
+    def test_rung_recorded_on_escalation(self, monkeypatch):
+        # fail exactly the first solve: rung 0 rejected, rung 1 converges
+        flaky = FlakyPCG(fail_from=0, fail_count=1)
+        monkeypatch.setattr(engine_base, "pcg", flaky)
+        engine = GpuEngine(stacked(), controls())
+        result = engine.run(steps=3)
+        assert result.steps[0].solver_rung == 1
+        assert result.steps[0].retries == 0  # no dt-halving burned
+        assert result.max_solver_rung == 1
+        # the escalation used the stronger preconditioner
+        assert flaky.rungs_seen[0] == ("bj", True)
+        assert flaky.rungs_seen[1] == ("ssor", True)
+
+    def test_cold_restart_rung(self, monkeypatch):
+        # fail rungs 0 and 1: rung 2 must drop the warm start
+        flaky = FlakyPCG(fail_from=0, fail_count=2)
+        monkeypatch.setattr(engine_base, "pcg", flaky)
+        engine = GpuEngine(stacked(), controls())
+        result = engine.run(steps=2)
+        assert result.steps[0].solver_rung == 2
+        assert flaky.rungs_seen[2] == ("ssor", False)
+
+    def test_ladder_disabled_burns_dt_halving(self, monkeypatch):
+        flaky = FlakyPCG(fail_from=0, fail_count=1)
+        monkeypatch.setattr(engine_base, "pcg", flaky)
+        engine = GpuEngine(stacked(), controls(solver_fallback=False))
+        result = engine.run(steps=2)
+        assert result.steps[0].retries == 1
+        assert result.steps[0].solver_rung == 0
+
+    def test_breakdown_classified(self, monkeypatch):
+        flaky = FlakyPCG(fail_from=0, fail_count=10_000, breakdown=True)
+        monkeypatch.setattr(engine_base, "pcg", flaky)
+        engine = GpuEngine(stacked(), controls())
+        with pytest.raises(SolverBreakdown) as exc_info:
+            engine.run(steps=1)
+        assert exc_info.value.context.cause == "cg_breakdown"
+
+
+# ----------------------------------------------------------------------
+# accepted-dt recording (satellite fix)
+# ----------------------------------------------------------------------
+class TestAcceptedDtRecording:
+    def test_recorded_dt_is_integrated_dt(self, monkeypatch):
+        # force one rejection on step 3's first solve (ladder off): the
+        # step then integrates the halved dt, and the record must show
+        # that dt — not the regrown value carried into step 4
+        flaky = FlakyPCG(fail_from=3, fail_count=1)
+        monkeypatch.setattr(engine_base, "pcg", flaky)
+        engine = GpuEngine(stacked(), controls(solver_fallback=False))
+        result = engine.run(steps=6)
+        retried = [st for st in result.steps if st.retries == 1]
+        assert len(retried) == 1
+        assert retried[0].dt == pytest.approx(0.5e-3)
+        # the records' dt series sums to the engine's accumulated time
+        assert engine.sim_time == pytest.approx(
+            sum(st.dt for st in result.steps)
+        )
+        # and the following step grew dt again (1.5x growth, capped)
+        following = result.steps[retried[0].step + 1]
+        assert following.dt == pytest.approx(min(0.75e-3, 1e-3))
+
+
+# ----------------------------------------------------------------------
+# health monitor
+# ----------------------------------------------------------------------
+def _record(step=0, oc_converged=True, max_penetration=0.0):
+    return StepRecord(
+        step=step, dt=1e-3, cg_iterations=1, open_close_iterations=1,
+        n_contacts=0, n_offdiag_blocks=0, max_displacement=0.0,
+        max_penetration=max_penetration, retries=0,
+        oc_converged=oc_converged,
+    )
+
+
+class TestHealthMonitor:
+    def make(self, **kwargs):
+        rc = ResilienceControls(**kwargs)
+        return HealthMonitor(rc, contact_threshold=1e-3, energy_scale=1.0)
+
+    def test_finite_guard_raises(self):
+        monitor = self.make(guard_finite="rollback")
+        system = BlockSystem([Block(SQ, MAT)])
+        system.velocities[0, 0] = np.nan
+        with pytest.raises(NumericalBlowup) as exc_info:
+            monitor.after_step(system, _record())
+        assert exc_info.value.guard == "finite"
+        assert exc_info.value.recoverable
+
+    def test_penetration_guard_warns(self):
+        monitor = self.make(guard_penetration="warn", penetration_factor=10.0)
+        system = BlockSystem([Block(SQ, MAT)])
+        warnings = monitor.after_step(
+            system, _record(max_penetration=0.5)  # >> 10 x 1e-3
+        )
+        assert [w.guard for w in warnings] == ["penetration"]
+
+    def test_energy_guard_trips_on_blowup(self):
+        monitor = self.make(guard_energy="fail_fast", energy_factor=100.0)
+        system = BlockSystem([Block(SQ, MAT)])
+        system.velocities[0, :2] = 0.01
+        monitor.after_step(system, _record(step=0))  # establishes baseline
+        system.velocities[0, :2] = 100.0  # 1e8x energy jump, above floor
+        with pytest.raises(NumericalBlowup) as exc_info:
+            monitor.after_step(system, _record(step=1))
+        assert exc_info.value.guard == "energy"
+        assert not exc_info.value.recoverable  # fail_fast
+
+    def test_energy_guard_silent_below_floor(self):
+        monitor = self.make(guard_energy="fail_fast", energy_factor=100.0)
+        system = BlockSystem([Block(SQ, MAT)])
+        system.velocities[0, :2] = 1e-8
+        monitor.after_step(system, _record(step=0))
+        system.velocities[0, :2] = 1e-5  # huge ratio, negligible energy
+        assert monitor.after_step(system, _record(step=1)) == []
+
+    def test_oscillation_streak(self):
+        monitor = self.make(guard_oscillation="warn", oscillation_streak=3)
+        system = BlockSystem([Block(SQ, MAT)])
+        warnings = []
+        for step in range(3):
+            warnings += monitor.after_step(
+                system, _record(step=step, oc_converged=False)
+            )
+        assert [w.guard for w in warnings] == ["oscillation"]
+        # a converged step resets the streak
+        monitor.after_step(system, _record(step=3, oc_converged=True))
+        assert monitor._oscillation_streak == 0
+
+    def test_kinetic_energy(self):
+        system = BlockSystem([Block(SQ, MAT)])
+        system.velocities[0, 0] = 2.0
+        # 0.5 * rho * area * v^2 = 0.5 * 2600 * 1 * 4
+        assert kinetic_energy(system) == pytest.approx(0.5 * 2600.0 * 4.0)
+
+
+# ----------------------------------------------------------------------
+# checkpoints
+# ----------------------------------------------------------------------
+class TestCheckpoint:
+    def test_restore_is_bit_exact(self):
+        engine = GpuEngine(stacked(), controls())
+        engine.run(steps=5)
+        cp = engine.checkpoint(step=5)
+        after_a = engine.run(steps=5)
+        va = engine.system.vertices.copy()
+        engine.restore_checkpoint(cp)
+        after_b = engine.run(steps=5)
+        np.testing.assert_array_equal(va, engine.system.vertices)
+        assert after_a.steps[-1].cg_iterations == after_b.steps[-1].cg_iterations
+
+    def test_restore_rolls_back_boundary_conditions(self):
+        engine = GpuEngine(stacked(), controls())
+        cp = engine.checkpoint(step=0)
+        fixed_before = list(engine.system.fixed_points)
+        engine.run(steps=10)  # fixed points move with their block
+        engine.restore_checkpoint(cp)
+        assert engine.system.fixed_points == fixed_before
+        assert engine.sim_time == 0.0
+
+    def test_manager_ring_bounded(self):
+        engine = GpuEngine(stacked(), controls())
+        manager = CheckpointManager(keep=2)
+        for step in range(5):
+            manager.take(engine, step=step)
+        assert len(manager) == 2
+        assert manager.latest.step == 4
+
+    def test_manager_persists(self, tmp_path):
+        from repro.io.model_io import load_checkpoint
+
+        engine = GpuEngine(stacked(), controls())
+        manager = CheckpointManager(keep=1, persist_dir=tmp_path)
+        manager.take(engine, step=3)
+        cp = load_checkpoint(tmp_path / "checkpoint_00000003.npz")
+        assert cp.step == 3
+        np.testing.assert_array_equal(cp.vertices, engine.system.vertices)
+
+
+# ----------------------------------------------------------------------
+# end-to-end recovery (the acceptance scenario) — all three engines
+# ----------------------------------------------------------------------
+class TestEndToEndRecovery:
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_transient_fault_rolls_back_and_completes(
+        self, engine_cls, monkeypatch
+    ):
+        # Fault window: every solve fails from call 12 until one full
+        # step has exhausted its retries (ladder off => 1 call per
+        # attempt, 11 attempts), then the fault heals. Without the
+        # resilience layer this run died with a RuntimeError.
+        retries = engine_base.MAX_STEP_RETRIES + 1
+        flaky = FlakyPCG(fail_from=6, fail_count=retries)
+        monkeypatch.setattr(engine_base, "pcg", flaky)
+        engine = engine_cls(
+            stacked(),
+            controls(checkpoint_every=2, max_rollbacks=2,
+                     solver_fallback=False),
+        )
+        result = engine.run(steps=10)
+        assert result.failure is None
+        assert result.n_steps == 10
+        assert result.rollbacks >= 1
+        assert flaky.failed == retries  # the whole window was consumed
+        rollback_notes = [w for w in result.warnings if w.guard == "rollback"]
+        assert rollback_notes and "rolled back to step" in rollback_notes[0].message
+        # renumbering stayed contiguous through the rollback
+        assert [s.step for s in result.steps] == list(range(10))
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_persistent_fault_returns_partial_with_report(
+        self, engine_cls, monkeypatch
+    ):
+        flaky = FlakyPCG(fail_from=6, fail_count=10_000_000)
+        monkeypatch.setattr(engine_base, "pcg", flaky)
+        engine = engine_cls(
+            stacked(),
+            controls(checkpoint_every=2, max_rollbacks=1,
+                     solver_fallback=False, on_failure="partial"),
+        )
+        result = engine.run(steps=10)
+        assert result.is_partial
+        assert result.failure.error == "StepRejected"
+        assert result.failure.rollbacks == 1
+        assert 0 < result.n_steps < 10
+        assert result.failure.steps_completed == result.n_steps
+        # the partial prefix is still a usable result
+        assert result.displacements is not None
+
+    def test_nan_injection_triggers_rollback_recovery(self, monkeypatch):
+        engine = GpuEngine(
+            stacked(),
+            controls(checkpoint_every=1, max_rollbacks=2,
+                     guard_finite="rollback"),
+        )
+        original = engine._update_data
+        poisoned = {"armed": True}
+
+        def poison_once(d):
+            original(d)
+            if poisoned["armed"] and engine.sim_time > 3e-3:
+                poisoned["armed"] = False
+                engine.system.velocities[0, 0] = np.nan
+
+        monkeypatch.setattr(engine, "_update_data", poison_once)
+        result = engine.run(steps=8)
+        assert result.failure is None
+        assert result.rollbacks == 1
+        assert np.isfinite(engine.system.velocities).all()
+
+    def test_fail_fast_guard_skips_rollback(self, monkeypatch):
+        engine = GpuEngine(
+            stacked(),
+            controls(checkpoint_every=1, max_rollbacks=5,
+                     guard_finite="fail_fast"),
+        )
+        original = engine._update_data
+
+        def poison(d):
+            original(d)
+            engine.system.velocities[0, 0] = np.nan
+
+        monkeypatch.setattr(engine, "_update_data", poison)
+        with pytest.raises(NumericalBlowup):
+            engine.run(steps=5)

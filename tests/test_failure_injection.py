@@ -117,6 +117,123 @@ class TestEngineFailures:
         assert r.max_total_displacement() < 1e-4
 
 
+class TestResilienceFaultInjection:
+    """Injected faults exercising the resilience layer end to end."""
+
+    @staticmethod
+    def _stacked():
+        base = np.array([[0, 0], [3, 0], [3, 1], [0, 1.0]])
+        mat = BlockMaterial(young=1e9)
+        s = BlockSystem(
+            [Block(base, mat), Block(SQ + np.array([1.0, 1.0]), mat)]
+        )
+        s.fix_block(0)
+        return s
+
+    @staticmethod
+    def _controls(**resilience_kwargs):
+        from repro.core.state import ResilienceControls, SimulationControls
+
+        return SimulationControls(
+            time_step=1e-3, dynamic=True, max_displacement_ratio=0.05,
+            resilience=ResilienceControls(**resilience_kwargs),
+        )
+
+    def test_forced_breakdown_triggers_fallback_ladder(self, monkeypatch):
+        # a pap <= 0 breakdown on the configured preconditioner must
+        # escalate through the ladder instead of burning a dt-halving
+        import repro.engine.base as engine_base
+        from repro.engine.gpu_engine import GpuEngine
+        from repro.solvers.cg import CGResult, pcg as real_pcg
+
+        seen = []
+
+        def breaking(a, b, x0=None, preconditioner=None, **kwargs):
+            seen.append((getattr(preconditioner, "name", "none"), x0 is not None))
+            if len(seen) == 1:  # first solve: simulate pap <= 0
+                return CGResult(x=np.zeros(b.size), iterations=1,
+                                converged=False, residuals=[], breakdown=True)
+            return real_pcg(a, b, x0=x0, preconditioner=preconditioner,
+                            **kwargs)
+
+        monkeypatch.setattr(engine_base, "pcg", breaking)
+        engine = GpuEngine(self._stacked(), self._controls())
+        result = engine.run(steps=2)
+        assert result.steps[0].solver_rung == 1
+        assert result.steps[0].retries == 0
+        assert seen[0] == ("bj", True)
+        assert seen[1] == ("ssor", True)  # the escalation rung
+
+    def test_nan_in_velocities_triggers_rollback(self, monkeypatch):
+        from repro.engine.gpu_engine import GpuEngine
+
+        engine = GpuEngine(
+            self._stacked(),
+            self._controls(checkpoint_every=1, max_rollbacks=2,
+                           guard_finite="rollback"),
+        )
+        original = engine._update_data
+        armed = {"on": True}
+
+        def poison_once(d):
+            original(d)
+            if armed["on"] and engine.sim_time > 2e-3:
+                armed["on"] = False
+                engine.system.velocities[1, 1] = np.nan
+
+        monkeypatch.setattr(engine, "_update_data", poison_once)
+        result = engine.run(steps=6)
+        assert result.failure is None
+        assert result.rollbacks == 1
+        assert np.isfinite(engine.system.velocities).all()
+
+    def test_corrupted_checkpoint_raises_checkpoint_corrupt(self, tmp_path):
+        from repro.core.state import SimulationControls
+        from repro.engine.gpu_engine import GpuEngine
+        from repro.engine.resilience import CheckpointCorrupt
+        from repro.io.model_io import load_checkpoint, save_checkpoint
+
+        engine = GpuEngine(
+            self._stacked(),
+            SimulationControls(time_step=1e-3, dynamic=True,
+                               max_displacement_ratio=0.05),
+        )
+        engine.run(steps=2)
+        path = save_checkpoint(engine.checkpoint(step=2), tmp_path / "cp")
+
+        # flip a payload byte: unreadable or checksum-mismatched either way
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        bad = tmp_path / "cp_bad.npz"
+        bad.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(bad)
+
+        # tampered payload behind a stale checksum: digest must catch it
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["velocities"] = arrays["velocities"] + 1.0
+        tampered = tmp_path / "cp_tampered.npz"
+        np.savez_compressed(tampered, **arrays)
+        with pytest.raises(CheckpointCorrupt, match="integrity"):
+            load_checkpoint(tampered)
+
+        # truncated write (killed mid-save)
+        half = tmp_path / "cp_half.npz"
+        half.write_bytes(path.read_bytes()[: len(blob) // 2])
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(half)
+
+    def test_wrong_format_file_rejected(self, tmp_path):
+        from repro.engine.resilience import CheckpointCorrupt
+        from repro.io.model_io import load_checkpoint
+
+        bogus = tmp_path / "bogus.npz"
+        np.savez_compressed(bogus, vertices=np.zeros((3, 2)))
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(bogus)
+
+
 class TestBlockMatrixValidation:
     def test_wrong_block_shape(self):
         with pytest.raises(ShapeError):
