@@ -49,6 +49,13 @@ _EXPORTS = {
     "CheckpointCorrupt": "repro.engine.resilience",
     "FailureReport": "repro.engine.resilience",
     "Checkpoint": "repro.engine.resilience",
+    "ContractViolation": "repro.engine.contracts",
+    "StageContracts": "repro.engine.contracts",
+    "FaultInjector": "repro.engine.chaos",
+    "FAULT_REGISTRY": "repro.engine.chaos",
+    "corrupt_checkpoint_file": "repro.engine.chaos",
+    "Tolerances": "repro.geometry.tolerances",
+    "ModelValidationError": "repro.util.validation",
     "save_checkpoint": "repro.io.model_io",
     "load_checkpoint": "repro.io.model_io",
     "SerialEngine": "repro.engine.serial_engine",

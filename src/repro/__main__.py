@@ -66,6 +66,25 @@ def build_parser() -> argparse.ArgumentParser:
                           "failure report instead of raising")
     res.add_argument("--no-solver-fallback", action="store_true",
                      help="disable the preconditioner fallback ladder")
+    res.add_argument("--contracts", choices=("off", "cheap", "full"),
+                     default="off", dest="contracts",
+                     help="stage-contract checking level "
+                          "(post-condition checks at every pipeline stage)")
+    chaos = p.add_argument_group("chaos harness (fault injection)")
+    chaos.add_argument("--inject-faults", type=int, metavar="SEED",
+                       dest="inject_faults", default=None,
+                       help="inject every registered fault class once, "
+                            "deterministically from SEED (pair with "
+                            "--contracts and --checkpoint-every to "
+                            "exercise detection + recovery)")
+    chaos.add_argument("--fault", action="append", dest="fault_names",
+                       metavar="NAME", default=None,
+                       help="restrict injection to this fault class "
+                            "(repeatable; see repro.engine.chaos."
+                            "FAULT_REGISTRY)")
+    chaos.add_argument("--fault-step", type=int, default=1, metavar="N",
+                       help="first step eligible for injection (default 1, "
+                            "so a checkpoint exists to roll back to)")
     return p
 
 
@@ -108,6 +127,7 @@ def main(argv: list[str] | None = None) -> int:
         time_step=args.dt,
         dynamic=args.dynamic,
         preconditioner=args.preconditioner,
+        contract_level=args.contracts,
         resilience=ResilienceControls(
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
@@ -116,13 +136,26 @@ def main(argv: list[str] | None = None) -> int:
             solver_fallback=not args.no_solver_fallback,
         ),
     )
+    injector = None
+    if args.inject_faults is not None or args.fault_names:
+        from repro.engine.chaos import FaultInjector
+
+        injector = FaultInjector(
+            faults=args.fault_names,
+            seed=args.inject_faults or 0,
+            start_step=args.fault_step,
+        )
     gpu_profile = K20 if args.profile == "k20" else K40
     if args.engine == "serial":
-        engine = SerialEngine(system, controls)
+        engine = SerialEngine(system, controls, fault_injector=injector)
     elif args.engine == "hybrid":
-        engine = HybridEngine(system, controls, profile=gpu_profile)
+        engine = HybridEngine(
+            system, controls, profile=gpu_profile, fault_injector=injector
+        )
     else:
-        engine = GpuEngine(system, controls, profile=gpu_profile)
+        engine = GpuEngine(
+            system, controls, profile=gpu_profile, fault_injector=injector
+        )
     result = engine.run(steps=args.steps)
 
     table = Table(
@@ -147,6 +180,32 @@ def main(argv: list[str] | None = None) -> int:
         )
     if result.rollbacks:
         print(f"checkpoint rollbacks: {result.rollbacks}")
+    if result.contract_violations:
+        counts = ", ".join(
+            f"{stage}={count}"
+            for stage, count in sorted(result.contract_violations.items())
+        )
+        print(f"contract violations caught: {counts}")
+    if injector is not None:
+        for fault in injector.injected:
+            print(
+                f"injected [step {fault.step}, {fault.stage}] "
+                f"{fault.name}: {fault.detail}",
+                file=sys.stderr,
+            )
+        if injector.pending:
+            print(
+                f"faults never applicable: {injector.pending}",
+                file=sys.stderr,
+            )
+        detected = sum(result.contract_violations.values())
+        if injector.injected and detected < len(injector.injected):
+            print(
+                f"CHAOS: only {detected}/{len(injector.injected)} injected "
+                "faults were caught by contracts (silent absorption?)",
+                file=sys.stderr,
+            )
+            return 2
     for warning in result.warnings:
         print(
             f"warning [step {warning.step}, {warning.guard}]: "

@@ -35,6 +35,7 @@ import numpy as np
 from repro.contact.contact_set import ContactSet, VE, VV1, VV2
 from repro.core.blocks import BlockSystem
 from repro.geometry.distance import point_segment_distance
+from repro.geometry.tolerances import Tolerances
 from repro.gpu.counters import KernelCounters
 from repro.gpu.kernel import VirtualDevice
 from repro.gpu.memory import coalesced_transactions, gather_transactions
@@ -98,11 +99,20 @@ def _adjacent_vertex_indices(
     return prev, nxt
 
 
-def _angle_between(d1: np.ndarray, d2: np.ndarray) -> np.ndarray:
-    """Angle in radians between paired direction vectors (rows)."""
+def _angle_between(
+    d1: np.ndarray, d2: np.ndarray, floor: float = 1e-300
+) -> np.ndarray:
+    """Angle in radians between paired direction vectors (rows).
+
+    Pairs whose norm product falls below ``floor`` (degenerate direction
+    from coincident vertices) return ``pi/2`` — maximally non-parallel,
+    so they can never pass an antiparallel-edge judgment.
+    """
     n1 = np.linalg.norm(d1, axis=1)
     n2 = np.linalg.norm(d2, axis=1)
-    cosv = np.einsum("ij,ij->i", d1, d2) / np.maximum(n1 * n2, 1e-300)
+    prod = n1 * n2
+    cosv = np.einsum("ij,ij->i", d1, d2) / np.maximum(prod, floor)
+    cosv = np.where(prod <= floor, 0.0, cosv)
     return np.arccos(np.clip(cosv, -1.0, 1.0))
 
 
@@ -114,6 +124,7 @@ def narrow_phase(
     device: VirtualDevice | None = None,
     *,
     vv1_angle_tol_deg: float = VV1_ANGLE_TOL_DEG,
+    tol: Tolerances | None = None,
 ) -> ContactSet:
     """Detect and classify contacts for the given broad-phase pairs.
 
@@ -128,6 +139,10 @@ def narrow_phase(
         abandoned.
     device:
         Optional virtual device for the kernel cost ledger.
+    tol:
+        Scale-relative tolerances for degeneracy judgments (zero-length
+        edges, coincident vertices). Derived from the system's bounding
+        box when omitted.
 
     Returns
     -------
@@ -140,6 +155,9 @@ def narrow_phase(
     check_positive("threshold", threshold)
     pairs_i = check_array("pairs_i", pairs_i, dtype=np.int64, ndim=1)
     pairs_j = check_array("pairs_j", pairs_j, dtype=np.int64, shape=(pairs_i.shape[0],))
+    if tol is None:
+        tol = Tolerances.from_points(system.vertices)
+    eps_len = tol.eps_length
     vblock, eblock, v_idx, e_local, dpair = _expand_candidates(
         system, pairs_i, pairs_j
     )
@@ -155,7 +173,10 @@ def narrow_phase(
 
     # ---- distance judgment (kernel 1) -------------------------------
     dist, t = point_segment_distance(p1, pa, pb)
-    near = dist < threshold
+    # zero-length edges (coincident consecutive vertices) can never be a
+    # contact entrance edge; abandon those candidates outright
+    edge_len = np.hypot(pb[:, 0] - pa[:, 0], pb[:, 1] - pa[:, 1])
+    near = (dist < threshold) & (edge_len > eps_len)
     if device is not None:
         device.launch(
             "narrow_distance_judgment",
@@ -218,19 +239,21 @@ def narrow_phase(
         # edges of A at v
         dv_in = pv - verts[v_prev]
         dv_out = verts[v_next] - pv
-        # VV1 judgment: any A-edge antiparallel to any B-edge
-        tol = math.radians(vv1_angle_tol_deg)
+        # VV1 judgment: any A-edge antiparallel to any B-edge; degenerate
+        # directions (coincident adjacent vertices) read as pi/2, never VV1
+        angle_floor = eps_len * eps_len
+        ang_tol = math.radians(vv1_angle_tol_deg)
         ang = np.stack(
             [
-                _angle_between(dv_in, -d_in),
-                _angle_between(dv_in, -d_out),
-                _angle_between(dv_out, -d_in),
-                _angle_between(dv_out, -d_out),
+                _angle_between(dv_in, -d_in, angle_floor),
+                _angle_between(dv_in, -d_out, angle_floor),
+                _angle_between(dv_out, -d_in, angle_floor),
+                _angle_between(dv_out, -d_out, angle_floor),
             ],
             axis=1,
         )
         best_combo = np.argmin(ang, axis=1)
-        is_vv1 = ang[np.arange(vv.size), best_combo] < tol
+        is_vv1 = ang[np.arange(vv.size), best_combo] < ang_tol
         # entrance-edge selection: signed outside distance of v against
         # each candidate edge (outside-positive = right of the CCW edge)
         def outside(p, q1, q2):
@@ -238,7 +261,7 @@ def narrow_phase(
                 q2[:, 1] - q1[:, 1]
             ) * (p[:, 0] - q1[:, 0])
             ln = np.hypot(q2[:, 0] - q1[:, 0], q2[:, 1] - q1[:, 1])
-            return -cross / np.maximum(ln, 1e-300)
+            return -cross / np.maximum(ln, eps_len)
 
         out_in = outside(pv, verts[w_prev], pw)
         out_out = outside(pv, pw, verts[w_next])
@@ -254,6 +277,13 @@ def narrow_phase(
         # angle-judgment abandon: the vertex is far outside both candidate
         # edges (no contact possible within the threshold)
         drop[vv] = np.maximum(out_in, out_out) > threshold
+        # abandon VV contacts whose resolved entrance edge is degenerate
+        # (zero length): downstream spring kernels need a real direction
+        eff_len = np.hypot(
+            verts[eff_b[vv]][:, 0] - verts[eff_a[vv]][:, 0],
+            verts[eff_b[vv]][:, 1] - verts[eff_a[vv]][:, 1],
+        )
+        drop[vv] |= eff_len <= eps_len
         # dedupe corner-corner (VV2) duplicates found from both directions:
         # keep the orientation with the smaller vertex-block id. VV1 rows
         # are kept in both directions — edge-on-edge contact genuinely

@@ -21,6 +21,7 @@ from repro.geometry.polygon import (
     polygon_centroid,
     polygon_second_moments,
 )
+from repro.geometry.tolerances import Tolerances
 from repro.util.validation import ShapeError, check_array
 
 #: Degrees of freedom per block: (u0, v0, r0, ex, ey, gxy).
@@ -40,11 +41,27 @@ class Block:
     material: BlockMaterial = field(default_factory=BlockMaterial)
 
     def __post_init__(self) -> None:
-        self.vertices = ensure_ccw(
-            check_array("vertices", self.vertices, dtype=np.float64,
+        v = check_array("vertices", self.vertices, dtype=np.float64,
                         shape=(None, 2), finite=True)
-        )
-        if abs(polygon_area(self.vertices)) < 1e-14:
+        # drop coincident consecutive vertices (zero-length edges) before
+        # orientation/area: scale-relative, so a millimetre-scale block is
+        # cleaned exactly like a kilometre-scale one
+        if v.shape[0] >= 2:
+            tol = Tolerances.from_points(v, rel=1e-12)
+            gap = np.hypot(*(v - np.roll(v, 1, axis=0)).T)
+            keep = gap > tol.eps_length
+            if not keep.all():
+                if keep.sum() < 3:
+                    raise ShapeError(
+                        "block polygon collapses to fewer than 3 distinct "
+                        "vertices"
+                    )
+                v = v[keep]
+        self.vertices = ensure_ccw(v)
+        span = self.vertices.max(axis=0) - self.vertices.min(axis=0)
+        if abs(polygon_area(self.vertices)) < max(
+            1e-14, 1e-12 * float(span @ span)
+        ):
             raise ShapeError("block polygon has (near-)zero area")
 
     @property

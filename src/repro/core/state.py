@@ -159,6 +159,12 @@ class SimulationControls:
     resilience:
         Checkpoint/rollback, solver-fallback, and health-guard knobs
         (:class:`ResilienceControls`).
+    contract_level:
+        Stage-contract checking level (:mod:`repro.engine.contracts`):
+        ``"off"`` (default, zero overhead), ``"cheap"`` (vectorised
+        O(m) invariant scans at every stage boundary), ``"full"``
+        (adds residual verification, lost-contact cross-checks, and
+        polygon-simplicity checks).
     """
 
     time_step: float = 1e-3
@@ -174,6 +180,7 @@ class SimulationControls:
     preconditioner: str = "bj"
     base_acceleration: object = None
     resilience: ResilienceControls = field(default_factory=ResilienceControls)
+    contract_level: str = "off"
 
     def __post_init__(self) -> None:
         if self.time_step <= 0:
@@ -205,4 +212,9 @@ class SimulationControls:
             raise ValueError(
                 "resilience must be a ResilienceControls, got "
                 f"{type(self.resilience).__name__}"
+            )
+        if self.contract_level not in ("off", "cheap", "full"):
+            raise ValueError(
+                "contract_level must be 'off', 'cheap', or 'full', got "
+                f"{self.contract_level!r}"
             )

@@ -32,6 +32,18 @@ from repro.engine.resilience import (
     StepRejected,
     solver_ladder,
 )
+from repro.engine.contracts import (
+    CONTRACT_LEVELS,
+    ContractViolation,
+    StageContracts,
+)
+from repro.engine.chaos import (
+    FAULT_REGISTRY,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    corrupt_checkpoint_file,
+)
 from repro.engine.results import SimulationResult, StepRecord
 from repro.engine.serial_engine import SerialEngine
 from repro.engine.gpu_engine import GpuEngine
@@ -61,4 +73,12 @@ __all__ = [
     "StepContext",
     "StepRejected",
     "solver_ladder",
+    "CONTRACT_LEVELS",
+    "ContractViolation",
+    "StageContracts",
+    "FAULT_REGISTRY",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "corrupt_checkpoint_file",
 ]

@@ -22,6 +22,7 @@ from repro.contact.contact_set import ContactSet
 from repro.core.blocks import DOF, BlockSystem
 from repro.core.displacement import displacement_matrix, update_geometry
 from repro.core.state import SimulationControls
+from repro.engine.contracts import StageContracts
 from repro.engine.resilience import (
     Checkpoint,
     CheckpointManager,
@@ -35,6 +36,7 @@ from repro.engine.resilience import (
     solver_ladder,
 )
 from repro.engine.results import SimulationResult, StepRecord
+from repro.geometry.tolerances import Tolerances
 from repro.gpu.device import DeviceProfile, K40
 from repro.gpu.kernel import VirtualDevice
 from repro.solvers.cg import CGResult, pcg
@@ -56,9 +58,13 @@ class EngineBase:
         system: BlockSystem,
         controls: SimulationControls | None = None,
         profile: DeviceProfile | None = None,
+        fault_injector=None,
     ) -> None:
         self.system = system
         self.controls = controls or SimulationControls()
+        #: chaos harness hook (:class:`repro.engine.chaos.FaultInjector`);
+        #: ``None`` in production runs
+        self.fault_injector = fault_injector
         self.device = VirtualDevice(profile or self.default_profile)
         self.dt = self.controls.time_step
         #: accumulated simulated physical time [s] (drives seismic input)
@@ -77,6 +83,8 @@ class EngineBase:
         self._max_disp_allowed = (
             self.controls.max_displacement_ratio * self._model_size / 2.0
         )
+        #: scale-relative tolerances derived from the model bounding box
+        self.tolerances = Tolerances.from_points(system.vertices)
         mean_diam = float(np.sqrt(system.areas.mean()))
         self.contact_threshold = self.controls.contact_distance_factor * mean_diam
         densities_all = np.array(
@@ -102,6 +110,20 @@ class EngineBase:
         )
         self._force_tol = 1e-3 * float(
             np.median(densities * system.areas) * self.controls.gravity
+        )
+        #: stage post-condition checker (level "off" = no-op)
+        self.contracts = StageContracts(
+            self.controls.contract_level,
+            contact_threshold=self.contact_threshold,
+            penetration_factor=self.controls.resilience.penetration_factor,
+        )
+
+    def _inject(self, stage: str, payload, step: int):
+        """Chaos-harness hook: possibly corrupt a stage output."""
+        if self.fault_injector is None:
+            return payload
+        return self.fault_injector.perturb(
+            stage, payload, step=step, engine=self
         )
 
     # ------------------------------------------------------------------
@@ -179,6 +201,9 @@ class EngineBase:
             )
             manager.take(self, step=0)
         self._monitor.reset()
+        # counts accumulate across runs on the checker; diff at the end
+        # so each run (and each run_until_static burst) reports its own
+        violations_before = self.contracts.violations.copy()
         rollbacks = 0
         step = 0
         while step < steps:
@@ -235,6 +260,11 @@ class EngineBase:
                     (step, self.system.centroids.copy())
                 )
         result.rollbacks = rollbacks
+        result.contract_violations = {
+            stage: count - violations_before.get(stage, 0)
+            for stage, count in self.contracts.violations.items()
+            if count - violations_before.get(stage, 0) > 0
+        }
         result.snapshots.append(
             (len(result.steps), self.system.centroids.copy())
         )
@@ -307,10 +337,15 @@ class EngineBase:
         max_pen = 0.0
         for retry in range(MAX_STEP_RETRIES + 1):
             saved_velocities = self.system.velocities.copy()
+            ctx = StepContext(step=step, dt=self.dt, retries=retry)
             # ---- contact detection ----------------------------------
             with times.measure("contact_detection"):
                 with self.device.region("contact_detection"):
                     contacts = self._detect_contacts()
+            contacts = self._inject("contact_detection", contacts, step)
+            self.contracts.check_contacts(
+                self.system, contacts, previous=self._contacts, context=ctx
+            )
 
             # ---- diagonal building (contact-independent) ------------
             with times.measure("diagonal_matrix_building"):
@@ -341,12 +376,19 @@ class EngineBase:
                             np.concatenate([diag_blocks, c_diag_blocks]),
                             rows, cols, blocks,
                         )
+                matrix = self._inject("matrix_assembly", matrix, step)
+                self.contracts.check_matrix(matrix, context=ctx)
                 # ---- equation solving --------------------------------
                 with times.measure("equation_solving"):
                     with self.device.region("equation_solving"):
                         res, rung, iters = self._solve_with_fallback(
                             matrix, f_base + f_contact
                         )
+                res = self._inject("equation_solving", res, step)
+                if res.converged:
+                    self.contracts.check_solution(
+                        matrix, f_base + f_contact, res, context=ctx
+                    )
                 cg_total += iters
                 step_rung = max(step_rung, rung)
                 last_res = res
@@ -364,6 +406,7 @@ class EngineBase:
                         update = self._check_interpenetration(
                             contacts, d, normal_force
                         )
+                self.contracts.check_state_update(contacts, update, context=ctx)
                 max_pen = update.max_penetration
                 contacts.state = update.states
                 contacts.shear_sign = update.shear_sign
@@ -395,6 +438,7 @@ class EngineBase:
                 with times.measure("data_updating"):
                     with self.device.region("data_updating"):
                         self._update_data(d)
+                self.contracts.check_geometry(self.system, context=ctx)
                 accepted_dt = self.dt
                 self.sim_time += accepted_dt
                 self.dt = min(self.dt * 1.5, controls.time_step)

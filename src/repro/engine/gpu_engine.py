@@ -53,8 +53,9 @@ class GpuEngine(EngineBase):
         system: BlockSystem,
         controls: SimulationControls | None = None,
         profile: DeviceProfile | None = None,
+        fault_injector=None,
     ) -> None:
-        super().__init__(system, controls, profile)
+        super().__init__(system, controls, profile, fault_injector)
 
     # ------------------------------------------------------------------
     def _detect_contacts(self) -> ContactSet:
@@ -63,7 +64,8 @@ class GpuEngine(EngineBase):
             system.aabbs, self.contact_threshold, self.device
         )
         contacts = narrow_phase(
-            system, i, j, self.contact_threshold, self.device
+            system, i, j, self.contact_threshold, self.device,
+            tol=self.tolerances,
         )
         contacts = transfer_contacts(
             self._contacts, contacts, system.vertices.shape[0], self.device

@@ -67,8 +67,9 @@ class HybridEngine(GpuEngine):
         profile: DeviceProfile | None = None,
         cpu_profile: DeviceProfile | None = None,
         pcie_profile: DeviceProfile | None = None,
+        fault_injector=None,
     ) -> None:
-        super().__init__(system, controls, profile or K40)
+        super().__init__(system, controls, profile or K40, fault_injector)
         self.device = RoutedVirtualDevice(
             profile or K40,
             routes={

@@ -61,6 +61,11 @@ class SimulationResult:
         holds the accepted prefix).
     rollbacks:
         Checkpoint rollbacks performed during the run.
+    contract_violations:
+        Stage-contract violations caught during the run, keyed by
+        pipeline stage name (empty when ``contract_level="off"`` or
+        nothing tripped). Violations that triggered a successful
+        rollback still appear here — detection is part of the record.
     """
 
     module_times: ModuleTimes
@@ -71,6 +76,7 @@ class SimulationResult:
     warnings: list[HealthWarning] = field(default_factory=list)
     failure: FailureReport | None = None
     rollbacks: int = 0
+    contract_violations: dict[str, int] = field(default_factory=dict)
 
     @property
     def n_steps(self) -> int:
@@ -151,6 +157,13 @@ class SimulationResult:
             ],
             failure=other.failure if other.failure is not None else self.failure,
             rollbacks=self.rollbacks + other.rollbacks,
+            contract_violations={
+                stage: self.contract_violations.get(stage, 0)
+                + other.contract_violations.get(stage, 0)
+                for stage in {
+                    *self.contract_violations, *other.contract_violations
+                }
+            },
         )
         if other.failure is not None:
             # renumber the report into the merged step space

@@ -39,8 +39,9 @@ class SerialEngine(EngineBase):
         system: BlockSystem,
         controls: SimulationControls | None = None,
         profile: DeviceProfile | None = None,
+        fault_injector=None,
     ) -> None:
-        super().__init__(system, controls, profile)
+        super().__init__(system, controls, profile, fault_injector)
 
     # ------------------------------------------------------------------
     def _detect_contacts(self) -> ContactSet:
@@ -56,7 +57,9 @@ class SerialEngine(EngineBase):
                 threads=1, warps=1,
             ),
         )
-        contacts = narrow_phase(system, i, j, self.contact_threshold)
+        contacts = narrow_phase(
+            system, i, j, self.contact_threshold, tol=self.tolerances
+        )
         self._charge_serial_narrow(i.size, contacts.m)
         contacts = transfer_contacts(
             self._contacts, contacts, system.vertices.shape[0]

@@ -26,8 +26,10 @@ from repro.geometry.segments import (
     segment_intersections,
     split_segments_at_points,
 )
+from repro.geometry.tolerances import Tolerances
 
 __all__ = [
+    "Tolerances",
     "polygon_area",
     "polygon_centroid",
     "polygon_second_moments",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.geometry.tolerances import Tolerances
 from repro.util.validation import check_array
 
 
@@ -77,7 +78,8 @@ def signed_triangle_area2(
 
 
 def edge_penetration(
-    p1: np.ndarray, p2: np.ndarray, p3: np.ndarray
+    p1: np.ndarray, p2: np.ndarray, p3: np.ndarray, *,
+    tol: Tolerances | None = None,
 ) -> np.ndarray:
     """Signed vertex–edge distance ``S0 / l`` for paired rows.
 
@@ -85,9 +87,21 @@ def edge_penetration(
     the ratio is the perpendicular signed distance of vertex ``p1`` from
     the (infinite) line through ``p2–p3``. Negative values mean the vertex
     has crossed to the material side — an interpenetration.
+
+    Degenerate edges (length below ``tol.eps_length``, scale-relative)
+    fall back to the unsigned point–point distance ``|p1 - p2|`` — the
+    vertex cannot be "inside" an edge that has no extent. Without ``tol``
+    a zero-length edge raises, preserving the strict historical contract.
     """
     s0 = signed_triangle_area2(p1, p2, p3)
     length = np.hypot(p3[:, 0] - p2[:, 0], p3[:, 1] - p2[:, 1])
-    if np.any(length <= 0.0):
-        raise ValueError("degenerate contact edge (zero length)")
-    return s0 / length
+    if tol is None:
+        if np.any(length <= 0.0):
+            raise ValueError("degenerate contact edge (zero length)")
+        return s0 / length
+    degenerate = length <= tol.eps_length
+    safe = np.where(degenerate, 1.0, length)
+    d = s0 / safe
+    if np.any(degenerate):
+        d = np.where(degenerate, point_point_distance(p1, p2), d)
+    return d

@@ -39,13 +39,19 @@ def ensure_ccw(poly: np.ndarray) -> np.ndarray:
 
 
 def polygon_centroid(poly: np.ndarray) -> np.ndarray:
-    """Centroid of a simple polygon (exact)."""
+    """Centroid of a simple polygon (exact).
+
+    Degeneracy is judged scale-relatively: the area must exceed a tiny
+    fraction of the squared bounding-box diagonal, so the same sliver
+    shape is accepted or rejected identically at any model scale.
+    """
     p = _vertices(poly)
     x, y = p[:, 0], p[:, 1]
     xn, yn = np.roll(x, -1), np.roll(y, -1)
     cross = x * yn - xn * y
     a = 0.5 * np.sum(cross)
-    if a == 0.0:
+    span = p.max(axis=0) - p.min(axis=0)
+    if abs(a) <= 1e-14 * float(span @ span):
         raise ShapeError("polygon is degenerate (zero area)")
     cx = np.sum((x + xn) * cross) / (6.0 * a)
     cy = np.sum((y + yn) * cross) / (6.0 * a)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.geometry.tolerances import Tolerances
 from repro.util.validation import check_array
 
 #: Relative tolerance used to snap near-coincident intersection parameters.
@@ -26,8 +27,12 @@ def segment_intersections(
     segments:
         ``(n, 4)`` array of ``[x1, y1, x2, y2]`` rows.
     eps:
-        Parameter-space tolerance: intersections within ``eps`` of an
-        endpoint snap to the endpoint.
+        *Relative* tolerance: parallelism and collinearity tests compare
+        normalised cross products (sines of angles) against ``eps``, and
+        intersections within ``eps`` of an endpoint (in parameter space)
+        snap to the endpoint. Length comparisons use ``eps`` scaled by
+        the segment set's bounding-box diagonal, so millimetre- and
+        kilometre-scale inputs classify identically.
 
     Returns
     -------
@@ -39,21 +44,29 @@ def segment_intersections(
     n = segs.shape[0]
     if n < 2:
         return []
+    eps_len2 = Tolerances.from_segments(segs, rel=eps).eps_length ** 2
     p = segs[:, 0:2]
     r = segs[:, 2:4] - segs[:, 0:2]
     ii, jj = np.triu_indices(n, k=1)
     pi, ri = p[ii], r[ii]
     pj, rj = p[jj], r[jj]
+    norm_i = np.hypot(ri[:, 0], ri[:, 1])
+    norm_j = np.hypot(rj[:, 0], rj[:, 1])
     cross_rr = ri[:, 0] * rj[:, 1] - ri[:, 1] * rj[:, 0]
     qp = pj - pi
+    norm_qp = np.hypot(qp[:, 0], qp[:, 1])
     cross_qp_r = qp[:, 0] * ri[:, 1] - qp[:, 1] * ri[:, 0]
     out: list[tuple[int, int, float, float]] = []
 
+    # near-parallel judgment on the *sine of the angle* between the pair
+    # (|ri x rj| / |ri||rj|), not the raw cross product, which carries
+    # units of area and would make the cut-off scale-dependent
+    parallel = np.abs(cross_rr) <= eps * np.maximum(norm_i * norm_j, eps_len2)
     with np.errstate(divide="ignore", invalid="ignore"):
         t = (qp[:, 0] * rj[:, 1] - qp[:, 1] * rj[:, 0]) / cross_rr
         u = (qp[:, 0] * ri[:, 1] - qp[:, 1] * ri[:, 0]) / cross_rr
     proper = (
-        (np.abs(cross_rr) > eps)
+        ~parallel
         & (t >= -eps)
         & (t <= 1 + eps)
         & (u >= -eps)
@@ -64,12 +77,15 @@ def segment_intersections(
         tj = min(1.0, max(0.0, float(u[k])))
         out.append((int(ii[k]), int(jj[k]), ti, tj))
 
-    # Collinear overlaps: project j's endpoints onto i.
-    collinear = (np.abs(cross_rr) <= eps) & (np.abs(cross_qp_r) <= eps)
+    # Collinear overlaps: project j's endpoints onto i (the offset test is
+    # likewise normalised: |qp x ri| / |qp||ri| against eps).
+    collinear = parallel & (
+        np.abs(cross_qp_r) <= eps * np.maximum(norm_qp * norm_i, eps_len2)
+    )
     for k in np.flatnonzero(collinear):
         i, j = int(ii[k]), int(jj[k])
         riri = float(ri[k] @ ri[k])
-        if riri <= eps:
+        if riri <= eps_len2:
             continue
         t0 = float((pj[k] - pi[k]) @ ri[k]) / riri
         t1 = float((pj[k] + rj[k] - pi[k]) @ ri[k]) / riri
@@ -80,7 +96,7 @@ def segment_intersections(
                 )
         # and i's endpoints onto j
         rjrj = float(rj[k] @ rj[k])
-        if rjrj <= eps:
+        if rjrj <= eps_len2:
             continue
         s0 = float((pi[k] - pj[k]) @ rj[k]) / rjrj
         s1 = float((pi[k] + ri[k] - pj[k]) @ rj[k]) / rjrj

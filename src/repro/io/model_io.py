@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.blocks import Block, BlockSystem
 from repro.core.materials import BlockMaterial, JointMaterial
+from repro.util.validation import validate_model_arrays
 
 
 def save_system(system: BlockSystem, stem: str | Path) -> tuple[Path, Path]:
@@ -71,8 +72,16 @@ def save_system(system: BlockSystem, stem: str | Path) -> tuple[Path, Path]:
     return json_path, npz_path
 
 
-def load_system(stem: str | Path) -> BlockSystem:
-    """Load a system saved by :func:`save_system`."""
+def load_system(stem: str | Path, *, validate: bool = True) -> BlockSystem:
+    """Load a system saved by :func:`save_system`.
+
+    With ``validate=True`` (the default) the raw arrays are checked
+    before any block is constructed — non-finite vertices, degenerate
+    or self-intersecting polygons, duplicate blocks, out-of-range
+    material ids and boundary-condition block indices all raise
+    :class:`~repro.util.validation.ModelValidationError` naming the
+    offending block, instead of failing later inside a kernel.
+    """
     stem = Path(stem)
     header = json.loads(stem.with_suffix(".json").read_text())
     if header.get("format") != "repro-dda-model":
@@ -83,6 +92,15 @@ def load_system(stem: str | Path) -> BlockSystem:
     offsets = data["offsets"]
     vertices = data["vertices"]
     material_id = data["material_id"]
+    if validate:
+        validate_model_arrays(
+            vertices,
+            offsets,
+            material_id,
+            n_materials=len(materials),
+            fixed_points=header["fixed_points"],
+            load_points=header["load_points"],
+        )
     blocks = [
         Block(
             vertices[offsets[i] : offsets[i + 1]].copy(),

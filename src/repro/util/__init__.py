@@ -4,6 +4,9 @@ from repro.util.validation import (
     check_array,
     check_positive,
     check_in_range,
+    validate_model_arrays,
+    validate_system,
+    ModelValidationError,
     ReproError,
     ShapeError,
 )
@@ -15,6 +18,9 @@ __all__ = [
     "check_array",
     "check_positive",
     "check_in_range",
+    "validate_model_arrays",
+    "validate_system",
+    "ModelValidationError",
     "ReproError",
     "ShapeError",
     "make_rng",

@@ -93,6 +93,197 @@ def check_positive(name: str, value: float, *, strict: bool = True) -> float:
     return value
 
 
+class ModelValidationError(ReproError, ValueError):
+    """A model failed structural validation at load time.
+
+    Carries the offending block index (``block``, or ``None`` when the
+    problem is not attributable to one block) so callers and error
+    messages can point at the exact culprit instead of "somewhere in
+    the npz".
+    """
+
+    def __init__(self, message: str, *, block: int | None = None) -> None:
+        prefix = f"block {block}: " if block is not None else ""
+        super().__init__(prefix + message)
+        self.block = block
+
+
+def _segments_properly_cross(a1, b1, a2, b2, eps_area: float) -> bool:
+    """True if segments (a1,b1) and (a2,b2) cross at interior points.
+
+    Orientation-sign test; crossings within ``eps_area`` (an absolute
+    twice-area tolerance, pre-scaled by the caller) of an endpoint do
+    not count, so shared polygon vertices are not flagged.
+    """
+
+    def cross(o, p, q):
+        return (p[0] - o[0]) * (q[1] - o[1]) - (q[0] - o[0]) * (p[1] - o[1])
+
+    d1 = cross(a2, b2, a1)
+    d2 = cross(a2, b2, b1)
+    d3 = cross(a1, b1, a2)
+    d4 = cross(a1, b1, b2)
+    if min(abs(d1), abs(d2), abs(d3), abs(d4)) <= eps_area:
+        return False
+    return (d1 > 0) != (d2 > 0) and (d3 > 0) != (d4 > 0)
+
+
+def polygon_is_simple(poly: np.ndarray, *, eps_area: float) -> bool:
+    """True if no two non-adjacent edges of ``poly`` properly cross."""
+    n = poly.shape[0]
+    a = poly
+    b = np.roll(poly, -1, axis=0)
+    for i in range(n):
+        for j in range(i + 2, n):
+            if i == 0 and j == n - 1:
+                continue  # adjacent through the wrap-around edge
+            if _segments_properly_cross(a[i], b[i], a[j], b[j], eps_area):
+                return False
+    return True
+
+
+def _canonical_polygon_key(poly: np.ndarray, eps_length: float) -> bytes:
+    """Rotation-invariant hash key for duplicate-block detection.
+
+    Vertices are quantised to the length tolerance and the cycle is
+    rotated to start at the lexicographically smallest vertex, so two
+    blocks tracing the same polygon from different start vertices (or
+    differing below tolerance) collide.
+    """
+    q = np.round(poly / max(eps_length, 1e-300)).astype(np.int64)
+    start = int(np.lexsort((q[:, 1], q[:, 0]))[0])
+    return np.roll(q, -start, axis=0).tobytes()
+
+
+def validate_model_arrays(
+    vertices: np.ndarray,
+    offsets: np.ndarray,
+    material_id: np.ndarray | None = None,
+    *,
+    n_materials: int | None = None,
+    fixed_points=(),
+    load_points=(),
+) -> None:
+    """Validate flattened model arrays before block construction.
+
+    Checks, in order: offsets structure, vertex-array shape, finite
+    coordinates, per-block vertex counts, material-id bounds,
+    (scale-relative) non-zero polygon area, polygon simplicity,
+    duplicate blocks, and boundary-condition block indices. Raises
+    :class:`ModelValidationError` naming the first offending block.
+    """
+    # lazy import: geometry.tolerances is a leaf, but keep this module
+    # importable without dragging geometry in at import time
+    from repro.geometry.tolerances import Tolerances
+
+    offsets = np.asarray(offsets)
+    if offsets.ndim != 1 or offsets.size < 2:
+        raise ModelValidationError(
+            f"offsets must be 1-D with >= 2 entries, got shape {offsets.shape}"
+        )
+    if offsets[0] != 0:
+        raise ModelValidationError(
+            f"offsets must start at 0, got {offsets[0]}"
+        )
+    counts = np.diff(offsets)
+    n_blocks = counts.size
+    bad = np.flatnonzero(counts <= 0)
+    if bad.size:
+        raise ModelValidationError(
+            "empty vertex range (non-increasing offsets)",
+            block=int(bad[0]),
+        )
+    vertices = np.asarray(vertices)
+    if vertices.ndim != 2 or vertices.shape[1] != 2:
+        raise ModelValidationError(
+            f"vertices must have shape (V, 2), got {vertices.shape}"
+        )
+    if int(offsets[-1]) != vertices.shape[0]:
+        raise ModelValidationError(
+            f"offsets end at {int(offsets[-1])} but there are "
+            f"{vertices.shape[0]} vertices"
+        )
+    bad = np.flatnonzero(counts < 3)
+    if bad.size:
+        raise ModelValidationError(
+            f"polygon has {int(counts[bad[0]])} vertices (need >= 3)",
+            block=int(bad[0]),
+        )
+    nonfinite = ~np.isfinite(vertices).all(axis=1)
+    if nonfinite.any():
+        vidx = int(np.flatnonzero(nonfinite)[0])
+        block = int(np.searchsorted(offsets, vidx, side="right") - 1)
+        raise ModelValidationError(
+            f"non-finite vertex coordinates at vertex {vidx}", block=block
+        )
+    if material_id is not None:
+        material_id = np.asarray(material_id)
+        if material_id.shape != (n_blocks,):
+            raise ModelValidationError(
+                f"material_id must have shape ({n_blocks},), "
+                f"got {material_id.shape}"
+            )
+        if n_materials is not None:
+            bad = np.flatnonzero(
+                (material_id < 0) | (material_id >= n_materials)
+            )
+            if bad.size:
+                raise ModelValidationError(
+                    f"material_id {int(material_id[bad[0]])} out of range "
+                    f"[0, {n_materials})",
+                    block=int(bad[0]),
+                )
+    tol = Tolerances.from_points(vertices, rel=1e-12)
+    seen: dict[bytes, int] = {}
+    for b in range(n_blocks):
+        poly = vertices[offsets[b] : offsets[b + 1]]
+        x, y = poly[:, 0], poly[:, 1]
+        area2 = float(np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y))
+        span = poly.max(axis=0) - poly.min(axis=0)
+        if abs(area2) <= max(2e-14, 2e-12 * float(span @ span)):
+            raise ModelValidationError(
+                "polygon has (near-)zero area", block=b
+            )
+        if not polygon_is_simple(poly, eps_area=tol.eps_area):
+            raise ModelValidationError(
+                "polygon is non-simple (self-intersecting)", block=b
+            )
+        key = _canonical_polygon_key(poly, tol.eps_length)
+        if key in seen:
+            raise ModelValidationError(
+                f"duplicate of block {seen[key]} "
+                "(coincident geometry within tolerance)",
+                block=b,
+            )
+        seen[key] = b
+    for entry in fixed_points:
+        b = int(entry[0])
+        if not (0 <= b < n_blocks):
+            raise ModelValidationError(
+                f"fixed point references block {b} out of range "
+                f"[0, {n_blocks})"
+            )
+    for entry in load_points:
+        b = int(entry[0])
+        if not (0 <= b < n_blocks):
+            raise ModelValidationError(
+                f"load point references block {b} out of range "
+                f"[0, {n_blocks})"
+            )
+
+
+def validate_system(system) -> None:
+    """Run :func:`validate_model_arrays` against a built ``BlockSystem``."""
+    validate_model_arrays(
+        system.vertices,
+        system.offsets,
+        system.material_id,
+        n_materials=len(system.materials),
+        fixed_points=system.fixed_points,
+        load_points=system.load_points,
+    )
+
+
 def check_in_range(
     name: str, value: float, low: float, high: float, *, inclusive: bool = True
 ) -> float:

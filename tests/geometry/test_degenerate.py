@@ -1,0 +1,169 @@
+"""Degenerate-geometry regression corpus.
+
+Zero-length edges, coincident/collinear vertices, near-parallel segment
+pairs, and slivers — every case that used to crash a kernel or silently
+misclassify now has a pinned behaviour: cleaned up, classified safely,
+or rejected with a typed error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.contact.narrow_phase import _angle_between, narrow_phase
+from repro.core.blocks import Block, BlockSystem
+from repro.core.materials import BlockMaterial
+from repro.geometry.distance import edge_penetration
+from repro.geometry.polygon import polygon_centroid
+from repro.geometry.segments import segment_intersections
+from repro.geometry.tolerances import Tolerances
+from repro.util.validation import ShapeError
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+
+# ----------------------------------------------------------------------
+# Tolerances
+# ----------------------------------------------------------------------
+
+def test_tolerances_from_points_ignores_nonfinite():
+    pts = np.array([[0.0, 0.0], [np.nan, 1.0], [3.0, 4.0]])
+    tol = Tolerances.from_points(pts)
+    assert tol.length_scale == pytest.approx(5.0)
+
+
+def test_tolerances_fallbacks():
+    # single point: falls back to the max |coordinate|, then 1.0
+    assert Tolerances.from_points(np.array([[7.0, 0.0]])).length_scale == 7.0
+    assert Tolerances.from_points(np.zeros((1, 2))).length_scale == 1.0
+    assert Tolerances.from_points(np.zeros((0, 2))).length_scale == 1.0
+
+
+def test_tolerances_scaled():
+    tol = Tolerances(length_scale=2.0, rel=1e-9)
+    assert tol.scaled(3.0).eps_length == pytest.approx(3.0 * tol.eps_length)
+
+
+# ----------------------------------------------------------------------
+# Block construction: coincident vertices, slivers
+# ----------------------------------------------------------------------
+
+def test_block_dedupes_coincident_vertices():
+    poly = np.array(
+        [[0.0, 0.0], [1.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]]
+    )
+    b = Block(poly)
+    assert b.n_vertices == 4
+    assert b.area == pytest.approx(1.0)
+
+
+def test_block_dedup_is_scale_relative():
+    for s in (1e-6, 1.0, 1e6):
+        poly = s * np.array(
+            [[0.0, 0.0], [1.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]]
+        )
+        assert Block(poly).n_vertices == 4
+
+
+def test_block_rejects_collapsed_polygon():
+    with pytest.raises(ShapeError, match="fewer than 3"):
+        Block(np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0], [1.0, 1.0]]))
+
+
+def test_block_rejects_sliver_at_any_scale():
+    for s in (1e-6, 1.0, 1e6):
+        with pytest.raises(ShapeError, match="zero area"):
+            Block(s * np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]))
+
+
+def test_centroid_degeneracy_is_scale_relative():
+    for s in (1e-6, 1.0, 1e6):
+        with pytest.raises(ShapeError, match="degenerate"):
+            polygon_centroid(s * np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]))
+        # and a healthy polygon passes at the same scales
+        np.testing.assert_allclose(
+            polygon_centroid(s * SQ), s * np.array([0.5, 0.5])
+        )
+
+
+# ----------------------------------------------------------------------
+# distance kernels
+# ----------------------------------------------------------------------
+
+def test_edge_penetration_zero_length_edge_with_tol():
+    p1 = np.array([[0.5, 1.0]])
+    p2 = np.array([[0.0, 0.0]])
+    p3 = np.array([[0.0, 0.0]])  # degenerate edge
+    # historical behaviour without tol: hard error
+    with pytest.raises(ValueError):
+        edge_penetration(p1, p2, p3)
+    # with tol: falls back to the unsigned point distance
+    d = edge_penetration(p1, p2, p3, tol=Tolerances(length_scale=1.0))
+    assert d[0] == pytest.approx(np.hypot(0.5, 1.0))
+
+
+def test_angle_between_degenerate_directions():
+    d1 = np.array([[0.0, 0.0], [1.0, 0.0]])
+    d2 = np.array([[1.0, 0.0], [1.0, 0.0]])
+    ang = _angle_between(d1, d2)
+    assert ang[0] == pytest.approx(np.pi / 2.0)  # degenerate: never parallel
+    assert ang[1] == pytest.approx(0.0)
+
+
+# ----------------------------------------------------------------------
+# segment intersection: near-parallel and zero-length cases
+# ----------------------------------------------------------------------
+
+def test_zero_length_segment_does_not_crash():
+    segs = np.array(
+        [[0.0, 0.0, 4.0, 0.0], [2.0, 0.0, 2.0, 0.0]]  # second is a point
+    )
+    hits = segment_intersections(segs)
+    assert isinstance(hits, list)  # classification is best-effort, no crash
+
+
+def test_near_parallel_judgment_is_angle_based():
+    # two long segments meeting at ~1e-6 rad: a *proper* crossing that an
+    # absolute cross-product epsilon would misclassify as parallel at
+    # small scales
+    for s in (1e-4, 1.0, 1e4):
+        segs = s * np.array(
+            [[0.0, 0.0, 1.0, 0.0], [0.0, -5e-7, 1.0, 5e-7]]
+        )
+        hits = segment_intersections(segs)
+        proper = [h for h in hits if 0.4 < h[2] < 0.6]
+        assert proper, f"crossing lost at scale {s}"
+        assert proper[0][2] == pytest.approx(0.5, abs=1e-3)
+
+
+def test_truly_parallel_pairs_stay_parallel_at_any_scale():
+    for s in (1e-4, 1.0, 1e4):
+        segs = s * np.array(
+            [[0.0, 0.0, 1.0, 0.0], [0.0, 0.5, 1.0, 0.5]]
+        )
+        assert segment_intersections(segs) == []
+
+
+# ----------------------------------------------------------------------
+# narrow phase end-to-end with degenerate blocks
+# ----------------------------------------------------------------------
+
+def test_narrow_phase_survives_coincident_vertices():
+    # Block construction dedupes, but vertices can *become* coincident
+    # after a geometry update; write them into the system directly
+    mat = BlockMaterial(young=1e9)
+    sys_ = BlockSystem(
+        [Block(SQ, mat), Block(SQ + np.array([1.05, 0.0]), mat)]
+    )
+    # collapse one edge of block 1 to zero length
+    lo = int(sys_.offsets[1])
+    sys_.vertices[lo + 1] = sys_.vertices[lo + 2]
+    sys_._refresh_cache()
+    contacts = narrow_phase(
+        sys_, np.array([0]), np.array([1]), 0.2,
+        tol=Tolerances.from_points(sys_.vertices),
+    )
+    # no contact may reference the zero-length edge
+    e = sys_.vertices[contacts.e2_idx] - sys_.vertices[contacts.e1_idx]
+    lengths = np.hypot(e[:, 0], e[:, 1])
+    assert (lengths > 1e-12).all()
+    assert np.isfinite(contacts.ratio).all()

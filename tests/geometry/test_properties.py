@@ -1,0 +1,170 @@
+"""Property-based tests: geometry predicates under similarity transforms.
+
+The degenerate-geometry hardening replaced absolute epsilons with
+scale-relative tolerances; these properties pin that down — rotating,
+translating, and uniformly scaling a model must transform every
+geometric quantity covariantly (areas by s^2, distances by s, parameter
+values not at all) across six orders of magnitude of scale.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.distance import (
+    edge_penetration,
+    point_segment_distance,
+)
+from repro.geometry.polygon import (
+    polygon_area,
+    polygon_centroid,
+    polygon_second_moments,
+)
+from repro.geometry.segments import segment_intersections
+from repro.geometry.tolerances import Tolerances
+
+#: An irregular, convex-free simple pentagon (no symmetry to hide bugs).
+PENTAGON = np.array(
+    [[0.0, 0.0], [4.0, 0.5], [5.0, 3.0], [2.0, 4.5], [-0.5, 2.0]]
+)
+
+angles = st.floats(0.0, 2.0 * np.pi, allow_nan=False)
+# Translations are expressed in *scaled-model diameters* (tx = rx * s):
+# shoelace-style formulas lose ~(shift/size)^k digits to catastrophic
+# cancellation, which is inherent to the arithmetic, not a tolerance
+# bug — 500 diameters at every scale keeps fixed rtols honest while
+# still exercising far-from-origin geometry.
+shifts = st.floats(-500.0, 500.0, allow_nan=False)
+log_scales = st.floats(-3.0, 3.0, allow_nan=False)  # scales 1e-3 .. 1e3
+
+COMMON = dict(max_examples=25, deadline=None)
+
+
+def transform(points, angle, tx, ty, s):
+    c, sn = np.cos(angle), np.sin(angle)
+    rot = np.array([[c, -sn], [sn, c]])
+    return s * (points @ rot.T) + np.array([tx, ty])
+
+
+@settings(**COMMON)
+@given(angle=angles, rx=shifts, ry=shifts, ls=log_scales)
+def test_area_covariance(angle, rx, ry, ls):
+    s = 10.0 ** ls
+    tx, ty = rx * s, ry * s
+    a0 = polygon_area(PENTAGON)
+    a1 = polygon_area(transform(PENTAGON, angle, tx, ty, s))
+    assert a1 == pytest.approx(s * s * a0, rel=1e-7, abs=1e-12 * s * s)
+
+
+@settings(**COMMON)
+@given(angle=angles, rx=shifts, ry=shifts, ls=log_scales)
+def test_centroid_covariance(angle, rx, ry, ls):
+    s = 10.0 ** ls
+    tx, ty = rx * s, ry * s
+    c0 = polygon_centroid(PENTAGON)
+    c1 = polygon_centroid(transform(PENTAGON, angle, tx, ty, s))
+    expect = transform(c0[None, :], angle, tx, ty, s)[0]
+    span = max(abs(tx), abs(ty), s * 10.0)
+    np.testing.assert_allclose(c1, expect, rtol=1e-7, atol=1e-9 * span)
+
+
+@settings(**COMMON)
+@given(angle=angles, rx=shifts, ry=shifts, ls=log_scales)
+def test_second_moment_trace_invariance(angle, rx, ry, ls):
+    s = 10.0 ** ls
+    tx, ty = rx * s, ry * s
+    sxx0, syy0, _ = polygon_second_moments(PENTAGON)
+    sxx1, syy1, _ = polygon_second_moments(
+        transform(PENTAGON, angle, tx, ty, s)
+    )
+    # the trace of the central second-moment tensor is rotation- and
+    # translation-invariant and scales by s^4
+    assert sxx1 + syy1 == pytest.approx(s ** 4 * (sxx0 + syy0), rel=1e-6)
+
+
+@settings(**COMMON)
+@given(angle=angles, rx=shifts, ry=shifts, ls=log_scales)
+def test_point_segment_distance_covariance(angle, rx, ry, ls):
+    s = 10.0 ** ls
+    tx, ty = rx * s, ry * s
+    p = np.array([[1.0, 2.0], [0.3, -0.7], [5.0, 5.0]])
+    a = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0]])
+    b = np.array([[4.0, 0.0], [1.0, 3.0], [2.0, 4.0]])
+    d0, t0 = point_segment_distance(p, a, b)
+    d1, t1 = point_segment_distance(
+        transform(p, angle, tx, ty, s),
+        transform(a, angle, tx, ty, s),
+        transform(b, angle, tx, ty, s),
+    )
+    np.testing.assert_allclose(d1, s * d0, rtol=1e-6, atol=1e-9 * s)
+    # the projection parameter is a pure ratio: transform-invariant
+    np.testing.assert_allclose(t1, t0, rtol=1e-6, atol=1e-9)
+
+
+@settings(**COMMON)
+@given(angle=angles, rx=shifts, ry=shifts, ls=log_scales)
+def test_edge_penetration_covariance(angle, rx, ry, ls):
+    s = 10.0 ** ls
+    tx, ty = rx * s, ry * s
+    p1 = np.array([[1.0, -0.5], [2.0, 0.3]])
+    p2 = np.array([[0.0, 0.0], [0.0, 0.0]])
+    p3 = np.array([[4.0, 0.0], [4.0, 0.0]])
+    tol = Tolerances(length_scale=10.0)
+    d0 = edge_penetration(p1, p2, p3, tol=tol)
+    d1 = edge_penetration(
+        transform(p1, angle, tx, ty, s),
+        transform(p2, angle, tx, ty, s),
+        transform(p3, angle, tx, ty, s),
+        tol=tol.scaled(s),
+    )
+    np.testing.assert_allclose(d1, s * d0, rtol=1e-6, atol=1e-9 * s)
+
+
+@settings(**COMMON)
+@given(angle=angles, rx=shifts, ry=shifts, ls=log_scales)
+def test_segment_intersection_params_invariant(angle, rx, ry, ls):
+    s = 10.0 ** ls
+    tx, ty = rx * s, ry * s
+    segs = np.array(
+        [
+            [0.0, 0.0, 4.0, 0.0],
+            [1.0, -1.0, 1.0, 3.0],   # proper crossing of segment 0
+            [0.0, 2.0, 4.0, -2.0],   # crosses both
+        ]
+    )
+    pts = segs.reshape(-1, 2)
+    moved = transform(pts, angle, tx, ty, s).reshape(-1, 4)
+    hits0 = sorted(segment_intersections(segs))
+    hits1 = sorted(segment_intersections(moved))
+    assert [(i, j) for i, j, *_ in hits0] == [(i, j) for i, j, *_ in hits1]
+    for (_, _, ti0, tj0), (_, _, ti1, tj1) in zip(hits0, hits1):
+        assert ti1 == pytest.approx(ti0, abs=1e-7)
+        assert tj1 == pytest.approx(tj0, abs=1e-7)
+
+
+@settings(**COMMON)
+@given(angle=angles, rx=shifts, ry=shifts, ls=log_scales)
+def test_collinear_overlap_detected_at_any_scale(angle, rx, ry, ls):
+    s = 10.0 ** ls
+    tx, ty = rx * s, ry * s
+    segs = np.array(
+        [
+            [0.0, 0.0, 4.0, 0.0],
+            [2.0, 0.0, 6.0, 0.0],  # collinear, overlapping in [2, 4]
+        ]
+    )
+    moved = transform(segs.reshape(-1, 2), angle, tx, ty, s).reshape(-1, 4)
+    hits = segment_intersections(moved)
+    assert hits, "collinear overlap lost under similarity transform"
+
+
+@settings(**COMMON)
+@given(ls=log_scales)
+def test_tolerances_scale_with_model(ls):
+    s = 10.0 ** ls
+    tol0 = Tolerances.from_points(PENTAGON)
+    tol1 = Tolerances.from_points(s * PENTAGON)
+    assert tol1.eps_length == pytest.approx(s * tol0.eps_length, rel=1e-9)
+    assert tol1.eps_area == pytest.approx(s * s * tol0.eps_area, rel=1e-9)
