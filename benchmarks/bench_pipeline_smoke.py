@@ -1,0 +1,70 @@
+"""Pipeline smoke benchmark — machine-readable per-module times.
+
+A deliberately small slope run on all three engines, written to
+``results/BENCH_pipeline.json`` via the shared ``--json`` writer. This
+seeds the perf trajectory: every later optimisation PR re-runs it and
+diffs the per-module wall/modelled seconds against the committed
+baseline.
+
+Run with::
+
+    PYTHONPATH=src python -m benchmarks.bench_pipeline_smoke [--json PATH]
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import (
+    bench_arg_parser,
+    case1_controls,
+    scaled_case1_system,
+    write_bench_json,
+)
+
+#: Small enough for CI, large enough that every module does real work.
+STEPS = 3
+SPACING = 5.0
+ENGINES = ("serial", "gpu", "hybrid")
+
+
+def run_engine(engine_name: str) -> dict:
+    from repro.engine.gpu_engine import GpuEngine
+    from repro.engine.hybrid_engine import HybridEngine
+    from repro.engine.serial_engine import SerialEngine
+
+    system = scaled_case1_system(joint_spacing=SPACING, seed=7)
+    controls = case1_controls()
+    cls = {
+        "serial": SerialEngine, "gpu": GpuEngine, "hybrid": HybridEngine,
+    }[engine_name]
+    engine = cls(system, controls)
+    start = time.perf_counter()
+    result = engine.run(steps=STEPS)
+    wall_total = time.perf_counter() - start
+    return {
+        "n_blocks": int(system.n_blocks),
+        "steps": result.n_steps,
+        "wall_seconds_total": wall_total,
+        "wall_seconds_per_module": dict(result.module_times.times),
+        "modeled_seconds_per_module": result.modeled_module_times(),
+        "total_cg_iterations": result.total_cg_iterations,
+    }
+
+
+def main(argv=None) -> int:
+    args = bench_arg_parser(__doc__).parse_args(argv)
+    payload = {
+        "steps": STEPS,
+        "joint_spacing": SPACING,
+        "engines": {name: run_engine(name) for name in ENGINES},
+    }
+    path = write_bench_json("pipeline", payload, path=args.json_path)
+    n_blocks = payload["engines"]["serial"]["n_blocks"]
+    print(f"wrote {path} ({n_blocks} blocks, {STEPS} steps, "
+          f"{len(ENGINES)} engines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

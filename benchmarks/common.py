@@ -8,6 +8,8 @@ and EXPERIMENTS.md records the paper-vs-measured rows.
 
 from __future__ import annotations
 
+import argparse
+import platform
 from pathlib import Path
 
 import numpy as np
@@ -19,6 +21,41 @@ from repro.meshing.slope_models import build_falling_rocks_model, build_slope_mo
 
 #: Where benchmark reports are written.
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_arg_parser(description: str) -> argparse.ArgumentParser:
+    """Shared CLI for runnable benchmarks: a ``--json`` output flag."""
+    p = argparse.ArgumentParser(description=description)
+    p.add_argument(
+        "--json", dest="json_path", metavar="PATH", default=None,
+        help="write a machine-readable JSON report to PATH "
+             "(default: results/BENCH_<name>.json)",
+    )
+    return p
+
+
+def write_bench_json(name: str, payload: dict, path=None) -> Path:
+    """Write a machine-readable benchmark report.
+
+    The envelope carries the bench name and the environment (python,
+    numpy, machine) so perf trajectories collected across PRs stay
+    comparable; ``payload`` is the bench-specific measurement dict. The
+    write is atomic (tmp + rename) so a crashing bench never leaves a
+    half-written report.
+    """
+    from repro import __version__
+    from repro.io.batch_io import write_json_atomic
+
+    path = Path(path) if path else RESULTS_DIR / f"BENCH_{name}.json"
+    report = {
+        "bench": name,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "payload": payload,
+    }
+    return write_json_atomic(path, report)
 
 
 def case1_controls(preconditioner: str = "bj") -> SimulationControls:

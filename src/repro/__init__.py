@@ -73,6 +73,13 @@ _EXPORTS = {
     "render_system": "repro.io.ascii_art",
     "save_system": "repro.io.model_io",
     "load_system": "repro.io.model_io",
+    "BatchClient": "repro.service",
+    "JobSpec": "repro.service",
+    "JobRecord": "repro.service",
+    "JobState": "repro.service",
+    "JobQueue": "repro.service",
+    "ResultStore": "repro.service",
+    "WorkerPool": "repro.service",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

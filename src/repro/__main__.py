@@ -1,16 +1,25 @@
 """Command-line runner: ``python -m repro``.
 
-Builds one of the bundled workloads (or loads a saved model), runs the
-chosen pipeline, and prints the per-module time report plus an ASCII
-rendering of the final state.
+Two subcommands share the entry point:
+
+``run`` (the default — bare flags are routed to it, so every historical
+invocation keeps working) builds one of the bundled workloads (or loads
+a saved model), runs the chosen pipeline in the foreground, and prints
+the per-module time report plus an ASCII rendering of the final state.
+
+``batch`` is the batch simulation service (:mod:`repro.service`):
+submit jobs to a persistent queue, drain it with a crash-isolated
+worker pool, and inspect cached results.
 
 Examples
 --------
 ::
 
     python -m repro --model slope --steps 20 --preconditioner bj
-    python -m repro --model rocks --engine serial --steps 5
+    python -m repro run --model rocks --engine serial --steps 5
     python -m repro --load results/my_model --steps 50 --dynamic
+    python -m repro batch submit --dir results/batch --model slope
+    python -m repro batch run --dir results/batch --workers 2
 """
 
 from __future__ import annotations
@@ -20,11 +29,18 @@ import sys
 
 import numpy as np
 
+#: Subcommands accepted as the first CLI token; anything else is
+#: treated as legacy ``run`` flags.
+SUBCOMMANDS = ("run", "batch")
+
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run the GPU-pipeline DDA reproduction on a workload.",
+        epilog="Subcommands: 'run' (default, these flags) runs one "
+               "foreground simulation; 'batch' is the batch service "
+               "(python -m repro batch --help).",
     )
     src = p.add_mutually_exclusive_group()
     src.add_argument(
@@ -89,30 +105,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_system(args: argparse.Namespace):
-    if args.load:
-        from repro.io.model_io import load_system
+    # the argparse namespace is duck-typed like a JobSpec (model, load,
+    # size, seed), so the batch service's runner does the work
+    from repro.engine.runner import build_system_from_spec
 
-        return load_system(args.load)
-    if args.model == "slope":
-        from repro.meshing.slope_models import build_slope_model
-
-        return build_slope_model(joint_spacing=args.size, seed=args.seed)
-    if args.model == "rocks":
-        from repro.meshing.slope_models import build_falling_rocks_model
-
-        return build_falling_rocks_model(n_rock_rows=3, n_rock_cols=8)
-    if args.model == "rubble":
-        from repro.meshing.voronoi import build_voronoi_rubble
-
-        return build_voronoi_rubble(
-            n_blocks=max(4, int(200.0 / args.size)), seed=args.seed
-        )
-    from repro.meshing.slope_models import build_brick_wall
-
-    return build_brick_wall(rows=4, cols=6)
+    return build_system_from_spec(args)
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Dispatch to a subcommand; bare flags mean ``run`` (legacy CLI)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        from repro.service.cli import batch_main
+
+        return batch_main(argv[1:])
+    if argv and argv[0] == "run":
+        argv = argv[1:]
+    return run_main(argv)
+
+
+def run_main(argv: list[str] | None = None) -> int:
+    """The ``run`` subcommand: one foreground simulation."""
     args = build_parser().parse_args(argv)
     from repro.core.state import ResilienceControls, SimulationControls
     from repro.engine.gpu_engine import GpuEngine

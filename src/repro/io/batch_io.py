@@ -1,0 +1,99 @@
+"""Serialisation helpers for the batch service.
+
+Two concerns live here: turning a :class:`~repro.engine.results.
+SimulationResult` into a JSON-safe summary dict (what the
+:class:`~repro.service.store.ResultStore` caches and ``batch results``
+prints), and writing JSON files *atomically* (tmp file + ``os.rename``)
+so a killed scheduler or worker never leaves a half-written record for
+the next process to trip over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+
+def write_json_atomic(path: str | Path, obj) -> Path:
+    """Write ``obj`` as JSON to ``path`` atomically.
+
+    The payload lands in a temporary file in the same directory and is
+    renamed into place, so concurrent readers see either the old file or
+    the complete new one — never a truncated intermediate.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(obj, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_json(path: str | Path):
+    """Load a JSON file; returns ``None`` when missing or unparseable.
+
+    A missing or corrupt file is how the scheduler *detects* a crashed
+    worker (the outcome never landed), so both cases map to ``None``
+    rather than raising.
+    """
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def summarize_result(
+    result,
+    *,
+    engine: str = "",
+    wall_seconds: float = 0.0,
+    resumed_from: int = 0,
+) -> dict:
+    """Flatten a :class:`SimulationResult` into a JSON-safe summary.
+
+    ``steps_executed`` counts only the steps *this* run integrated
+    (cache hits report 0); ``resumed_from`` records the checkpoint step
+    a retried attempt restarted at.
+    """
+    failure = None
+    if result.failure is not None:
+        failure = {
+            "error": result.failure.error,
+            "message": result.failure.message,
+            "steps_completed": result.failure.steps_completed,
+            "rollbacks": result.failure.rollbacks,
+        }
+    return {
+        "engine": engine,
+        "steps_executed": result.n_steps,
+        "resumed_from": resumed_from,
+        "total_steps": resumed_from + result.n_steps,
+        "total_cg_iterations": result.total_cg_iterations,
+        "mean_cg_iterations": result.mean_cg_iterations,
+        "max_total_displacement": result.max_total_displacement(),
+        "max_solver_rung": result.max_solver_rung,
+        "rollbacks": result.rollbacks,
+        "contract_violations": dict(result.contract_violations),
+        "n_warnings": len(result.warnings),
+        "wall_seconds": wall_seconds,
+        "module_times": {
+            module: seconds
+            for module, seconds in result.module_times.times.items()
+        },
+        "failure": failure,
+    }

@@ -1,0 +1,38 @@
+"""Batch simulation service: queue, workers, result cache, scheduling.
+
+The paper's campaigns (Case 1/Case 2 sweeps) are thousands of
+independent long runs; this package is the serving layer that
+orchestrates them on top of the per-run survival primitives from
+:mod:`repro.engine.resilience`:
+
+* :class:`~repro.service.spec.JobSpec` — a declarative, content-hashed
+  description of one run (model, engine, steps, controls, chaos knobs);
+* :class:`~repro.service.queue.JobQueue` — a persistent on-disk queue
+  with atomic rename-based claim/ack, priority ordering, and orphan
+  recovery after a killed scheduler;
+* :class:`~repro.service.store.ResultStore` — a content-addressed cache
+  of result summaries + final states keyed by spec hash, so
+  resubmitting an identical spec skips execution entirely;
+* :class:`~repro.service.pool.WorkerPool` — runs jobs in separate
+  ``multiprocessing`` processes, so one job's crash or NaN blow-up
+  cannot take down its siblings; dead workers are detected, retried
+  from their newest valid checkpoint, and finally reported failed;
+* :class:`~repro.service.client.BatchClient` — the programmatic facade
+  behind the ``python -m repro batch`` CLI.
+"""
+
+from repro.service.client import BatchClient
+from repro.service.pool import WorkerPool
+from repro.service.queue import JobQueue
+from repro.service.spec import JobRecord, JobSpec, JobState
+from repro.service.store import ResultStore
+
+__all__ = [
+    "BatchClient",
+    "JobQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "ResultStore",
+    "WorkerPool",
+]

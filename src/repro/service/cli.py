@@ -1,0 +1,207 @@
+"""``python -m repro batch`` — the batch-service command surface.
+
+Four verbs over a shared batch directory::
+
+    python -m repro batch submit --dir results/batch --model slope --steps 50
+    python -m repro batch run    --dir results/batch --workers 2
+    python -m repro batch status --dir results/batch [--json]
+    python -m repro batch results --dir results/batch [--json] [JOB_ID ...]
+
+Every verb is a separate process invocation: submit from one shell, run
+from another, kill the runner and run again — the on-disk queue and
+result cache carry the state across.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.service.client import BatchClient
+from repro.service.spec import ENGINES, JobSpec, MODELS, PROFILES
+from repro.util.tables import Table
+
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro batch",
+        description="Submit, schedule, and inspect batches of DDA runs.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_dir(sp):
+        sp.add_argument(
+            "--dir", dest="batch_dir", default="results/batch", metavar="DIR",
+            help="batch directory (queue + result cache + scratch; "
+                 "default results/batch)",
+        )
+
+    s = sub.add_parser("submit", help="enqueue one job")
+    add_dir(s)
+    src = s.add_mutually_exclusive_group()
+    src.add_argument("--model", choices=MODELS, default="wall")
+    src.add_argument("--load", metavar="STEM",
+                     help="load a model saved with repro.io.save_system")
+    s.add_argument("--engine", choices=ENGINES, default="serial")
+    s.add_argument("--profile", choices=PROFILES, default="k40")
+    s.add_argument("--steps", type=int, default=20)
+    s.add_argument("--dt", type=float, default=1e-3)
+    s.add_argument("--dynamic", action="store_true")
+    s.add_argument("--preconditioner", default="bj",
+                   choices=("none", "jacobi", "bj", "ssor", "ilu"))
+    s.add_argument("--size", type=float, default=6.0)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--contracts", choices=("off", "cheap", "full"),
+                   default="off")
+    s.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="checkpoint cadence; also the retry resume "
+                        "granularity (0 = restart retries from scratch)")
+    s.add_argument("--max-rollbacks", type=int, default=3)
+    s.add_argument("--tag", default="", help="free-form label (hashed)")
+    s.add_argument("--priority", type=int, default=0,
+                   help="0-999; higher runs sooner (FIFO within a priority)")
+    s.add_argument("--max-retries", type=int, default=1,
+                   help="extra attempts after a failed/crashed one")
+    chaos = s.add_argument_group("chaos harness")
+    chaos.add_argument("--inject-faults", type=int, metavar="SEED",
+                       default=None)
+    chaos.add_argument("--fault", action="append", dest="fault_names",
+                       metavar="NAME", default=None)
+    chaos.add_argument("--fault-step", type=int, default=1, metavar="N")
+    chaos.add_argument("--kill-at-step", type=int, default=None, metavar="N",
+                       help="hard-kill the worker process at this step "
+                            "(crash-isolation testing)")
+
+    r = sub.add_parser("run", help="drain the queue with a worker pool")
+    add_dir(r)
+    r.add_argument("--workers", type=int, default=2)
+    r.add_argument("--job-timeout", type=float, default=None, metavar="SEC",
+                   help="terminate attempts running longer than this")
+    r.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress lines")
+
+    st = sub.add_parser("status", help="per-state counts and job table")
+    add_dir(st)
+    st.add_argument("--json", action="store_true", dest="as_json")
+
+    res = sub.add_parser("results", help="final outcome of each job")
+    add_dir(res)
+    res.add_argument("job_ids", nargs="*", metavar="JOB_ID")
+    res.add_argument("--json", action="store_true", dest="as_json")
+
+    c = sub.add_parser("cancel", help="cancel a queued job")
+    add_dir(c)
+    c.add_argument("job_id", metavar="JOB_ID")
+    return p
+
+
+def spec_from_args(args: argparse.Namespace) -> JobSpec:
+    """Build the JobSpec a ``batch submit`` invocation describes."""
+    return JobSpec(
+        model=args.model,
+        load=args.load,
+        engine=args.engine,
+        profile=args.profile,
+        steps=args.steps,
+        time_step=args.dt,
+        dynamic=args.dynamic,
+        preconditioner=args.preconditioner,
+        size=args.size,
+        seed=args.seed,
+        contracts=args.contracts,
+        checkpoint_every=args.checkpoint_every,
+        max_rollbacks=args.max_rollbacks,
+        inject_faults=args.inject_faults,
+        fault_names=tuple(args.fault_names) if args.fault_names else None,
+        fault_step=args.fault_step,
+        kill_at_step=args.kill_at_step,
+        tag=args.tag,
+    )
+
+
+def batch_main(argv: list[str] | None = None) -> int:
+    args = build_batch_parser().parse_args(argv)
+    client = BatchClient(args.batch_dir)
+
+    if args.command == "submit":
+        spec = spec_from_args(args)
+        record = client.submit(
+            spec, priority=args.priority, max_retries=args.max_retries
+        )
+        print(f"submitted {record.job_id} "
+              f"(spec {spec.spec_hash()[:12]}, priority {record.priority})")
+        return 0
+
+    if args.command == "run":
+        log = (lambda msg: None) if args.quiet else (
+            lambda msg: print(msg, file=sys.stderr)
+        )
+        tallies = client.run(
+            n_workers=args.workers, job_timeout=args.job_timeout, log=log
+        )
+        print(
+            f"dispatched {tallies['dispatched']}, "
+            f"succeeded {tallies['succeeded']} "
+            f"(cache hits {tallies['cache_hits']}), "
+            f"retried {tallies['retried']}, failed {tallies['failed']}"
+        )
+        return 1 if tallies["failed"] else 0
+
+    if args.command == "status":
+        status = client.status()
+        if args.as_json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        counts = ", ".join(
+            f"{state}={n}" for state, n in status["counts"].items() if n
+        ) or "empty"
+        cache = status["cache"]
+        print(f"jobs: {counts}")
+        print(f"cache: {cache['hits']} hits, {cache['misses']} misses")
+        table = Table("batch jobs", ["job", "state", "model", "engine",
+                                     "steps", "attempts", "note"])
+        for row in status["jobs"]:
+            note = "cached" if row["cached"] else (row["error"] or "")
+            table.add_row([
+                row["job_id"], row["state"], row["model"], row["engine"],
+                row["steps"], row["attempts"], note,
+            ])
+        print(table)
+        return 0
+
+    if args.command == "results":
+        results = client.results()
+        if args.job_ids:
+            unknown = [j for j in args.job_ids if j not in results]
+            if unknown:
+                print(f"unknown job id(s): {unknown}", file=sys.stderr)
+                return 1
+            results = {j: results[j] for j in args.job_ids}
+        if args.as_json:
+            print(json.dumps(results, indent=2, sort_keys=True))
+            return 0
+        for job_id, outcome in results.items():
+            if outcome is None:
+                print(f"{job_id}: (no result yet)")
+            elif outcome["status"] == "succeeded":
+                print(
+                    f"{job_id}: succeeded — "
+                    f"{outcome.get('steps_executed', 0)} steps executed"
+                    f"{' (cache hit)' if outcome.get('cached') else ''}, "
+                    f"max displacement "
+                    f"{outcome.get('max_total_displacement', 0.0):.3e} m"
+                )
+            else:
+                print(f"{job_id}: failed — {outcome.get('error')}")
+        return 0
+
+    if args.command == "cancel":
+        if client.cancel(args.job_id):
+            print(f"cancelled {args.job_id}")
+            return 0
+        print(f"{args.job_id}: not cancellable (unknown or not queued)",
+              file=sys.stderr)
+        return 1
+
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,114 @@
+"""Programmatic facade over the batch service.
+
+A :class:`BatchClient` owns one *batch directory* — queue, result
+store, and per-job scratch space under a single root — and exposes the
+submit/run/status/results verbs the ``python -m repro batch`` CLI maps
+onto. Everything is plain files, so any number of clients (or a client
+and a CLI) can point at the same directory across processes and
+scheduler restarts.
+
+.. code-block:: python
+
+    from repro.service import BatchClient, JobSpec
+
+    client = BatchClient("results/batch")
+    client.submit(JobSpec(model="slope", steps=50, engine="serial"))
+    client.run(n_workers=2)
+    print(client.status())
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.io.batch_io import read_json
+from repro.service.pool import WorkerPool
+from repro.service.queue import JobQueue
+from repro.service.spec import JobRecord, JobSpec, JobState
+from repro.service.store import ResultStore
+
+
+class BatchClient:
+    """Submit, schedule, and inspect batches of simulation jobs."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.queue = JobQueue(self.root / "queue")
+        self.store = ResultStore(self.root / "store")
+        self.scratch_root = self.root / "scratch"
+        self.scratch_root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, spec: JobSpec, *, priority: int = 0, max_retries: int = 1
+    ) -> JobRecord:
+        """Enqueue one job; returns its record (state ``queued``).
+
+        Submission never consults the cache — the scheduler does, at
+        claim time, so ``status`` after a run shows the hit explicitly.
+        """
+        return self.queue.submit(spec, priority=priority, max_retries=max_retries)
+
+    def run(
+        self,
+        *,
+        n_workers: int = 2,
+        job_timeout: float | None = None,
+        log=None,
+    ) -> dict[str, int]:
+        """Drain the queue with a worker pool; returns the run tallies."""
+        pool = WorkerPool(
+            self.queue,
+            self.store,
+            self.scratch_root,
+            n_workers=n_workers,
+            job_timeout=job_timeout,
+            log=log,
+        )
+        return pool.run()
+
+    @staticmethod
+    def _job_id(job: str | JobRecord) -> str:
+        return job.job_id if isinstance(job, JobRecord) else job
+
+    def cancel(self, job: str | JobRecord) -> bool:
+        """Cancel a queued job (running/terminal jobs are left alone)."""
+        record = self.queue.load_record(self._job_id(job))
+        if record is None or record.state != JobState.QUEUED:
+            return False
+        record.state = JobState.CANCELLED
+        self.queue.save_record(record)
+        return True
+
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """Batch overview: per-state counts, cache stats, per-job rows."""
+        records = self.queue.records()
+        return {
+            "counts": self.queue.counts(),
+            "cache": self.store.stats(),
+            "jobs": [
+                {
+                    "job_id": r.job_id,
+                    "state": r.state,
+                    "model": r.spec.load or r.spec.model,
+                    "engine": r.spec.engine,
+                    "steps": r.spec.steps,
+                    "priority": r.priority,
+                    "attempts": r.attempts,
+                    "cached": r.cached,
+                    "error": r.error,
+                    "spec_hash": r.spec.spec_hash()[:12],
+                }
+                for r in records
+            ],
+        }
+
+    def result(self, job: str | JobRecord) -> dict | None:
+        """Final outcome of one job (``None`` while non-terminal)."""
+        path = self.scratch_root / self._job_id(job) / "outcome-final.json"
+        return read_json(path)
+
+    def results(self) -> dict[str, dict | None]:
+        """Final outcomes of every known job, keyed by job id."""
+        return {r.job_id: self.result(r.job_id) for r in self.queue.records()}

@@ -1,0 +1,255 @@
+"""Crash-isolated scheduling: one process per job, retry from checkpoint.
+
+The pool claims tickets from the :class:`JobQueue` and runs each job's
+attempt in its own ``multiprocessing`` process. The process boundary is
+the isolation guarantee: a job that segfaults, NaN-blows, calls
+``os._exit``, or is OOM-killed takes down only its own process — the
+scheduler notices the death (no outcome file, or a nonzero exit code),
+logs the attempt, and either requeues the job (next attempt resumes
+from the newest valid checkpoint) or marks it failed once the retry
+budget ``max_retries`` is spent. Sibling jobs never observe any of it.
+
+Before spawning anything the pool consults the :class:`ResultStore`:
+a spec whose hash is already cached completes instantly as a cache hit
+with zero steps executed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.io.batch_io import read_json, write_json_atomic
+from repro.service.queue import JobQueue
+from repro.service.spec import JobRecord, JobState
+from repro.service.store import ResultStore
+from repro.service.worker import worker_entry
+
+
+def _start_method() -> str:
+    """``fork`` where available (fast, Linux); ``spawn`` otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass
+class _Slot:
+    """One in-flight job attempt."""
+
+    process: multiprocessing.Process
+    record: JobRecord
+    ticket: str
+    outcome_path: Path
+    started: float
+
+
+class WorkerPool:
+    """Drains a job queue with ``n_workers`` isolated worker processes."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: ResultStore,
+        scratch_root: str | Path,
+        *,
+        n_workers: int = 2,
+        poll_interval: float = 0.02,
+        job_timeout: float | None = None,
+        log=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.queue = queue
+        self.store = store
+        self.scratch_root = Path(scratch_root)
+        self.n_workers = n_workers
+        self.poll_interval = poll_interval
+        self.job_timeout = job_timeout
+        self._ctx = multiprocessing.get_context(_start_method())
+        self._log = log or (lambda msg: None)
+        #: per-run tallies (reset at each ``run`` call)
+        self.stats: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> dict[str, int]:
+        """Drain the queue; returns this run's tallies.
+
+        Blocks until no ticket is queued and no worker is in flight.
+        Jobs requeued for retry during the run are picked back up before
+        the pool returns.
+        """
+        self.stats = {
+            "dispatched": 0, "cache_hits": 0,
+            "succeeded": 0, "failed": 0, "retried": 0,
+        }
+        active: list[_Slot] = []
+        while True:
+            while len(active) < self.n_workers:
+                claimed = self.queue.claim()
+                if claimed is None:
+                    break
+                slot = self._dispatch(*claimed)
+                if slot is not None:
+                    active.append(slot)
+            if not active:
+                if self.queue.pending() == 0:
+                    break
+                time.sleep(self.poll_interval)
+                continue  # everything claimable was a cache hit; refill
+            time.sleep(self.poll_interval)
+            still_active = []
+            for slot in active:
+                if slot.process.is_alive():
+                    if (
+                        self.job_timeout is not None
+                        and time.time() - slot.started > self.job_timeout
+                    ):
+                        slot.process.terminate()
+                        slot.process.join()
+                        self._finish(slot, timed_out=True)
+                    else:
+                        still_active.append(slot)
+                else:
+                    slot.process.join()
+                    self._finish(slot)
+            active = still_active
+        return dict(self.stats)
+
+    # ------------------------------------------------------------------
+    def _scratch(self, record: JobRecord) -> Path:
+        path = self.scratch_root / record.job_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def _dispatch(self, record: JobRecord, ticket: str) -> _Slot | None:
+        """Start one attempt (or complete instantly from the cache)."""
+        spec_hash = record.spec.spec_hash()
+        if record.attempts == 0:
+            cached = self.store.lookup(spec_hash)
+            if cached is not None:
+                record.state = JobState.SUCCEEDED
+                record.cached = True
+                record.finished_at = time.time()
+                record.attempt_log.append(
+                    {"cached": True, "spec_hash": spec_hash}
+                )
+                self.queue.save_record(record)
+                outcome = dict(
+                    cached, status="succeeded", cached=True,
+                    steps_executed=0, spec_hash=spec_hash,
+                )
+                write_json_atomic(
+                    self._scratch(record) / "outcome-final.json", outcome
+                )
+                self.queue.ack(ticket)
+                self.stats["cache_hits"] += 1
+                self.stats["succeeded"] += 1
+                self._log(f"{record.job_id}: cache hit ({spec_hash[:12]})")
+                return None
+        attempt = record.attempts
+        record.attempts += 1
+        record.state = JobState.RUNNING
+        record.started_at = record.started_at or time.time()
+        scratch = self._scratch(record)
+        outcome_path = scratch / f"outcome-attempt-{attempt:03d}.json"
+        process = self._ctx.Process(
+            target=worker_entry,
+            args=(record.spec.to_dict(), str(scratch), attempt, str(outcome_path)),
+            daemon=True,
+        )
+        process.start()
+        record.worker_pid = process.pid
+        self.queue.save_record(record)
+        self.stats["dispatched"] += 1
+        self._log(
+            f"{record.job_id}: attempt {attempt + 1} started (pid {process.pid})"
+        )
+        return _Slot(process, record, ticket, outcome_path, time.time())
+
+    def _finish(self, slot: _Slot, *, timed_out: bool = False) -> None:
+        """Classify a finished attempt and route it (ack/retry/fail)."""
+        record, process = slot.record, slot.process
+        outcome = read_json(slot.outcome_path)
+        if timed_out:
+            record.attempt_log.append(
+                {"attempt": record.attempts - 1, "crash": True,
+                 "error": "JobTimeout",
+                 "message": f"exceeded {self.job_timeout:.1f}s; terminated"}
+            )
+            self._retry_or_fail(slot, "JobTimeout: worker terminated")
+        elif outcome is None or process.exitcode != 0:
+            # no outcome (or a nonzero exit): the worker died mid-run
+            message = (
+                f"worker crashed (exit code {process.exitcode}, "
+                f"no outcome file)" if outcome is None
+                else f"worker exited {process.exitcode} after writing outcome"
+            )
+            record.attempt_log.append(
+                {"attempt": record.attempts - 1, "crash": True,
+                 "exitcode": process.exitcode, "error": "WorkerCrashed",
+                 "message": message}
+            )
+            self._retry_or_fail(slot, f"WorkerCrashed: {message}")
+        elif outcome.get("status") == "succeeded":
+            spec_hash = record.spec.spec_hash()
+            state_stem = outcome.pop("state_stem", None)
+            cache_entry = {
+                k: v for k, v in outcome.items()
+                if k not in ("status", "attempt", "pid")
+            }
+            self.store.put(spec_hash, cache_entry, state_stem=state_stem)
+            record.state = JobState.SUCCEEDED
+            record.finished_at = time.time()
+            record.worker_pid = None
+            record.attempt_log.append(outcome)
+            self.queue.save_record(record)
+            write_json_atomic(
+                self._scratch(record) / "outcome-final.json",
+                dict(outcome, spec_hash=spec_hash, cached=False),
+            )
+            self.queue.ack(slot.ticket)
+            self.stats["succeeded"] += 1
+            self._log(
+                f"{record.job_id}: succeeded "
+                f"({outcome.get('steps_executed', '?')} steps, "
+                f"attempt {record.attempts})"
+            )
+        else:
+            record.attempt_log.append(outcome)
+            self._retry_or_fail(
+                slot,
+                f"{outcome.get('error', 'JobFailed')}: "
+                f"{outcome.get('message', 'unknown failure')}",
+            )
+
+    def _retry_or_fail(self, slot: _Slot, error: str) -> None:
+        record = slot.record
+        record.worker_pid = None
+        if record.attempts <= record.max_retries:
+            record.state = JobState.QUEUED
+            self.queue.save_record(record)
+            self.queue.requeue(slot.ticket)
+            self.stats["retried"] += 1
+            self._log(
+                f"{record.job_id}: attempt {record.attempts} failed "
+                f"({error}); retrying"
+            )
+        else:
+            record.state = JobState.FAILED
+            record.error = error
+            record.finished_at = time.time()
+            self.queue.save_record(record)
+            write_json_atomic(
+                self._scratch(record) / "outcome-final.json",
+                {"status": "failed", "error": error,
+                 "attempts": record.attempts,
+                 "attempt_log": record.attempt_log},
+            )
+            self.queue.ack(slot.ticket)
+            self.stats["failed"] += 1
+            self._log(
+                f"{record.job_id}: failed after {record.attempts} "
+                f"attempt(s): {error}"
+            )

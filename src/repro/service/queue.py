@@ -1,0 +1,189 @@
+"""Persistent on-disk job queue with atomic claim/ack.
+
+The queue is a directory of *ticket* files:
+
+.. code-block:: text
+
+    <root>/
+        jobs/<job_id>.json        canonical JobRecord (atomic rewrite)
+        tickets/queued/<ticket>   one empty-ish file per runnable job
+        tickets/claimed/<ticket>  tickets a scheduler is working on
+        seq                       monotonically increasing submit counter
+
+A ticket's *name* encodes its scheduling key — zero-padded inverted
+priority, then the submit sequence number — so a plain lexicographic
+sort of ``tickets/queued`` yields the dispatch order (higher priority
+first, FIFO within a priority). *Claiming* a ticket is a single
+``os.rename`` from ``queued/`` to ``claimed/``: rename within one
+directory tree is atomic on POSIX, so when several pools race for the
+same ticket exactly one rename succeeds and the losers see
+``FileNotFoundError`` and move on. *Acking* deletes the claimed ticket.
+
+Crash recovery falls out of the layout: a killed scheduler leaves its
+tickets in ``claimed/``; :meth:`JobQueue.recover` (run on open) moves
+every orphan back to ``queued/`` and flips the job record back to
+``queued``, so the next scheduler resumes exactly where the dead one
+stopped — a job is never lost and never runs twice concurrently within
+a single scheduler host.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.io.batch_io import read_json, write_json_atomic
+from repro.service.spec import JobRecord, JobState
+
+#: Priorities live in [0, MAX_PRIORITY]; higher runs sooner.
+MAX_PRIORITY = 999
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+
+class JobQueue:
+    """Directory-backed priority queue of :class:`JobRecord` s."""
+
+    def __init__(self, root: str | Path, *, recover: bool = True) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.queued_dir = self.root / "tickets" / "queued"
+        self.claimed_dir = self.root / "tickets" / "claimed"
+        for d in (self.jobs_dir, self.queued_dir, self.claimed_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self._seq_path = self.root / "seq"
+        if recover:
+            self.recover()
+
+    # ------------------------------------------------------------------
+    # submit
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        """Allocate the next submit sequence number (flock-serialised)."""
+        fd = os.open(self._seq_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            raw = os.read(fd, 32)
+            seq = int(raw) + 1 if raw.strip() else 1
+            os.lseek(fd, 0, os.SEEK_SET)
+            os.ftruncate(fd, 0)
+            os.write(fd, str(seq).encode())
+            return seq
+        finally:
+            os.close(fd)
+
+    @staticmethod
+    def _ticket_name(priority: int, seq: int, job_id: str) -> str:
+        return f"{MAX_PRIORITY - priority:03d}-{seq:010d}-{job_id}"
+
+    def submit(self, spec, *, priority: int = 0, max_retries: int = 1) -> JobRecord:
+        """Enqueue a :class:`JobSpec`; returns the new record."""
+        if not (0 <= priority <= MAX_PRIORITY):
+            raise ValueError(f"priority must be in [0, {MAX_PRIORITY}], got {priority}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        seq = self._next_seq()
+        job_id = f"j{seq:06d}-{spec.spec_hash()[:8]}"
+        record = JobRecord(
+            job_id=job_id, spec=spec, priority=priority, max_retries=max_retries
+        )
+        self.save_record(record)
+        ticket = self.queued_dir / self._ticket_name(priority, seq, job_id)
+        ticket.write_text(job_id)
+        return record
+
+    # ------------------------------------------------------------------
+    # claim / ack / requeue
+    # ------------------------------------------------------------------
+    def claim(self) -> tuple[JobRecord, str] | None:
+        """Atomically take the highest-priority queued ticket.
+
+        Returns ``(record, ticket_name)`` or ``None`` when the queue is
+        empty. Losing a rename race just advances to the next ticket.
+        """
+        while True:
+            tickets = sorted(p.name for p in self.queued_dir.iterdir())
+            if not tickets:
+                return None
+            for name in tickets:
+                try:
+                    os.rename(self.queued_dir / name, self.claimed_dir / name)
+                except FileNotFoundError:
+                    continue  # another claimer won this ticket
+                job_id = name.split("-", 2)[2]
+                record = self.load_record(job_id)
+                if record is None or record.state in JobState.TERMINAL:
+                    # cancelled (or corrupt) while queued: consume silently
+                    (self.claimed_dir / name).unlink(missing_ok=True)
+                    continue
+                return record, name
+            return None  # every listed ticket vanished under us; re-list
+
+    def ack(self, ticket_name: str) -> None:
+        """Retire a claimed ticket (job reached a terminal state)."""
+        (self.claimed_dir / ticket_name).unlink(missing_ok=True)
+
+    def requeue(self, ticket_name: str) -> None:
+        """Put a claimed ticket back at the tail of its priority band."""
+        prio_part = ticket_name.split("-", 2)[0]
+        job_id = ticket_name.split("-", 2)[2]
+        seq = self._next_seq()
+        new_name = f"{prio_part}-{seq:010d}-{job_id}"
+        os.rename(self.claimed_dir / ticket_name, self.queued_dir / new_name)
+
+    def recover(self) -> int:
+        """Return orphaned claimed tickets to the queue; count moved.
+
+        Called on open: any ticket still in ``claimed/`` belongs to a
+        scheduler that died without acking, so its job is runnable
+        again. The job record is flipped back to ``queued`` (keeping
+        its attempt history).
+        """
+        moved = 0
+        for ticket in sorted(self.claimed_dir.iterdir()):
+            job_id = ticket.name.split("-", 2)[2]
+            record = self.load_record(job_id)
+            if record is not None and record.state not in JobState.TERMINAL:
+                if record.state == JobState.RUNNING:
+                    record.state = JobState.QUEUED
+                    record.worker_pid = None
+                    self.save_record(record)
+                os.rename(ticket, self.queued_dir / ticket.name)
+                moved += 1
+            else:
+                ticket.unlink(missing_ok=True)
+        return moved
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+    def save_record(self, record: JobRecord) -> None:
+        write_json_atomic(self.jobs_dir / f"{record.job_id}.json", record.to_dict())
+
+    def load_record(self, job_id: str) -> JobRecord | None:
+        d = read_json(self.jobs_dir / f"{job_id}.json")
+        return None if d is None else JobRecord.from_dict(d)
+
+    def records(self) -> list[JobRecord]:
+        """Every known job record, in submit order."""
+        out = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            d = read_json(path)
+            if d is not None:
+                out.append(JobRecord.from_dict(d))
+        return out
+
+    def counts(self) -> dict[str, int]:
+        """Job count per lifecycle state."""
+        out = {state: 0 for state in JobState.ALL}
+        for record in self.records():
+            out[record.state] = out.get(record.state, 0) + 1
+        return out
+
+    def pending(self) -> int:
+        """Tickets currently claimable."""
+        return sum(1 for _ in self.queued_dir.iterdir())

@@ -1,0 +1,172 @@
+"""Declarative job descriptions and the job lifecycle state machine.
+
+A :class:`JobSpec` is a pure *workload* description — everything that
+determines the simulation's output, nothing about how it is scheduled.
+That split is what makes the content hash a valid cache key: two
+submissions with different priorities but equal specs are the same
+computation. Scheduling knobs (priority, retry budget) live on the
+:class:`JobRecord` the queue tracks through the lifecycle
+
+    queued -> running -> succeeded | failed | cancelled
+
+with ``attempts`` counting executions (1 + retries).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+from repro.util.hashing import content_hash
+
+MODELS = ("slope", "rocks", "wall", "rubble")
+ENGINES = ("gpu", "serial", "hybrid")
+PROFILES = ("k40", "k20")
+
+
+class JobState:
+    """Lifecycle states of a batch job (string constants)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+    #: States a job can never leave.
+    TERMINAL = (SUCCEEDED, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation run, declaratively.
+
+    Attributes
+    ----------
+    model:
+        Bundled workload (``slope``/``rocks``/``wall``/``rubble``),
+        ignored when ``load`` is set.
+    load:
+        Stem of a model saved with :func:`repro.io.save_system`.
+    engine / profile:
+        Pipeline (``gpu``/``serial``/``hybrid``) and GPU device profile.
+    steps / time_step / dynamic / preconditioner / size / seed:
+        Mirror the ``python -m repro run`` flags.
+    contracts:
+        Stage-contract level (``off``/``cheap``/``full``).
+    checkpoint_every:
+        Checkpoint cadence in accepted steps. Doubles as the retry
+        granularity: a crashed worker's next attempt resumes from the
+        newest valid on-disk checkpoint. ``0`` disables both.
+    max_rollbacks:
+        In-run rollback budget (within one worker attempt).
+    inject_faults / fault_names / fault_step:
+        Chaos-harness knobs (:class:`repro.engine.chaos.FaultInjector`).
+        Part of the hash — a faulted run is a different computation.
+    kill_at_step:
+        Test/chaos knob: hard-kill the worker process (``os._exit``)
+        when this accepted step is reached, simulating a segfault or
+        OOM kill that no in-process handler can catch.
+    tag:
+        Free-form label; hashed, so distinct tags never share a cache
+        entry.
+    """
+
+    model: str = "wall"
+    load: str | None = None
+    engine: str = "serial"
+    profile: str = "k40"
+    steps: int = 20
+    time_step: float = 1e-3
+    dynamic: bool = False
+    preconditioner: str = "bj"
+    size: float = 6.0
+    seed: int = 0
+    contracts: str = "off"
+    checkpoint_every: int = 0
+    max_rollbacks: int = 3
+    inject_faults: int | None = None
+    fault_names: tuple[str, ...] | None = None
+    fault_step: int = 1
+    kill_at_step: int | None = None
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.load is None and self.model not in MODELS:
+            raise ValueError(f"model must be one of {MODELS}, got {self.model!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.profile not in PROFILES:
+            raise ValueError(f"profile must be one of {PROFILES}, got {self.profile!r}")
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+        if self.time_step <= 0:
+            raise ValueError(f"time_step must be > 0, got {self.time_step}")
+        if self.contracts not in ("off", "cheap", "full"):
+            raise ValueError(f"contracts must be off/cheap/full, got {self.contracts!r}")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.kill_at_step is not None and self.kill_at_step < 0:
+            raise ValueError("kill_at_step must be >= 0")
+        if self.fault_names is not None and not isinstance(self.fault_names, tuple):
+            # normalise lists (e.g. from JSON) so the hash is stable
+            object.__setattr__(self, "fault_names", tuple(self.fault_names))
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict; round-trips through :meth:`from_dict`."""
+        d = dataclasses.asdict(self)
+        if d["fault_names"] is not None:
+            d["fault_names"] = list(d["fault_names"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        """Rebuild a spec; unknown keys raise (schema drift detector)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown JobSpec field(s): {sorted(unknown)}")
+        return cls(**d)
+
+    def spec_hash(self) -> str:
+        """Content hash over *every* field — the result-cache key."""
+        return content_hash(self.to_dict())
+
+
+@dataclass
+class JobRecord:
+    """Queue-tracked state of one submitted job.
+
+    ``attempts`` counts worker executions; a job whose worker died or
+    failed is retried until ``attempts > max_retries``, then marked
+    ``failed`` with the last attempt's error in ``error``. The
+    ``attempt_log`` keeps one dict per execution (outcome, resume step,
+    crash exit code) for post-mortems.
+    """
+
+    job_id: str
+    spec: JobSpec
+    state: str = JobState.QUEUED
+    priority: int = 0
+    max_retries: int = 1
+    attempts: int = 0
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    worker_pid: int | None = None
+    cached: bool = False
+    error: str | None = None
+    attempt_log: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["spec"] = self.spec.to_dict()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobRecord":
+        d = dict(d)
+        d["spec"] = JobSpec.from_dict(d["spec"])
+        return cls(**d)

@@ -1,0 +1,164 @@
+"""Worker-process side of the batch service.
+
+:func:`worker_entry` is the ``multiprocessing`` target one job runs in.
+It is deliberately paranoid about the boundary back to the scheduler:
+the *only* channel is an outcome JSON file written atomically as the
+last act before a clean exit. Whatever happens inside — a typed
+:class:`SimulationError`, an unexpected exception, an ``os._exit`` from
+the kill-switch chaos knob, a real segfault — the scheduler learns
+about it either from a ``failed`` outcome file or from the process
+dying without one (treated as a crash). Nothing a job does can
+propagate into the scheduler or its sibling workers.
+
+Retry granularity comes from checkpoints: every attempt persists
+checkpoints into its own ``attempt-<k>/`` directory together with the
+*global* step offset it resumed at (``engine.run`` numbers steps from 0
+each attempt, so the offset file is what lines the attempts up into one
+global step axis). The next attempt scans all previous attempts for the
+newest valid checkpoint and continues from there.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from pathlib import Path
+
+from repro.engine.runner import (
+    execute_spec,
+    make_fault_injector,
+    newest_valid_checkpoint,
+)
+from repro.io.batch_io import read_json, write_json_atomic
+from repro.service.spec import JobSpec
+
+#: Exit code of the kill-switch (mirrors SIGKILL's 128+9 convention).
+KILL_EXIT_CODE = 137
+
+
+class KillSwitch:
+    """Chaos injector that hard-kills the worker at a global step.
+
+    Stands in for the failures no in-process handler survives (segfault
+    in a native kernel, OOM kill): ``os._exit`` skips ``finally``
+    blocks, ``atexit`` hooks, and the outcome write, exactly like a
+    real crash. Wraps an optional inner injector so a spec can combine
+    data-corruption faults with a crash.
+    """
+
+    def __init__(self, kill_at_step: int, offset: int = 0, inner=None) -> None:
+        self.kill_at_step = kill_at_step
+        self.offset = offset
+        self.inner = inner
+
+    def perturb(self, stage: str, payload, *, step: int, engine=None):
+        if self.offset + step >= self.kill_at_step:
+            os._exit(KILL_EXIT_CODE)
+        if self.inner is not None:
+            return self.inner.perturb(stage, payload, step=step, engine=engine)
+        return payload
+
+
+def attempt_checkpoint_dir(scratch: Path, attempt: int) -> Path:
+    return Path(scratch) / "checkpoints" / f"attempt-{attempt:03d}"
+
+
+def find_resume_point(scratch: str | Path):
+    """Newest valid checkpoint across all attempts, with its global step.
+
+    Returns ``(checkpoint, global_step)`` or ``None``. Each attempt
+    directory carries an ``offset.json`` recording the global step the
+    attempt started at; a checkpoint's global position is that offset
+    plus its in-run step index. Attempts with a missing offset file
+    (crashed before writing it) are skipped.
+    """
+    best = None
+    root = Path(scratch) / "checkpoints"
+    if not root.is_dir():
+        return None
+    for attempt_dir in sorted(root.iterdir()):
+        meta = read_json(attempt_dir / "offset.json")
+        if meta is None:
+            continue
+        cp = newest_valid_checkpoint(attempt_dir)
+        if cp is None:
+            continue
+        global_step = int(meta["offset"]) + cp.step
+        if best is None or global_step > best[1]:
+            best = (cp, global_step)
+    return best
+
+
+def run_job(spec: JobSpec, scratch: str | Path, attempt: int) -> dict:
+    """Execute one attempt of a job; returns the outcome dict.
+
+    The outcome's ``status`` is ``succeeded`` or ``failed`` (engine
+    failures are caught and reported — only a process death leaves no
+    outcome at all).
+    """
+    scratch = Path(scratch)
+    resume_cp, resume_offset = None, 0
+    if attempt > 0 and spec.checkpoint_every > 0:
+        found = find_resume_point(scratch)
+        if found is not None and found[1] < spec.steps:
+            resume_cp, resume_offset = found
+    cp_dir = None
+    if spec.checkpoint_every > 0:
+        cp_dir = attempt_checkpoint_dir(scratch, attempt)
+        cp_dir.mkdir(parents=True, exist_ok=True)
+        write_json_atomic(cp_dir / "offset.json", {"offset": resume_offset})
+    injector = make_fault_injector(spec)
+    if spec.kill_at_step is not None:
+        injector = KillSwitch(spec.kill_at_step, resume_offset, inner=injector)
+    from repro.engine.resilience import SimulationError
+
+    try:
+        result, engine, summary = execute_spec(
+            spec,
+            checkpoint_dir=cp_dir,
+            resume_checkpoint=resume_cp,
+            resume_offset=resume_offset,
+            fault_injector=injector,
+        )
+    except SimulationError as err:
+        report = getattr(err, "report", None)
+        return {
+            "status": "failed",
+            "attempt": attempt,
+            "resumed_from": resume_offset,
+            "error": type(err).__name__,
+            "message": str(err),
+            "rollbacks": report.rollbacks if report is not None else 0,
+        }
+    except Exception as err:  # noqa: BLE001 - the boundary must not leak
+        return {
+            "status": "failed",
+            "attempt": attempt,
+            "resumed_from": resume_offset,
+            "error": type(err).__name__,
+            "message": "".join(
+                traceback.format_exception_only(type(err), err)
+            ).strip(),
+        }
+    from repro.io.model_io import save_system
+
+    state_stem = scratch / f"final-attempt-{attempt:03d}"
+    save_system(engine.system, state_stem)
+    summary["status"] = "succeeded"
+    summary["attempt"] = attempt
+    summary["state_stem"] = str(state_stem)
+    return summary
+
+
+def worker_entry(
+    spec_dict: dict, scratch: str, attempt: int, outcome_path: str
+) -> None:
+    """``multiprocessing`` target: run one attempt, write the outcome.
+
+    The outcome lands atomically; a crash at any earlier point leaves
+    no file, which is the scheduler's crash signal.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    outcome = run_job(spec, scratch, attempt)
+    outcome["pid"] = os.getpid()
+    write_json_atomic(outcome_path, outcome)

@@ -10,6 +10,7 @@ from repro.util.validation import (
     ReproError,
     ShapeError,
 )
+from repro.util.hashing import canonical_json, content_hash, short_hash
 from repro.util.rng import make_rng
 from repro.util.tables import Table
 from repro.util.timing import WallTimer, ModuleTimes
@@ -23,6 +24,9 @@ __all__ = [
     "ModelValidationError",
     "ReproError",
     "ShapeError",
+    "canonical_json",
+    "content_hash",
+    "short_hash",
     "make_rng",
     "Table",
     "WallTimer",

@@ -1,0 +1,146 @@
+"""Integration: crash isolation, retry-from-checkpoint, cache hits.
+
+This is the acceptance scenario of the batch service: a batch of four
+jobs on a two-worker pool, one job rigged to hard-kill its worker
+process. The kill must not disturb the three siblings; the rigged job
+is retried (resuming from its newest checkpoint) and finally reported
+failed; resubmitting the identical batch completes the successful jobs
+straight from the result cache with zero steps executed.
+"""
+
+import json
+
+import pytest
+
+from repro.io.batch_io import read_json
+from repro.service import BatchClient, JobSpec, JobState
+
+
+def healthy_spec(i: int) -> JobSpec:
+    return JobSpec(
+        model="wall", engine="serial", steps=4, time_step=1e-3,
+        dynamic=True, tag=f"healthy-{i}",
+    )
+
+
+KILLER = JobSpec(
+    model="wall", engine="serial", steps=6, time_step=1e-3, dynamic=True,
+    checkpoint_every=2, kill_at_step=4, tag="killer",
+)
+
+
+@pytest.fixture(scope="module")
+def batch(tmp_path_factory):
+    """Run the 4-job batch once; the tests dissect the aftermath."""
+    root = tmp_path_factory.mktemp("batch")
+    client = BatchClient(root)
+    killer_record = client.submit(KILLER, max_retries=1)
+    healthy_records = [client.submit(healthy_spec(i)) for i in range(3)]
+    tallies = client.run(n_workers=2)
+    return client, killer_record, healthy_records, tallies
+
+
+class TestCrashIsolation:
+    def test_siblings_all_succeed(self, batch):
+        client, _killer, healthy_records, tallies = batch
+        assert tallies["succeeded"] == 3
+        for record in healthy_records:
+            reloaded = client.queue.load_record(record.job_id)
+            assert reloaded.state == JobState.SUCCEEDED
+            outcome = client.result(record.job_id)
+            assert outcome["status"] == "succeeded"
+            assert outcome["steps_executed"] == 4
+            assert outcome["failure"] is None
+
+    def test_killed_job_retried_then_failed(self, batch):
+        client, killer, _healthy, tallies = batch
+        assert tallies["failed"] == 1
+        assert tallies["retried"] == 1
+        reloaded = client.queue.load_record(killer.job_id)
+        assert reloaded.state == JobState.FAILED
+        assert reloaded.attempts == 2  # first run + one retry
+        assert "WorkerCrashed" in reloaded.error
+        # every attempt was logged as a crash (exit code, no outcome)
+        assert [a["crash"] for a in reloaded.attempt_log] == [True, True]
+        assert reloaded.attempt_log[0]["exitcode"] == 137
+
+    def test_retry_resumed_from_newest_checkpoint(self, batch):
+        client, killer, _healthy, _tallies = batch
+        checkpoints = client.scratch_root / killer.job_id / "checkpoints"
+        # attempt 0 started from scratch and checkpointed up to step 4
+        offset0 = read_json(checkpoints / "attempt-000" / "offset.json")
+        assert offset0 == {"offset": 0}
+        saved = sorted(p.name for p in (checkpoints / "attempt-000").glob("*.npz"))
+        assert "checkpoint_00000004.npz" in saved
+        # attempt 1 resumed from global step 4, not from zero
+        offset1 = read_json(checkpoints / "attempt-001" / "offset.json")
+        assert offset1 == {"offset": 4}
+
+    def test_failure_report_written(self, batch):
+        client, killer, _healthy, _tallies = batch
+        outcome = client.result(killer.job_id)
+        assert outcome["status"] == "failed"
+        assert outcome["attempts"] == 2
+        assert "WorkerCrashed" in outcome["error"]
+
+
+class TestResubmissionHitsCache:
+    def test_identical_batch_resolves_from_cache(self, batch):
+        client, _killer, _healthy, _tallies = batch
+        hits_before = client.store.stats()["hits"]
+        # a fresh client on the same directory (scheduler restart)
+        resubmit = BatchClient(client.root)
+        records = [resubmit.submit(healthy_spec(i)) for i in range(3)]
+        tallies = resubmit.run(n_workers=2)
+        assert tallies == {
+            "dispatched": 0, "cache_hits": 3,
+            "succeeded": 3, "failed": 0, "retried": 0,
+        }
+        # the ResultStore hit counter is the proof of zero execution
+        assert resubmit.store.stats()["hits"] == hits_before + 3
+        for record in records:
+            outcome = resubmit.result(record.job_id)
+            assert outcome["status"] == "succeeded"
+            assert outcome["cached"] is True
+            assert outcome["steps_executed"] == 0
+
+    def test_failed_spec_is_not_cached(self, batch):
+        client, _killer, _healthy, _tallies = batch
+        assert KILLER.spec_hash() not in client.store
+
+
+class TestEngineFailureRetry:
+    def test_fault_injected_job_fails_without_crashing(self, tmp_path):
+        """A NaN-injecting chaos fault fails the job through the typed
+        SimulationError path: the worker exits cleanly with a failure
+        outcome (no crash), is retried, and ends up failed."""
+        client = BatchClient(tmp_path / "b")
+        faulty = JobSpec(
+            model="wall", engine="serial", steps=6, dynamic=True,
+            contracts="full",  # detection turns the fault into a typed error
+            inject_faults=1, fault_names=("solution_nan",), fault_step=1,
+            tag="faulty",
+        )
+        record = client.submit(faulty, max_retries=1)
+        tallies = client.run(n_workers=1)
+        assert tallies["failed"] == 1
+        assert tallies["retried"] == 1
+        reloaded = client.queue.load_record(record.job_id)
+        assert reloaded.state == JobState.FAILED
+        assert reloaded.attempts == 2
+        # both attempts reported a structured failure, not a crash
+        for attempt in reloaded.attempt_log:
+            assert attempt["status"] == "failed"
+            assert "crash" not in attempt
+
+
+class TestStatusSurface:
+    def test_status_reflects_terminal_states(self, batch):
+        client, _killer, _healthy, _tallies = batch
+        status = client.status()
+        assert status["counts"]["failed"] == 1
+        assert status["counts"]["succeeded"] >= 3
+        assert status["counts"]["queued"] == 0
+        states = {row["job_id"]: row["state"] for row in status["jobs"]}
+        assert JobState.FAILED in states.values()
+        assert json.dumps(status)  # JSON-serialisable for --json

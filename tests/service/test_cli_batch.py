@@ -1,0 +1,77 @@
+"""The ``python -m repro batch`` CLI surface, end to end."""
+
+import json
+
+from repro.__main__ import main
+
+
+def test_submit_run_status_results_walkthrough(tmp_path, capsys):
+    batch_dir = str(tmp_path / "batch")
+
+    rc = main(["batch", "submit", "--dir", batch_dir, "--model", "wall",
+               "--engine", "serial", "--steps", "2", "--dynamic",
+               "--tag", "one"])
+    assert rc == 0
+    assert "submitted j" in capsys.readouterr().out
+
+    rc = main(["batch", "submit", "--dir", batch_dir, "--model", "wall",
+               "--engine", "serial", "--steps", "2", "--dynamic",
+               "--tag", "two", "--priority", "5"])
+    assert rc == 0
+    capsys.readouterr()
+
+    rc = main(["batch", "run", "--dir", batch_dir, "--workers", "2",
+               "--quiet"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "succeeded 2" in out
+
+    rc = main(["batch", "status", "--dir", batch_dir, "--json"])
+    assert rc == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["counts"]["succeeded"] == 2
+    assert len(status["jobs"]) == 2
+
+    rc = main(["batch", "results", "--dir", batch_dir, "--json"])
+    assert rc == 0
+    results = json.loads(capsys.readouterr().out)
+    assert len(results) == 2
+    assert all(r["status"] == "succeeded" for r in results.values())
+
+    # an identical resubmission is a cache hit (0 steps executed)
+    rc = main(["batch", "submit", "--dir", batch_dir, "--model", "wall",
+               "--engine", "serial", "--steps", "2", "--dynamic",
+               "--tag", "one"])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["batch", "run", "--dir", batch_dir, "--quiet"])
+    assert rc == 0
+    assert "cache hits 1" in capsys.readouterr().out
+
+
+def test_run_exit_code_signals_failures(tmp_path, capsys):
+    batch_dir = str(tmp_path / "batch")
+    rc = main(["batch", "submit", "--dir", batch_dir, "--model", "wall",
+               "--engine", "serial", "--steps", "4", "--dynamic",
+               "--checkpoint-every", "1", "--kill-at-step", "2",
+               "--max-retries", "0"])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["batch", "run", "--dir", batch_dir, "--quiet"])
+    assert rc == 1
+    assert "failed 1" in capsys.readouterr().out
+
+
+def test_cancel_queued_job(tmp_path, capsys):
+    batch_dir = str(tmp_path / "batch")
+    main(["batch", "submit", "--dir", batch_dir, "--model", "wall",
+          "--engine", "serial", "--steps", "2"])
+    out = capsys.readouterr().out
+    job_id = out.split()[1]
+    assert main(["batch", "cancel", "--dir", batch_dir, job_id]) == 0
+    capsys.readouterr()
+    rc = main(["batch", "status", "--dir", batch_dir, "--json"])
+    assert rc == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["counts"]["cancelled"] == 1
+    assert main(["batch", "cancel", "--dir", batch_dir, "nope"]) == 1

@@ -1,0 +1,131 @@
+"""JobQueue: ordering, atomic claim/ack, dead-worker recovery."""
+
+import threading
+
+import pytest
+
+from repro.service.queue import JobQueue
+from repro.service.spec import JobSpec, JobState
+
+
+def spec(tag: str) -> JobSpec:
+    return JobSpec(model="wall", engine="serial", steps=2, tag=tag)
+
+
+@pytest.fixture
+def queue(tmp_path) -> JobQueue:
+    return JobQueue(tmp_path / "q")
+
+
+class TestOrdering:
+    def test_fifo_within_a_priority(self, queue):
+        ids = [queue.submit(spec(f"t{i}")).job_id for i in range(4)]
+        claimed = [queue.claim()[0].job_id for _ in range(4)]
+        assert claimed == ids
+
+    def test_priority_beats_fifo(self, queue):
+        low = queue.submit(spec("low"), priority=0)
+        high = queue.submit(spec("high"), priority=10)
+        mid = queue.submit(spec("mid"), priority=5)
+        order = [queue.claim()[0].job_id for _ in range(3)]
+        assert order == [high.job_id, mid.job_id, low.job_id]
+
+    def test_requeue_goes_to_band_tail(self, queue):
+        first = queue.submit(spec("first"))
+        second = queue.submit(spec("second"))
+        record, ticket = queue.claim()
+        assert record.job_id == first.job_id
+        queue.requeue(ticket)
+        assert queue.claim()[0].job_id == second.job_id
+        assert queue.claim()[0].job_id == first.job_id
+
+
+class TestClaimAtomicity:
+    def test_claim_moves_ack_removes(self, queue):
+        queue.submit(spec("a"))
+        assert queue.pending() == 1
+        record, ticket = queue.claim()
+        assert queue.pending() == 0
+        assert (queue.claimed_dir / ticket).exists()
+        queue.ack(ticket)
+        assert not (queue.claimed_dir / ticket).exists()
+        assert queue.claim() is None
+
+    def test_concurrent_claimers_never_share_a_ticket(self, tmp_path):
+        """N racing claimers: every ticket claimed exactly once."""
+        root = tmp_path / "q"
+        seed = JobQueue(root)
+        n_jobs = 24
+        for i in range(n_jobs):
+            seed.submit(spec(f"t{i}"))
+        claimed: list[str] = []
+        lock = threading.Lock()
+
+        def drain():
+            q = JobQueue(root, recover=False)
+            while True:
+                got = q.claim()
+                if got is None:
+                    return
+                with lock:
+                    claimed.append(got[0].job_id)
+
+        threads = [threading.Thread(target=drain) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(claimed) == n_jobs
+        assert len(set(claimed)) == n_jobs  # no double claims
+
+    def test_cancelled_job_is_skipped(self, queue):
+        record = queue.submit(spec("doomed"))
+        record.state = JobState.CANCELLED
+        queue.save_record(record)
+        runnable = queue.submit(spec("fine"))
+        got = queue.claim()
+        assert got is not None and got[0].job_id == runnable.job_id
+        assert queue.claim() is None  # the cancelled ticket was consumed
+
+
+class TestRecovery:
+    def test_killed_scheduler_tickets_requeued_on_open(self, tmp_path):
+        """Claimed-but-never-acked work survives a scheduler death."""
+        root = tmp_path / "q"
+        q1 = JobQueue(root)
+        record = q1.submit(spec("orphan"))
+        claimed, _ticket = q1.claim()
+        claimed.state = JobState.RUNNING
+        claimed.worker_pid = 999_999_999  # a pid that is certainly gone
+        q1.save_record(claimed)
+        assert q1.pending() == 0
+        del q1  # the scheduler dies without acking
+
+        q2 = JobQueue(root)  # recover() runs on open
+        assert q2.pending() == 1
+        got = q2.claim()
+        assert got is not None
+        assert got[0].job_id == record.job_id
+        assert got[0].state == JobState.QUEUED
+        assert got[0].worker_pid is None
+
+    def test_recover_drops_terminal_orphans(self, tmp_path):
+        root = tmp_path / "q"
+        q1 = JobQueue(root)
+        q1.submit(spec("done"))
+        record, ticket = q1.claim()
+        record.state = JobState.SUCCEEDED
+        q1.save_record(record)
+        # scheduler died after saving the record but before ack
+        q2 = JobQueue(root)
+        assert q2.pending() == 0
+        assert q2.claim() is None
+
+    def test_counts_by_state(self, queue):
+        queue.submit(spec("a"))
+        record = queue.submit(spec("b"))
+        record.state = JobState.FAILED
+        queue.save_record(record)
+        counts = queue.counts()
+        assert counts["queued"] == 1
+        assert counts["failed"] == 1

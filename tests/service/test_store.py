@@ -1,0 +1,58 @@
+"""ResultStore: content addressing, hit/miss counters, state caching."""
+
+from repro.service.store import ResultStore
+
+HASH_A = "a" * 64
+HASH_B = "b" * 64
+
+
+class TestStore:
+    def test_miss_then_put_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        assert store.lookup(HASH_A) is None
+        store.put(HASH_A, {"steps_executed": 5})
+        assert HASH_A in store
+        got = store.lookup(HASH_A)
+        assert got["steps_executed"] == 5
+        assert store.stats() == {"hits": 1, "misses": 1}
+
+    def test_peek_does_not_count(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put(HASH_A, {"x": 1})
+        assert store.peek(HASH_A) == {"x": 1}
+        assert store.peek(HASH_B) is None
+        assert store.stats() == {"hits": 0, "misses": 0}
+
+    def test_counters_survive_reopen(self, tmp_path):
+        root = tmp_path / "s"
+        store = ResultStore(root)
+        store.put(HASH_A, {})
+        store.lookup(HASH_A)
+        store.lookup(HASH_B)
+        again = ResultStore(root)
+        assert again.stats() == {"hits": 1, "misses": 1}
+        assert again.peek(HASH_A) == {}
+
+    def test_final_state_cached_alongside_summary(self, tmp_path):
+        from repro.io.model_io import load_system, save_system
+        from repro.meshing.slope_models import build_brick_wall
+
+        system = build_brick_wall(2, 2)
+        stem = tmp_path / "final"
+        save_system(system, stem)
+        store = ResultStore(tmp_path / "s")
+        store.put(HASH_A, {"steps_executed": 3}, state_stem=stem)
+        assert store.peek(HASH_A)["has_state"] is True
+        restored = load_system(store.state_stem(HASH_A))
+        assert restored.n_blocks == system.n_blocks
+
+    def test_len_counts_entries_not_state_files(self, tmp_path):
+        from repro.io.model_io import save_system
+        from repro.meshing.slope_models import build_brick_wall
+
+        stem = tmp_path / "final"
+        save_system(build_brick_wall(2, 2), stem)
+        store = ResultStore(tmp_path / "s")
+        store.put(HASH_A, {}, state_stem=stem)
+        store.put(HASH_B, {})
+        assert len(store) == 2

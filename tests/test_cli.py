@@ -71,3 +71,34 @@ class TestMain:
                    "--profile", "k20", "--no-render"])
         assert rc == 0
         assert "K20" in capsys.readouterr().out
+
+
+class TestSubcommands:
+    """The subcommand restructure must not break any legacy flag."""
+
+    def test_documented_invocation_still_works(self, capsys):
+        """Regression for the README/usage example:
+        ``python -m repro --model slope --steps 20``."""
+        rc = main(["--model", "slope", "--steps", "20", "--no-render"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "20 steps" in out
+        assert "CG iterations total" in out
+
+    def test_explicit_run_subcommand_is_equivalent(self, capsys):
+        rc = main(["run", "--model", "wall", "--steps", "1", "--dynamic",
+                   "--no-render"])
+        assert rc == 0
+        assert "CG iterations total" in capsys.readouterr().out
+
+    def test_batch_subcommand_dispatches(self, tmp_path, capsys):
+        rc = main(["batch", "status", "--dir", str(tmp_path / "b")])
+        assert rc == 0
+        assert "jobs:" in capsys.readouterr().out
+
+    def test_legacy_flags_after_run_keyword(self, capsys):
+        """Every run flag is accepted behind the explicit subcommand."""
+        rc = main(["run", "--model", "wall", "--steps", "1", "--dynamic",
+                   "--no-render", "--engine", "serial",
+                   "--checkpoint-every", "1", "--on-failure", "partial"])
+        assert rc == 0
