@@ -10,10 +10,71 @@ the next process to trip over.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None
+try:
+    import msvcrt
+except ImportError:  # pragma: no cover - POSIX
+    msvcrt = None
+
+
+@contextlib.contextmanager
+def locked_fd(path: str | Path, mode: int = 0o644):
+    """Open ``path`` read-write under an exclusive lock; yields the fd.
+
+    Serialises the read-modify-write cycles behind the queue's submit
+    counter and the result cache's hit/miss counters: ``flock`` on
+    POSIX, ``msvcrt.locking`` on Windows, and an ``O_EXCL`` sidecar
+    lockfile (create + spin) anywhere else. The lock is never silently
+    skipped, so concurrent writers cannot allocate duplicate sequence
+    numbers or lose counter increments on any platform.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(path, os.O_RDWR | os.O_CREAT, mode)
+    sidecar = None
+    msvcrt_locked = False
+    try:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        elif msvcrt is not None:  # pragma: no cover - Windows
+            while True:
+                os.lseek(fd, 0, os.SEEK_SET)
+                try:
+                    msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
+                    msvcrt_locked = True
+                    break
+                except OSError:
+                    time.sleep(0.01)
+        else:  # pragma: no cover - neither fcntl nor msvcrt
+            sidecar = str(path) + ".lock"
+            while True:
+                try:
+                    os.close(
+                        os.open(sidecar, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                    )
+                    break
+                except FileExistsError:
+                    time.sleep(0.005)
+        yield fd
+    finally:
+        if msvcrt_locked:  # pragma: no cover - Windows
+            with contextlib.suppress(OSError):
+                os.lseek(fd, 0, os.SEEK_SET)
+                msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+        os.close(fd)
+        if sidecar is not None:  # pragma: no cover
+            with contextlib.suppress(OSError):
+                os.unlink(sidecar)
 
 
 def write_json_atomic(path: str | Path, obj) -> Path:

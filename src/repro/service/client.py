@@ -24,7 +24,7 @@ from pathlib import Path
 from repro.io.batch_io import read_json
 from repro.service.pool import WorkerPool
 from repro.service.queue import JobQueue
-from repro.service.spec import JobRecord, JobSpec, JobState
+from repro.service.spec import JobRecord, JobSpec
 from repro.service.store import ResultStore
 
 
@@ -33,7 +33,14 @@ class BatchClient:
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
-        self.queue = JobQueue(self.root / "queue")
+        # recover=False: a client open must be a pure *observer*. Any
+        # number of submit/status/results/cancel invocations may run
+        # while another process is draining the queue; recovering here
+        # would steal the live runner's claimed tickets and spawn
+        # duplicate executions. Orphan recovery happens where it is
+        # safe — at the start of WorkerPool.run(), gated on claimant
+        # liveness.
+        self.queue = JobQueue(self.root / "queue", recover=False)
         self.store = ResultStore(self.root / "store")
         self.scratch_root = self.root / "scratch"
         self.scratch_root.mkdir(parents=True, exist_ok=True)
@@ -72,13 +79,13 @@ class BatchClient:
         return job.job_id if isinstance(job, JobRecord) else job
 
     def cancel(self, job: str | JobRecord) -> bool:
-        """Cancel a queued job (running/terminal jobs are left alone)."""
-        record = self.queue.load_record(self._job_id(job))
-        if record is None or record.state != JobState.QUEUED:
-            return False
-        record.state = JobState.CANCELLED
-        self.queue.save_record(record)
-        return True
+        """Cancel a queued job (running/terminal jobs are left alone).
+
+        Cancellation is a tombstone consulted at claim, dispatch, and
+        retry time (see :meth:`JobQueue.cancel`), so it holds even when
+        a pool claims the job concurrently with this call.
+        """
+        return self.queue.cancel(self._job_id(job))
 
     # ------------------------------------------------------------------
     def status(self) -> dict:

@@ -70,7 +70,14 @@ class WorkerPool:
         self._ctx = multiprocessing.get_context(_start_method())
         self._log = log or (lambda msg: None)
         #: per-run tallies (reset at each ``run`` call)
-        self.stats: dict[str, int] = {}
+        self.stats: dict[str, int] = self._zero_stats()
+
+    @staticmethod
+    def _zero_stats() -> dict[str, int]:
+        return {
+            "dispatched": 0, "cache_hits": 0,
+            "succeeded": 0, "failed": 0, "retried": 0, "cancelled": 0,
+        }
 
     # ------------------------------------------------------------------
     def run(self) -> dict[str, int]:
@@ -80,10 +87,13 @@ class WorkerPool:
         Jobs requeued for retry during the run are picked back up before
         the pool returns.
         """
-        self.stats = {
-            "dispatched": 0, "cache_hits": 0,
-            "succeeded": 0, "failed": 0, "retried": 0,
-        }
+        self.stats = self._zero_stats()
+        # Reclaim tickets orphaned by a dead scheduler before draining.
+        # This is the one safe recovery point: JobQueue.recover gates on
+        # claimant liveness, so a concurrently live pool keeps its work.
+        recovered = self.queue.recover()
+        if recovered:
+            self._log(f"recovered {recovered} orphaned ticket(s)")
         active: list[_Slot] = []
         while True:
             while len(active) < self.n_workers:
@@ -125,29 +135,45 @@ class WorkerPool:
 
     def _dispatch(self, record: JobRecord, ticket: str) -> _Slot | None:
         """Start one attempt (or complete instantly from the cache)."""
+        if self.queue.is_cancelled(record.job_id):
+            # tombstone landed between submit and claim: drop the job
+            record.state = JobState.CANCELLED
+            record.worker_pid = None
+            record.finished_at = time.time()
+            self.queue.save_record(record)
+            write_json_atomic(
+                self._scratch(record) / "outcome-final.json",
+                {"status": "cancelled"},
+            )
+            self.queue.ack(ticket)
+            self.stats["cancelled"] += 1
+            self._log(f"{record.job_id}: cancelled before dispatch")
+            return None
+        # Consult the cache on *every* dispatch, retries included: a
+        # job recovered after a scheduler crash still short-circuits
+        # when a sibling cached an identical spec in the meantime.
         spec_hash = record.spec.spec_hash()
-        if record.attempts == 0:
-            cached = self.store.lookup(spec_hash)
-            if cached is not None:
-                record.state = JobState.SUCCEEDED
-                record.cached = True
-                record.finished_at = time.time()
-                record.attempt_log.append(
-                    {"cached": True, "spec_hash": spec_hash}
-                )
-                self.queue.save_record(record)
-                outcome = dict(
-                    cached, status="succeeded", cached=True,
-                    steps_executed=0, spec_hash=spec_hash,
-                )
-                write_json_atomic(
-                    self._scratch(record) / "outcome-final.json", outcome
-                )
-                self.queue.ack(ticket)
-                self.stats["cache_hits"] += 1
-                self.stats["succeeded"] += 1
-                self._log(f"{record.job_id}: cache hit ({spec_hash[:12]})")
-                return None
+        cached = self.store.lookup(spec_hash)
+        if cached is not None:
+            record.state = JobState.SUCCEEDED
+            record.cached = True
+            record.finished_at = time.time()
+            record.attempt_log.append(
+                {"cached": True, "spec_hash": spec_hash}
+            )
+            self.queue.save_record(record)
+            outcome = dict(
+                cached, status="succeeded", cached=True,
+                steps_executed=0, spec_hash=spec_hash,
+            )
+            write_json_atomic(
+                self._scratch(record) / "outcome-final.json", outcome
+            )
+            self.queue.ack(ticket)
+            self.stats["cache_hits"] += 1
+            self.stats["succeeded"] += 1
+            self._log(f"{record.job_id}: cache hit ({spec_hash[:12]})")
+            return None
         attempt = record.attempts
         record.attempts += 1
         record.state = JobState.RUNNING
@@ -199,6 +225,17 @@ class WorkerPool:
                 k: v for k, v in outcome.items()
                 if k not in ("status", "attempt", "pid")
             }
+            # The entry describes the whole computation, not the final
+            # attempt: a success resumed from a checkpoint reports only
+            # the tail it integrated, so make the global step count the
+            # authoritative one before caching.
+            total = (
+                cache_entry.get("resumed_from", 0)
+                + cache_entry.get("steps_executed", 0)
+            )
+            cache_entry.update(
+                steps_executed=total, resumed_from=0, total_steps=total
+            )
             self.store.put(spec_hash, cache_entry, state_stem=state_stem)
             record.state = JobState.SUCCEEDED
             record.finished_at = time.time()
@@ -227,7 +264,21 @@ class WorkerPool:
     def _retry_or_fail(self, slot: _Slot, error: str) -> None:
         record = slot.record
         record.worker_pid = None
-        if record.attempts <= record.max_retries:
+        if self.queue.is_cancelled(record.job_id):
+            # cancelled while (or just before) the attempt ran: never retry
+            record.state = JobState.CANCELLED
+            record.error = error
+            record.finished_at = time.time()
+            self.queue.save_record(record)
+            write_json_atomic(
+                self._scratch(record) / "outcome-final.json",
+                {"status": "cancelled", "error": error,
+                 "attempts": record.attempts},
+            )
+            self.queue.ack(slot.ticket)
+            self.stats["cancelled"] += 1
+            self._log(f"{record.job_id}: cancelled; not retrying ({error})")
+        elif record.attempts <= record.max_retries:
             record.state = JobState.QUEUED
             self.queue.save_record(record)
             self.queue.requeue(slot.ticket)

@@ -20,11 +20,24 @@ same ticket exactly one rename succeeds and the losers see
 ``FileNotFoundError`` and move on. *Acking* deletes the claimed ticket.
 
 Crash recovery falls out of the layout: a killed scheduler leaves its
-tickets in ``claimed/``; :meth:`JobQueue.recover` (run on open) moves
-every orphan back to ``queued/`` and flips the job record back to
-``queued``, so the next scheduler resumes exactly where the dead one
-stopped — a job is never lost and never runs twice concurrently within
-a single scheduler host.
+tickets in ``claimed/``; :meth:`JobQueue.recover` moves every *orphaned*
+ticket back to ``queued/`` and flips the job record back to ``queued``,
+so the next scheduler resumes exactly where the dead one stopped — a
+job is never lost and never runs twice concurrently within a single
+scheduler host. A claimed ticket counts as orphaned only when its
+claimant is provably gone (the recorded ``worker_pid`` no longer
+exists); a ticket whose worker is alive belongs to a live scheduler and
+is left alone, so inspection commands opening the same directory can
+never steal in-flight work. Recovery runs when a :class:`WorkerPool`
+starts draining (and on ``JobQueue`` open unless ``recover=False`` —
+the :class:`~repro.service.client.BatchClient` opens with
+``recover=False`` precisely because submit/status/results must be safe
+to run concurrently with a live runner).
+
+Cancellation is a tombstone file (``cancelled/<job_id>``) rather than a
+record rewrite, so it cannot race a scheduler's claim: claim, dispatch,
+recovery, and the retry path all consult the tombstone and drop the job
+instead of running (or re-running) it.
 """
 
 from __future__ import annotations
@@ -32,16 +45,22 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from repro.io.batch_io import read_json, write_json_atomic
+from repro.io.batch_io import locked_fd, read_json, write_json_atomic
 from repro.service.spec import JobRecord, JobState
 
 #: Priorities live in [0, MAX_PRIORITY]; higher runs sooner.
 MAX_PRIORITY = 999
 
-try:
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a recorded claimant pid."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # e.g. EPERM: exists but owned by someone else
+        return True
+    return True
 
 
 class JobQueue:
@@ -52,7 +71,10 @@ class JobQueue:
         self.jobs_dir = self.root / "jobs"
         self.queued_dir = self.root / "tickets" / "queued"
         self.claimed_dir = self.root / "tickets" / "claimed"
-        for d in (self.jobs_dir, self.queued_dir, self.claimed_dir):
+        self.cancelled_dir = self.root / "cancelled"
+        for d in (
+            self.jobs_dir, self.queued_dir, self.claimed_dir, self.cancelled_dir
+        ):
             d.mkdir(parents=True, exist_ok=True)
         self._seq_path = self.root / "seq"
         if recover:
@@ -62,19 +84,14 @@ class JobQueue:
     # submit
     # ------------------------------------------------------------------
     def _next_seq(self) -> int:
-        """Allocate the next submit sequence number (flock-serialised)."""
-        fd = os.open(self._seq_path, os.O_RDWR | os.O_CREAT, 0o644)
-        try:
-            if fcntl is not None:
-                fcntl.flock(fd, fcntl.LOCK_EX)
+        """Allocate the next submit sequence number (lock-serialised)."""
+        with locked_fd(self._seq_path) as fd:
             raw = os.read(fd, 32)
             seq = int(raw) + 1 if raw.strip() else 1
             os.lseek(fd, 0, os.SEEK_SET)
             os.ftruncate(fd, 0)
             os.write(fd, str(seq).encode())
             return seq
-        finally:
-            os.close(fd)
 
     @staticmethod
     def _ticket_name(priority: int, seq: int, job_id: str) -> str:
@@ -103,7 +120,10 @@ class JobQueue:
         """Atomically take the highest-priority queued ticket.
 
         Returns ``(record, ticket_name)`` or ``None`` when the queue is
-        empty. Losing a rename race just advances to the next ticket.
+        empty. Losing a rename race just advances to the next ticket;
+        when every listed ticket vanished to racing claimers the
+        directory is re-listed, so tickets enqueued during the scan are
+        still found and ``None`` means a genuinely empty fresh listing.
         """
         while True:
             tickets = sorted(p.name for p in self.queued_dir.iterdir())
@@ -120,8 +140,14 @@ class JobQueue:
                     # cancelled (or corrupt) while queued: consume silently
                     (self.claimed_dir / name).unlink(missing_ok=True)
                     continue
+                if self.is_cancelled(job_id):
+                    # tombstone beat the record update: finalise it here
+                    record.state = JobState.CANCELLED
+                    self.save_record(record)
+                    (self.claimed_dir / name).unlink(missing_ok=True)
+                    continue
                 return record, name
-            return None  # every listed ticket vanished under us; re-list
+            # every listed ticket vanished or was consumed under us; re-list
 
     def ack(self, ticket_name: str) -> None:
         """Retire a claimed ticket (job reached a terminal state)."""
@@ -138,25 +164,71 @@ class JobQueue:
     def recover(self) -> int:
         """Return orphaned claimed tickets to the queue; count moved.
 
-        Called on open: any ticket still in ``claimed/`` belongs to a
-        scheduler that died without acking, so its job is runnable
-        again. The job record is flipped back to ``queued`` (keeping
-        its attempt history).
+        A ticket in ``claimed/`` is an orphan only when its claimant is
+        provably gone: a ``running`` record whose ``worker_pid`` is
+        still alive belongs to a live scheduler and is left untouched —
+        so a concurrent ``batch status``/``submit`` (or a second
+        ``batch run``) can never steal in-flight work and spawn a
+        duplicate execution. Orphans are flipped back to ``queued``
+        (keeping their attempt history); tombstoned or terminal orphans
+        are dropped.
         """
         moved = 0
         for ticket in sorted(self.claimed_dir.iterdir()):
             job_id = ticket.name.split("-", 2)[2]
             record = self.load_record(job_id)
-            if record is not None and record.state not in JobState.TERMINAL:
-                if record.state == JobState.RUNNING:
-                    record.state = JobState.QUEUED
-                    record.worker_pid = None
-                    self.save_record(record)
-                os.rename(ticket, self.queued_dir / ticket.name)
-                moved += 1
-            else:
+            if record is None or record.state in JobState.TERMINAL:
                 ticket.unlink(missing_ok=True)
+                continue
+            if self.is_cancelled(job_id):
+                record.state = JobState.CANCELLED
+                record.worker_pid = None
+                self.save_record(record)
+                ticket.unlink(missing_ok=True)
+                continue
+            if (
+                record.state == JobState.RUNNING
+                and record.worker_pid is not None
+                and _pid_alive(record.worker_pid)
+            ):
+                continue  # live claimant: not an orphan
+            if record.state == JobState.RUNNING:
+                record.state = JobState.QUEUED
+                record.worker_pid = None
+                self.save_record(record)
+            os.rename(ticket, self.queued_dir / ticket.name)
+            moved += 1
         return moved
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def is_cancelled(self, job_id: str) -> bool:
+        """True when ``job_id`` carries a cancellation tombstone."""
+        return (self.cancelled_dir / job_id).exists()
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job (running/terminal jobs are left alone).
+
+        The tombstone file is the authoritative signal — claim,
+        dispatch, recovery, and the retry path all consult it — so a
+        scheduler that claims the ticket concurrently with this call
+        still drops the job instead of running it. (A worker that had
+        already *started* before the tombstone landed finishes its
+        current attempt, but is never retried.)
+        """
+        record = self.load_record(job_id)
+        if record is None or record.state != JobState.QUEUED:
+            return False
+        (self.cancelled_dir / job_id).touch()
+        # Mark the record only if it is still queued *after* the
+        # tombstone landed; a pool that re-saved it in between owns the
+        # record and honours the tombstone through its own paths.
+        record = self.load_record(job_id)
+        if record is not None and record.state == JobState.QUEUED:
+            record.state = JobState.CANCELLED
+            self.save_record(record)
+        return True
 
     # ------------------------------------------------------------------
     # records

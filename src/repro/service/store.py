@@ -5,23 +5,20 @@ state) is stored under the spec's content hash. Submitting a
 byte-identical spec later finds the entry and skips execution entirely
 — the scheduler marks the job succeeded with ``cached=True`` and zero
 steps executed. The store keeps a persistent hit/miss counter (the
-integration tests and CI assert on it) guarded by ``flock`` so
-concurrent schedulers do not lose increments.
+integration tests and CI assert on it) guarded by an exclusive file
+lock (:func:`repro.io.batch_io.locked_fd`) so concurrent schedulers do
+not lose increments on any platform.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
 import tempfile
 from pathlib import Path
 
-from repro.io.batch_io import read_json, write_json_atomic
-
-try:
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None
+from repro.io.batch_io import locked_fd, read_json, write_json_atomic
 
 
 class ResultStore:
@@ -86,21 +83,14 @@ class ResultStore:
     # persistent hit/miss counters
     # ------------------------------------------------------------------
     def _bump(self, key: str) -> None:
-        fd = os.open(self._counter_path, os.O_RDWR | os.O_CREAT, 0o644)
-        try:
-            if fcntl is not None:
-                fcntl.flock(fd, fcntl.LOCK_EX)
+        with locked_fd(self._counter_path) as fd:
             raw = os.read(fd, 4096)
-            import json
-
             counters = json.loads(raw) if raw.strip() else {}
             counters[key] = counters.get(key, 0) + 1
             payload = json.dumps(counters).encode()
             os.lseek(fd, 0, os.SEEK_SET)
             os.ftruncate(fd, 0)
             os.write(fd, payload)
-        finally:
-            os.close(fd)
 
     def stats(self) -> dict[str, int]:
         """Persistent counters: ``{"hits": N, "misses": M}``."""

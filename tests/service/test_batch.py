@@ -9,11 +9,12 @@ straight from the result cache with zero steps executed.
 """
 
 import json
+import os
 
 import pytest
 
-from repro.io.batch_io import read_json
-from repro.service import BatchClient, JobSpec, JobState
+from repro.io.batch_io import read_json, write_json_atomic
+from repro.service import BatchClient, JobSpec, JobState, WorkerPool
 
 
 def healthy_spec(i: int) -> JobSpec:
@@ -94,7 +95,7 @@ class TestResubmissionHitsCache:
         tallies = resubmit.run(n_workers=2)
         assert tallies == {
             "dispatched": 0, "cache_hits": 3,
-            "succeeded": 3, "failed": 0, "retried": 0,
+            "succeeded": 3, "failed": 0, "retried": 0, "cancelled": 0,
         }
         # the ResultStore hit counter is the proof of zero execution
         assert resubmit.store.stats()["hits"] == hits_before + 3
@@ -132,6 +133,116 @@ class TestEngineFailureRetry:
         for attempt in reloaded.attempt_log:
             assert attempt["status"] == "failed"
             assert "crash" not in attempt
+
+
+class TestConcurrentClientSafety:
+    """A client opening the batch directory must never steal live work."""
+
+    def _claim_as_running(self, client, record):
+        claimed, ticket = client.queue.claim()
+        assert claimed.job_id == record.job_id
+        claimed.state = JobState.RUNNING
+        claimed.worker_pid = os.getpid()  # certainly alive
+        client.queue.save_record(claimed)
+        return claimed, ticket
+
+    def test_client_open_leaves_claimed_tickets_alone(self, tmp_path):
+        """batch status/submit while 'batch run' drains: no ticket theft."""
+        client = BatchClient(tmp_path / "b")
+        record = client.submit(healthy_spec(0))
+        self._claim_as_running(client, record)
+        observer = BatchClient(client.root)  # e.g. a `batch status` call
+        assert observer.queue.pending() == 0
+        reloaded = observer.queue.load_record(record.job_id)
+        assert reloaded.state == JobState.RUNNING
+        assert reloaded.worker_pid == os.getpid()
+
+    def test_recovery_spares_live_claimants(self, tmp_path):
+        """Even explicit recovery is gated on claimant liveness."""
+        client = BatchClient(tmp_path / "b")
+        record = client.submit(healthy_spec(0))
+        self._claim_as_running(client, record)
+        assert client.queue.recover() == 0
+        assert client.queue.load_record(record.job_id).state == JobState.RUNNING
+
+    def test_pool_run_recovers_dead_claimants(self, tmp_path):
+        """WorkerPool.run() reclaims tickets whose claimant pid is gone."""
+        client = BatchClient(tmp_path / "b")
+        record = client.submit(healthy_spec(0))
+        claimed, _ticket = client.queue.claim()
+        claimed.state = JobState.RUNNING
+        claimed.worker_pid = 999_999_999  # a pid that is certainly gone
+        client.queue.save_record(claimed)
+        tallies = client.run(n_workers=1)
+        assert tallies["succeeded"] == 1
+        assert client.queue.load_record(record.job_id).state == JobState.SUCCEEDED
+
+
+class TestCancellationTombstone:
+    def test_cancel_between_claim_and_dispatch_aborts(self, tmp_path):
+        """A cancel racing the claim is honoured at dispatch time."""
+        client = BatchClient(tmp_path / "b")
+        record = client.submit(healthy_spec(0))
+        pool = WorkerPool(client.queue, client.store, client.scratch_root)
+        claimed = client.queue.claim()  # a pool won the claim race...
+        assert client.cancel(record.job_id)  # ...then the user cancelled
+        assert pool._dispatch(*claimed) is None  # no worker is spawned
+        assert client.queue.load_record(record.job_id).state == JobState.CANCELLED
+        assert pool.stats["cancelled"] == 1
+        assert client.queue.claim() is None  # the ticket was retired
+
+    def test_cancelled_job_is_not_retried(self, tmp_path):
+        """A tombstone seen at finish time suppresses the retry."""
+        client = BatchClient(tmp_path / "b")
+        doomed = JobSpec(
+            model="wall", engine="serial", steps=4, dynamic=True,
+            kill_at_step=1, tag="doomed",
+        )
+        record = client.submit(doomed, max_retries=3)
+        (client.queue.cancelled_dir / record.job_id).touch()
+        # tombstone-only (no record rewrite): claim still consumes it
+        tallies = client.run(n_workers=1)
+        assert tallies["retried"] == 0 and tallies["dispatched"] == 0
+        assert client.queue.load_record(record.job_id).state == JobState.CANCELLED
+
+
+class TestCacheAuthority:
+    def test_recovered_job_still_hits_sibling_cache(self, tmp_path):
+        """The cache is consulted on every dispatch, retries included."""
+        client = BatchClient(tmp_path / "b")
+        client.submit(healthy_spec(0))
+        assert client.run(n_workers=1)["succeeded"] == 1  # seeds the cache
+        record = client.submit(healthy_spec(0))
+        reloaded = client.queue.load_record(record.job_id)
+        reloaded.attempts = 1  # as left behind by a scheduler crash
+        client.queue.save_record(reloaded)
+        tallies = client.run(n_workers=1)
+        assert tallies["cache_hits"] == 1
+        assert tallies["dispatched"] == 0
+
+    def test_resumed_success_caches_global_step_count(self, tmp_path):
+        """A success resumed at step 4 of 6 must cache 6 steps, not 2."""
+        client = BatchClient(tmp_path / "b")
+        spec = healthy_spec(0)
+        record = client.submit(spec)
+        pool = WorkerPool(client.queue, client.store, client.scratch_root)
+        claimed, ticket = client.queue.claim()
+        outcome_path = client.scratch_root / record.job_id / "outcome.json"
+        write_json_atomic(outcome_path, {
+            "status": "succeeded", "attempt": 1, "pid": 1234,
+            "steps_executed": 2, "resumed_from": 4, "total_steps": 6,
+        })
+
+        class _DoneProcess:
+            exitcode = 0
+
+        from repro.service.pool import _Slot
+        claimed.attempts = 2
+        pool._finish(_Slot(_DoneProcess(), claimed, ticket, outcome_path, 0.0))
+        entry = client.store.peek(spec.spec_hash())
+        assert entry["steps_executed"] == 6
+        assert entry["total_steps"] == 6
+        assert entry["resumed_from"] == 0
 
 
 class TestStatusSurface:

@@ -1,5 +1,6 @@
 """JobQueue: ordering, atomic claim/ack, dead-worker recovery."""
 
+import os
 import threading
 
 import pytest
@@ -121,6 +122,21 @@ class TestRecovery:
         assert q2.pending() == 0
         assert q2.claim() is None
 
+    def test_recover_leaves_live_claimants_alone(self, tmp_path):
+        """A running record with a live worker pid is not an orphan."""
+        root = tmp_path / "q"
+        q1 = JobQueue(root)
+        record = q1.submit(spec("live"))
+        claimed, _ticket = q1.claim()
+        claimed.state = JobState.RUNNING
+        claimed.worker_pid = os.getpid()  # certainly alive
+        q1.save_record(claimed)
+        q2 = JobQueue(root)  # recover() runs on open
+        assert q2.pending() == 0  # the ticket was not stolen
+        reloaded = q2.load_record(record.job_id)
+        assert reloaded.state == JobState.RUNNING
+        assert reloaded.worker_pid == os.getpid()
+
     def test_counts_by_state(self, queue):
         queue.submit(spec("a"))
         record = queue.submit(spec("b"))
@@ -129,3 +145,29 @@ class TestRecovery:
         counts = queue.counts()
         assert counts["queued"] == 1
         assert counts["failed"] == 1
+
+
+class TestCancellation:
+    def test_cancel_marks_queued_job(self, queue):
+        record = queue.submit(spec("victim"))
+        assert queue.cancel(record.job_id) is True
+        assert queue.is_cancelled(record.job_id)
+        assert queue.load_record(record.job_id).state == JobState.CANCELLED
+        assert queue.claim() is None  # the ticket is consumed, not run
+
+    def test_cancel_rejects_unknown_and_terminal(self, queue):
+        assert queue.cancel("nope") is False
+        record = queue.submit(spec("done"))
+        record.state = JobState.SUCCEEDED
+        queue.save_record(record)
+        assert queue.cancel(record.job_id) is False
+        assert not queue.is_cancelled(record.job_id)
+
+    def test_tombstone_beats_requeued_ticket(self, queue):
+        """A job cancelled after its claim is dropped on the retry path."""
+        record = queue.submit(spec("raced"))
+        _claimed, ticket = queue.claim()  # a pool claimed it first
+        assert queue.cancel(record.job_id) is True  # then the user cancelled
+        queue.requeue(ticket)  # the pool pushes it back (retry path)
+        assert queue.claim() is None  # tombstoned: consumed, never returned
+        assert queue.load_record(record.job_id).state == JobState.CANCELLED
