@@ -73,6 +73,11 @@ _EXPORTS = {
     "render_system": "repro.io.ascii_art",
     "save_system": "repro.io.model_io",
     "load_system": "repro.io.model_io",
+    "Tracer": "repro.obs.tracer",
+    "SpanRecord": "repro.obs.tracer",
+    "MetricsRegistry": "repro.obs.metrics",
+    "merge_snapshots": "repro.obs.metrics",
+    "render_snapshot": "repro.obs.metrics",
     "BatchClient": "repro.service",
     "JobSpec": "repro.service",
     "JobRecord": "repro.service",

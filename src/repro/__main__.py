@@ -1,15 +1,21 @@
 """Command-line runner: ``python -m repro``.
 
-Two subcommands share the entry point:
+Three subcommands share the entry point:
 
 ``run`` (the default — bare flags are routed to it, so every historical
 invocation keeps working) builds one of the bundled workloads (or loads
 a saved model), runs the chosen pipeline in the foreground, and prints
 the per-module time report plus an ASCII rendering of the final state.
+``--trace out.json`` records a per-step span trace (Chrome/Perfetto
+format, or JSON-lines with a ``.jsonl`` suffix); ``--metrics`` prints
+the engine's metrics snapshot after the run.
 
 ``batch`` is the batch simulation service (:mod:`repro.service`):
 submit jobs to a persistent queue, drain it with a crash-isolated
 worker pool, and inspect cached results.
+
+``report`` renders a paper-style per-module table (measured vs
+modelled seconds, speedup) from a trace file written by ``--trace``.
 
 Examples
 --------
@@ -18,6 +24,8 @@ Examples
     python -m repro --model slope --steps 20 --preconditioner bj
     python -m repro run --model rocks --engine serial --steps 5
     python -m repro --load results/my_model --steps 50 --dynamic
+    python -m repro run --model slope --trace results/run.json --metrics
+    python -m repro report results/run.json
     python -m repro batch submit --dir results/batch --model slope
     python -m repro batch run --dir results/batch --workers 2
 """
@@ -31,7 +39,7 @@ import numpy as np
 
 #: Subcommands accepted as the first CLI token; anything else is
 #: treated as legacy ``run`` flags.
-SUBCOMMANDS = ("run", "batch")
+SUBCOMMANDS = ("run", "batch", "report")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="save the final state with repro.io.save_system")
     p.add_argument("--no-render", action="store_true",
                    help="skip the ASCII rendering of the final state")
+    obs = p.add_argument_group("observability")
+    obs.add_argument("--trace", metavar="PATH", dest="trace_path",
+                     help="write a span trace: Chrome/Perfetto trace-event "
+                          "JSON, or JSON-lines when PATH ends in .jsonl "
+                          "(render with 'python -m repro report PATH')")
+    obs.add_argument("--metrics", action="store_true", dest="show_metrics",
+                     help="print the metrics snapshot (contact classes, CG "
+                          "iteration histogram, fallback/rollback counters) "
+                          "after the run")
     res = p.add_argument_group("resilience (long-run survival)")
     res.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                      help="full-state checkpoint every N accepted steps "
@@ -120,6 +137,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.cli import batch_main
 
         return batch_main(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.obs.report import report_main
+
+        return report_main(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     return run_main(argv)
@@ -159,18 +180,28 @@ def run_main(argv: list[str] | None = None) -> int:
             seed=args.inject_faults or 0,
             start_step=args.fault_step,
         )
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer(enabled=args.trace_path is not None)
     gpu_profile = K20 if args.profile == "k20" else K40
     if args.engine == "serial":
-        engine = SerialEngine(system, controls, fault_injector=injector)
+        engine = SerialEngine(
+            system, controls, fault_injector=injector, tracer=tracer
+        )
     elif args.engine == "hybrid":
         engine = HybridEngine(
-            system, controls, profile=gpu_profile, fault_injector=injector
+            system, controls, profile=gpu_profile, fault_injector=injector,
+            tracer=tracer,
         )
     else:
         engine = GpuEngine(
-            system, controls, profile=gpu_profile, fault_injector=injector
+            system, controls, profile=gpu_profile, fault_injector=injector,
+            tracer=tracer,
         )
     result = engine.run(steps=args.steps)
+    if args.trace_path:
+        path = tracer.write(args.trace_path)
+        print(f"trace written: {path}", file=sys.stderr)
 
     table = Table(
         f"{args.engine} pipeline, {result.n_steps} steps "
@@ -194,6 +225,11 @@ def run_main(argv: list[str] | None = None) -> int:
         )
     if result.rollbacks:
         print(f"checkpoint rollbacks: {result.rollbacks}")
+    if args.show_metrics and result.metrics is not None:
+        from repro.obs.metrics import render_snapshot
+
+        print()
+        print(render_snapshot(result.metrics.snapshot()))
     if result.contract_violations:
         counts = ", ".join(
             f"{stage}={count}"

@@ -27,6 +27,8 @@ def transfer_contacts(
     current: ContactSet,
     n_vertices: int,
     device: VirtualDevice | None = None,
+    *,
+    metrics=None,
 ) -> ContactSet:
     """Return ``current`` with matched contacts inheriting previous state.
 
@@ -35,12 +37,17 @@ def transfer_contacts(
     contacts are dropped (their blocks separated).
 
     The returned set keeps ``current``'s row order (grouped by kind), so
-    downstream kernels see the same successive-array layout.
+    downstream kernels see the same successive-array layout. When a
+    ``metrics`` registry is given, the ``contact_transfer.hits`` /
+    ``contact_transfer.misses`` counters record how many current
+    contacts inherited state versus started fresh.
     """
     if current.m == 0:
         return current
     cur_keys = current.keys(n_vertices)
     if previous.m == 0:
+        if metrics is not None and current.m:
+            metrics.inc("contact_transfer.misses", current.m)
         out = current.copy()
         out.prev_state[:] = out.state
         return out
@@ -63,6 +70,10 @@ def transfer_contacts(
     hi = sorted_search(sorted_keys, prev_keys, side="right")
     matched_prev = np.flatnonzero(hi > lo)
     matched_cur = order[lo[matched_prev]]
+    if metrics is not None:
+        metrics.inc("contact_transfer.hits", int(matched_cur.size))
+        metrics.inc("contact_transfer.misses",
+                    int(current.m - matched_cur.size))
 
     out = current.copy()
     out.state[matched_cur] = previous.state[matched_prev]

@@ -14,11 +14,13 @@ periodic checkpoints the run rolls back to when a step fails fatally.
 from __future__ import annotations
 
 import math
+import time
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.assembly.global_matrix import BlockMatrix
-from repro.contact.contact_set import ContactSet
+from repro.contact.contact_set import KIND_NAMES, ContactSet
 from repro.core.blocks import DOF, BlockSystem
 from repro.core.displacement import displacement_matrix, update_geometry
 from repro.core.state import SimulationControls
@@ -37,6 +39,8 @@ from repro.engine.resilience import (
 )
 from repro.engine.results import SimulationResult, StepRecord
 from repro.geometry.tolerances import Tolerances
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.gpu.device import DeviceProfile, K40
 from repro.gpu.kernel import VirtualDevice
 from repro.solvers.cg import CGResult, pcg
@@ -59,12 +63,31 @@ class EngineBase:
         controls: SimulationControls | None = None,
         profile: DeviceProfile | None = None,
         fault_injector=None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.system = system
         self.controls = controls or SimulationControls()
         #: chaos harness hook (:class:`repro.engine.chaos.FaultInjector`);
         #: ``None`` in production runs
         self.fault_injector = fault_injector
+        #: span recorder (:class:`repro.obs.tracer.Tracer`); the shared
+        #: disabled singleton unless the caller wants a trace
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: counter/gauge/histogram ledger (:class:`repro.obs.metrics.
+        #: MetricsRegistry`); always live — increments are per accepted
+        #: step, never per contact, so the cost is noise
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # pre-declare the headline series so a snapshot of a clean run
+        # still shows them at zero (docs and dashboards key on these)
+        for name in (
+            *(f"contacts.{k}" for k in KIND_NAMES),
+            "contact_transfer.hits", "contact_transfer.misses",
+            "solver.rung_escalations", "engine.rollbacks",
+            "contracts.violations", "engine.steps",
+        ):
+            self.metrics.counter(name)
+        self.metrics.histogram("cg.iterations")
         self.device = VirtualDevice(profile or self.default_profile)
         self.dt = self.controls.time_step
         #: accumulated simulated physical time [s] (drives seismic input)
@@ -125,6 +148,71 @@ class EngineBase:
         return self.fault_injector.perturb(
             stage, payload, step=step, engine=self
         )
+
+    @contextmanager
+    def _stage(self, times: ModuleTimes, module: str, step: int):
+        """One pipeline-stage measurement: wall clock into the
+        :class:`ModuleTimes` ledger, kernel launches attributed to
+        ``module`` on the virtual device, and — when tracing is enabled
+        — a span carrying both the wall and the modelled device seconds.
+
+        This replaces the former nested ``times.measure`` +
+        ``device.region`` pair; with the tracer disabled it does exactly
+        that work and nothing more (overhead pinned by
+        ``tests/obs/test_overhead.py``).
+        """
+        tracer = self.tracer
+        traced = tracer.enabled
+        device = self.device
+        if traced:
+            n0 = len(device.records)
+            start = tracer.now()
+        t0 = time.perf_counter()
+        device._region_stack.append(module)
+        try:
+            yield
+        finally:
+            device._region_stack.pop()
+            wall = time.perf_counter() - t0
+            times.add(module, wall)
+            if traced:
+                tracer.add(
+                    module, step=step, start=start, wall_s=wall,
+                    device_s=sum(r.seconds for r in device.records[n0:]),
+                )
+
+    def _observe_step(self, record: StepRecord, step_start: float) -> None:
+        """Roll one accepted step into the metrics (and a step span)."""
+        metrics = self.metrics
+        metrics.inc("engine.steps")
+        if record.retries:
+            metrics.inc("engine.step_retries", record.retries)
+        if record.solver_rung:
+            metrics.inc("solver.rung_escalated_steps")
+        metrics.histogram("engine.open_close_iterations").observe(
+            record.open_close_iterations
+        )
+        contacts = self._contacts
+        if contacts.m:
+            counts = np.bincount(contacts.kind, minlength=len(KIND_NAMES))
+            for kind_name, n in zip(KIND_NAMES, counts):
+                if n:
+                    metrics.inc(f"contacts.{kind_name}", int(n))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.add(
+                "step",
+                step=record.step,
+                start=step_start,
+                wall_s=tracer.now() - step_start,
+                dt=record.dt,
+                cg_iterations=record.cg_iterations,
+                open_close_iterations=record.open_close_iterations,
+                n_contacts=record.n_contacts,
+                retries=record.retries,
+                solver_rung=record.solver_rung,
+                max_displacement=record.max_displacement,
+            )
 
     # ------------------------------------------------------------------
     # module hooks implemented by subclasses
@@ -191,7 +279,14 @@ class EngineBase:
             raise ValueError(f"steps must be >= 1, got {steps}")
         rcontrols = self.controls.resilience
         times = ModuleTimes()
-        result = SimulationResult(module_times=times, device=self.device)
+        result = SimulationResult(
+            module_times=times, device=self.device, metrics=self.metrics
+        )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.meta.setdefault("engine", type(self).__name__)
+            tracer.meta.setdefault("profile", self.device.profile.name)
+            tracer.meta.setdefault("n_blocks", self.system.n_blocks)
         start_centroids = self.system.centroids.copy()
         manager: CheckpointManager | None = None
         if rcontrols.checkpoint_every > 0:
@@ -207,6 +302,7 @@ class EngineBase:
         rollbacks = 0
         step = 0
         while step < steps:
+            step_start = tracer.now() if tracer.enabled else 0.0
             try:
                 record = self._run_one_step(step, times, result.warnings)
             except SimulationError as err:
@@ -217,6 +313,7 @@ class EngineBase:
                     and err.recoverable
                 ):
                     rollbacks += 1
+                    self.metrics.inc("engine.rollbacks")
                     self.restore_checkpoint(cp)
                     self.dt = cp.dt * rcontrols.rollback_dt_factor
                     self._monitor.reset()
@@ -252,6 +349,7 @@ class EngineBase:
                 err.report = report  # for callers catching the raise
                 raise
             result.steps.append(record)
+            self._observe_step(record, step_start)
             step += 1
             if manager is not None and step % rcontrols.checkpoint_every == 0:
                 manager.take(self, step=step)
@@ -265,6 +363,9 @@ class EngineBase:
             for stage, count in self.contracts.violations.items()
             if count - violations_before.get(stage, 0) > 0
         }
+        for stage, count in result.contract_violations.items():
+            self.metrics.inc(f"contracts.violations.{stage}", count)
+            self.metrics.inc("contracts.violations", count)
         result.snapshots.append(
             (len(result.steps), self.system.centroids.copy())
         )
@@ -314,15 +415,19 @@ class EngineBase:
                 tol=controls.cg_tolerance,
                 max_iterations=controls.cg_max_iterations,
                 device=self.device,
+                metrics=self.metrics,
             )
             total_iters += res.iterations
             if res.converged:
+                if rung > 0:
+                    self.metrics.inc("solver.rung_escalations")
                 return res, rung, total_iters
         if res is None:  # every rung failed to even construct
             raise SolverBreakdown(
                 "no preconditioner on the fallback ladder could be built",
                 StepContext(step=-1, dt=self.dt, cause="cg_breakdown"),
             )
+        self.metrics.inc("solver.ladder_exhausted")
         return res, rung, total_iters
 
     def _run_one_step(
@@ -339,18 +444,16 @@ class EngineBase:
             saved_velocities = self.system.velocities.copy()
             ctx = StepContext(step=step, dt=self.dt, retries=retry)
             # ---- contact detection ----------------------------------
-            with times.measure("contact_detection"):
-                with self.device.region("contact_detection"):
-                    contacts = self._detect_contacts()
+            with self._stage(times, "contact_detection", step):
+                contacts = self._detect_contacts()
             contacts = self._inject("contact_detection", contacts, step)
             self.contracts.check_contacts(
                 self.system, contacts, previous=self._contacts, context=ctx
             )
 
             # ---- diagonal building (contact-independent) ------------
-            with times.measure("diagonal_matrix_building"):
-                with self.device.region("diagonal_matrix_building"):
-                    diag_idx, diag_blocks, f_base = self._build_diagonal()
+            with self._stage(times, "diagonal_matrix_building", step):
+                diag_idx, diag_blocks, f_base = self._build_diagonal()
 
             normal_force = contacts.pn * np.maximum(
                 0.0, contacts.normal_disp
@@ -365,25 +468,23 @@ class EngineBase:
             for oc in range(controls.max_open_close_iterations):
                 oc_iters = oc + 1
                 # ---- non-diagonal building --------------------------
-                with times.measure("nondiagonal_matrix_building"):
-                    with self.device.region("nondiagonal_matrix_building"):
-                        (c_diag_idx, c_diag_blocks, rows, cols, blocks,
-                         f_contact) = self._build_nondiagonal(
-                            contacts, normal_force
-                        )
-                        matrix = self._assemble(
-                            np.concatenate([diag_idx, c_diag_idx]),
-                            np.concatenate([diag_blocks, c_diag_blocks]),
-                            rows, cols, blocks,
-                        )
+                with self._stage(times, "nondiagonal_matrix_building", step):
+                    (c_diag_idx, c_diag_blocks, rows, cols, blocks,
+                     f_contact) = self._build_nondiagonal(
+                        contacts, normal_force
+                    )
+                    matrix = self._assemble(
+                        np.concatenate([diag_idx, c_diag_idx]),
+                        np.concatenate([diag_blocks, c_diag_blocks]),
+                        rows, cols, blocks,
+                    )
                 matrix = self._inject("matrix_assembly", matrix, step)
                 self.contracts.check_matrix(matrix, context=ctx)
                 # ---- equation solving --------------------------------
-                with times.measure("equation_solving"):
-                    with self.device.region("equation_solving"):
-                        res, rung, iters = self._solve_with_fallback(
-                            matrix, f_base + f_contact
-                        )
+                with self._stage(times, "equation_solving", step):
+                    res, rung, iters = self._solve_with_fallback(
+                        matrix, f_base + f_contact
+                    )
                 res = self._inject("equation_solving", res, step)
                 if res.converged:
                     self.contracts.check_solution(
@@ -401,11 +502,10 @@ class EngineBase:
                     break
                 d = res.x
                 # ---- interpenetration checking ------------------------
-                with times.measure("interpenetration_checking"):
-                    with self.device.region("interpenetration_checking"):
-                        update = self._check_interpenetration(
-                            contacts, d, normal_force
-                        )
+                with self._stage(times, "interpenetration_checking", step):
+                    update = self._check_interpenetration(
+                        contacts, d, normal_force
+                    )
                 self.contracts.check_state_update(contacts, update, context=ctx)
                 max_pen = update.max_penetration
                 contacts.state = update.states
@@ -435,9 +535,8 @@ class EngineBase:
                         contacts.pn, 1e-300
                     )
                 self._contacts = contacts
-                with times.measure("data_updating"):
-                    with self.device.region("data_updating"):
-                        self._update_data(d)
+                with self._stage(times, "data_updating", step):
+                    self._update_data(d)
                 self.contracts.check_geometry(self.system, context=ctx)
                 accepted_dt = self.dt
                 self.sim_time += accepted_dt

@@ -54,8 +54,13 @@ class GpuEngine(EngineBase):
         controls: SimulationControls | None = None,
         profile: DeviceProfile | None = None,
         fault_injector=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
-        super().__init__(system, controls, profile, fault_injector)
+        super().__init__(
+            system, controls, profile, fault_injector,
+            tracer=tracer, metrics=metrics,
+        )
 
     # ------------------------------------------------------------------
     def _detect_contacts(self) -> ContactSet:
@@ -68,7 +73,8 @@ class GpuEngine(EngineBase):
             tol=self.tolerances,
         )
         contacts = transfer_contacts(
-            self._contacts, contacts, system.vertices.shape[0], self.device
+            self._contacts, contacts, system.vertices.shape[0], self.device,
+            metrics=self.metrics,
         )
         return initialize_contacts_classified(
             system, contacts, self.controls.penalty_scale, self.device

@@ -68,8 +68,13 @@ class HybridEngine(GpuEngine):
         cpu_profile: DeviceProfile | None = None,
         pcie_profile: DeviceProfile | None = None,
         fault_injector=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
-        super().__init__(system, controls, profile or K40, fault_injector)
+        super().__init__(
+            system, controls, profile or K40, fault_injector,
+            tracer=tracer, metrics=metrics,
+        )
         self.device = RoutedVirtualDevice(
             profile or K40,
             routes={

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.engine.resilience import FailureReport, HealthWarning
 from repro.gpu.kernel import VirtualDevice
+from repro.obs.metrics import MetricsRegistry
 from repro.util.timing import ModuleTimes
 
 
@@ -66,6 +67,10 @@ class SimulationResult:
         pipeline stage name (empty when ``contract_level="off"`` or
         nothing tripped). Violations that triggered a successful
         rollback still appear here — detection is part of the record.
+    metrics:
+        The engine's :class:`~repro.obs.metrics.MetricsRegistry`
+        (shared with the engine, accumulating across its runs);
+        ``metrics.snapshot()`` is the JSON-safe view.
     """
 
     module_times: ModuleTimes
@@ -77,6 +82,7 @@ class SimulationResult:
     failure: FailureReport | None = None
     rollbacks: int = 0
     contract_violations: dict[str, int] = field(default_factory=dict)
+    metrics: MetricsRegistry | None = None
 
     @property
     def n_steps(self) -> int:
@@ -144,6 +150,7 @@ class SimulationResult:
         merged = SimulationResult(
             module_times=self.module_times,
             device=self.device,
+            metrics=self.metrics if self.metrics is not None else other.metrics,
             steps=self.steps + renumbered,
             snapshots=self.snapshots
             + [(st + offset, c) for st, c in other.snapshots],

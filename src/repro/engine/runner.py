@@ -60,25 +60,31 @@ def controls_from_spec(
     )
 
 
-def make_engine(spec, system, controls, fault_injector=None):
+def make_engine(spec, system, controls, fault_injector=None,
+                tracer=None, metrics=None):
     """Instantiate the engine a spec names."""
     from repro.gpu.device import K20, K40
 
     profile = K20 if spec.profile == "k20" else K40
+    obs = dict(tracer=tracer, metrics=metrics)
     if spec.engine == "serial":
         from repro.engine.serial_engine import SerialEngine
 
-        return SerialEngine(system, controls, fault_injector=fault_injector)
+        return SerialEngine(
+            system, controls, fault_injector=fault_injector, **obs
+        )
     if spec.engine == "hybrid":
         from repro.engine.hybrid_engine import HybridEngine
 
         return HybridEngine(
-            system, controls, profile=profile, fault_injector=fault_injector
+            system, controls, profile=profile,
+            fault_injector=fault_injector, **obs,
         )
     from repro.engine.gpu_engine import GpuEngine
 
     return GpuEngine(
-        system, controls, profile=profile, fault_injector=fault_injector
+        system, controls, profile=profile,
+        fault_injector=fault_injector, **obs,
     )
 
 
@@ -130,6 +136,8 @@ def execute_spec(
     resume_checkpoint=None,
     resume_offset: int = 0,
     fault_injector=None,
+    tracer=None,
+    metrics=None,
 ):
     """Run a spec end to end; returns ``(result, engine, summary)``.
 
@@ -148,7 +156,10 @@ def execute_spec(
         fault_injector = make_fault_injector(spec)
     system = build_system_from_spec(spec)
     controls = controls_from_spec(spec, checkpoint_dir=checkpoint_dir)
-    engine = make_engine(spec, system, controls, fault_injector=fault_injector)
+    engine = make_engine(
+        spec, system, controls, fault_injector=fault_injector,
+        tracer=tracer, metrics=metrics,
+    )
     resumed_from = 0
     if resume_checkpoint is not None:
         engine.restore_checkpoint(resume_checkpoint)
@@ -160,7 +171,10 @@ def execute_spec(
     else:  # a checkpoint already covers the whole run
         from repro.util.timing import ModuleTimes
 
-        result = SimulationResult(module_times=ModuleTimes(), device=engine.device)
+        result = SimulationResult(
+            module_times=ModuleTimes(), device=engine.device,
+            metrics=engine.metrics,
+        )
     summary = summarize_result(
         result,
         engine=spec.engine,

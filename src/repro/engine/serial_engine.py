@@ -40,8 +40,13 @@ class SerialEngine(EngineBase):
         controls: SimulationControls | None = None,
         profile: DeviceProfile | None = None,
         fault_injector=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
-        super().__init__(system, controls, profile, fault_injector)
+        super().__init__(
+            system, controls, profile, fault_injector,
+            tracer=tracer, metrics=metrics,
+        )
 
     # ------------------------------------------------------------------
     def _detect_contacts(self) -> ContactSet:
@@ -62,7 +67,8 @@ class SerialEngine(EngineBase):
         )
         self._charge_serial_narrow(i.size, contacts.m)
         contacts = transfer_contacts(
-            self._contacts, contacts, system.vertices.shape[0]
+            self._contacts, contacts, system.vertices.shape[0],
+            metrics=self.metrics,
         )
         self.device.launch(
             "serial_contact_transfer",

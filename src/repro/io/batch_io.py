@@ -156,5 +156,10 @@ def summarize_result(
             module: seconds
             for module, seconds in result.module_times.times.items()
         },
+        "metrics": (
+            result.metrics.snapshot()
+            if getattr(result, "metrics", None) is not None
+            else {}
+        ),
         "failure": failure,
     }

@@ -1,0 +1,129 @@
+"""``python -m repro report`` — a paper-style table from a trace file.
+
+Reads a trace written by ``--trace`` (either format) and renders the
+Table-II/III-style per-module report: measured wall seconds, modelled
+device seconds, and the measured/modelled speedup column, plus the
+step-level aggregates (steps, CG iterations, open–close iterations,
+contacts) carried on the ``"step"`` summary spans.
+
+::
+
+    python -m repro --model slope --steps 25 --trace trace.json
+    python -m repro report trace.json [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.obs.tracer import Tracer
+from repro.util.tables import Table
+from repro.util.timing import PIPELINE_MODULES
+
+
+def build_report(tracer: Tracer) -> dict:
+    """Aggregate a trace into the report payload (JSON-safe)."""
+    summary = tracer.module_summary()
+    ordered = [m for m in PIPELINE_MODULES if m in summary]
+    ordered += [m for m in sorted(summary) if m not in PIPELINE_MODULES]
+    modules = {}
+    for name in ordered:
+        d = summary[name]
+        modules[name] = {
+            "spans": d["spans"],
+            "wall_s": d["wall_s"],
+            "modelled_s": d["device_s"],
+            "speedup": (
+                d["wall_s"] / d["device_s"] if d["device_s"] > 0.0 else None
+            ),
+        }
+    total_wall = sum(d["wall_s"] for d in summary.values())
+    total_dev = sum(d["device_s"] for d in summary.values())
+    steps = tracer.step_spans()
+    step_totals = {
+        "steps": len(steps),
+        "cg_iterations": sum(
+            int(s.extras.get("cg_iterations", 0)) for s in steps
+        ),
+        "open_close_iterations": sum(
+            int(s.extras.get("open_close_iterations", 0)) for s in steps
+        ),
+        "max_contacts": max(
+            (int(s.extras.get("n_contacts", 0)) for s in steps), default=0
+        ),
+    }
+    return {
+        "meta": dict(tracer.meta),
+        "modules": modules,
+        "total": {
+            "wall_s": total_wall,
+            "modelled_s": total_dev,
+            "speedup": total_wall / total_dev if total_dev > 0.0 else None,
+        },
+        **step_totals,
+    }
+
+
+def render_report(report: dict) -> str:
+    """Text-render a :func:`build_report` payload as the module table."""
+    meta = report.get("meta", {})
+    title_bits = [
+        str(meta[k]) for k in ("engine", "model", "profile") if k in meta
+    ]
+    title = (
+        f"per-module trace report ({', '.join(title_bits)})"
+        if title_bits else "per-module trace report"
+    )
+    table = Table(
+        title, ["module", "spans", "measured s", "modelled s", "speedup"]
+    )
+
+    def speedup_cell(value):
+        return f"{value:.4g}x" if value is not None else "-"
+
+    for name, row in report["modules"].items():
+        table.add_row([
+            name, row["spans"], row["wall_s"], row["modelled_s"],
+            speedup_cell(row["speedup"]),
+        ])
+    total = report["total"]
+    table.add_row([
+        "total", sum(r["spans"] for r in report["modules"].values()),
+        total["wall_s"], total["modelled_s"], speedup_cell(total["speedup"]),
+    ])
+    lines = [table.render()]
+    lines.append(
+        f"steps: {report['steps']}; "
+        f"CG iterations: {report['cg_iterations']}; "
+        f"open-close iterations: {report['open_close_iterations']}; "
+        f"max contacts: {report['max_contacts']}"
+    )
+    return "\n".join(lines)
+
+
+def report_main(argv: list[str] | None = None) -> int:
+    """The ``report`` subcommand entry point."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Render a per-module table from a --trace file.",
+    )
+    p.add_argument("trace", metavar="TRACE",
+                   help="trace file written by --trace (.json or .jsonl)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the report as JSON instead of a table")
+    args = p.parse_args(argv)
+    try:
+        tracer = Tracer.load(args.trace)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"cannot read trace {args.trace!r}: {err}")
+        return 1
+    report = build_report(tracer)
+    if not report["modules"]:
+        print(f"trace {args.trace!r} contains no module spans")
+        return 1
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    return 0

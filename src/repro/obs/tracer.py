@@ -1,0 +1,322 @@
+"""Structured tracing: per-step, per-module span records.
+
+A :class:`Tracer` collects :class:`SpanRecord` rows — one per pipeline
+stage per step (plus one ``"step"`` span per accepted step carrying the
+solver/contact diagnostics). Each span records both the measured wall
+seconds and the virtual-device *modelled* seconds charged inside it, so
+one trace answers both of the paper's questions: where does the wall
+clock go, and where would the device clock go.
+
+Two export formats:
+
+* **JSON-lines** (``*.jsonl``) — one ``{"type": "span", ...}`` object
+  per line after a ``{"type": "meta", ...}`` header; trivially
+  greppable and streamable;
+* **Chrome trace-event JSON** (anything else, conventionally
+  ``*.json``) — loads directly in ``chrome://tracing`` or
+  `Perfetto <https://ui.perfetto.dev>`_. Wall-clock spans render on one
+  track and the modelled device time on a second track (a synthetic
+  clock accumulated from the modelled seconds), so the two timelines
+  can be compared visually.
+
+Overhead discipline: the engines consult ``tracer.enabled`` *before*
+doing any per-span work, and the shared :data:`NULL_TRACER` singleton
+is what an un-instrumented run carries — a disabled tracer never
+allocates a record (pinned by ``tests/obs/test_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+
+def _json_safe(value):
+    """Coerce numpy scalars (and anything with ``.item()``) to Python."""
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (str, bytes)):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return value
+
+
+@dataclass
+class SpanRecord:
+    """One traced interval.
+
+    Attributes
+    ----------
+    name:
+        Pipeline module name (one of
+        :data:`repro.util.timing.PIPELINE_MODULES`) or ``"step"`` for
+        the per-accepted-step summary span.
+    step:
+        The step index the span belongs to (-1 when not step-scoped).
+    start:
+        Seconds since the tracer's epoch at which the span began.
+    wall_s:
+        Measured wall-clock duration in seconds.
+    device_s:
+        Modelled virtual-device seconds charged during the span.
+    extras:
+        Free-form diagnostics (CG iterations, contact counts,
+        open–close iterations, ...), JSON-safe.
+    """
+
+    name: str
+    step: int
+    start: float
+    wall_s: float
+    device_s: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects spans; export with :meth:`write`, read back with :meth:`load`."""
+
+    __slots__ = ("enabled", "spans", "meta", "_epoch")
+
+    def __init__(self, enabled: bool = True, meta: dict | None = None) -> None:
+        self.enabled = enabled
+        self.spans: list[SpanRecord] = []
+        self.meta: dict = dict(meta or {})
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since the tracer's epoch (the span ``start`` clock)."""
+        return time.perf_counter() - self._epoch
+
+    def add(
+        self,
+        name: str,
+        *,
+        step: int = -1,
+        start: float,
+        wall_s: float,
+        device_s: float = 0.0,
+        **extras,
+    ) -> None:
+        """Record one finished span (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.spans.append(
+            SpanRecord(
+                name=name,
+                step=int(step),
+                start=float(start),
+                wall_s=float(wall_s),
+                device_s=float(device_s),
+                extras={k: _json_safe(v) for k, v in extras.items()},
+            )
+        )
+
+    @contextmanager
+    def span(
+        self, name: str, *, step: int = -1, device=None, **extras
+    ) -> Iterator[None]:
+        """Context manager measuring a block into one span.
+
+        With ``device`` (a :class:`~repro.gpu.kernel.VirtualDevice`),
+        the modelled seconds of every kernel launched inside the block
+        are charged to the span's ``device_s``.
+        """
+        if not self.enabled:
+            yield
+            return
+        n0 = len(device.records) if device is not None else 0
+        start = self.now()
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - t0
+            device_s = (
+                sum(r.seconds for r in device.records[n0:])
+                if device is not None
+                else 0.0
+            )
+            self.add(
+                name, step=step, start=start, wall_s=wall,
+                device_s=device_s, **extras,
+            )
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def module_summary(self) -> dict[str, dict]:
+        """Per-module totals: ``{name: {spans, wall_s, device_s}}``.
+
+        ``"step"`` summary spans are excluded — they wrap the module
+        spans and would double-count.
+        """
+        out: dict[str, dict] = {}
+        for s in self.spans:
+            if s.name == "step":
+                continue
+            d = out.setdefault(
+                s.name, {"spans": 0, "wall_s": 0.0, "device_s": 0.0}
+            )
+            d["spans"] += 1
+            d["wall_s"] += s.wall_s
+            d["device_s"] += s.device_s
+        return out
+
+    def step_spans(self) -> list[SpanRecord]:
+        """The per-accepted-step summary spans, in order."""
+        return [s for s in self.spans if s.name == "step"]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def write(self, path: str | Path) -> Path:
+        """Write the trace; ``*.jsonl`` → JSON-lines, else trace-event JSON."""
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            return self.to_jsonl(path)
+        return self.to_chrome(path)
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(json.dumps(
+                {"type": "meta", **self.meta}, default=_json_safe
+            ) + "\n")
+            for s in self.spans:
+                fh.write(json.dumps(
+                    {
+                        "type": "span",
+                        "name": s.name,
+                        "step": s.step,
+                        "start": s.start,
+                        "wall_s": s.wall_s,
+                        "device_s": s.device_s,
+                        "extras": s.extras,
+                    },
+                    default=_json_safe,
+                ) + "\n")
+        return path
+
+    def to_chrome_dict(self) -> dict:
+        """The trace as a ``chrome://tracing`` / Perfetto event dict.
+
+        Wall-clock spans go on ``tid 1``; the modelled device time is
+        laid out back-to-back on ``tid 2`` as a synthetic clock, so the
+        measured and modelled timelines sit one above the other.
+        """
+        events: list[dict] = [
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": "repro pipeline"}},
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "wall clock"}},
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 2,
+             "args": {"name": "modelled device"}},
+        ]
+        device_clock = 0.0
+        for s in self.spans:
+            args = {"step": s.step, "device_s": s.device_s}
+            args.update(s.extras)
+            events.append({
+                "name": s.name,
+                "cat": "step" if s.name == "step" else "module",
+                "ph": "X", "pid": 1, "tid": 1,
+                "ts": round(s.start * 1e6, 3),
+                "dur": round(s.wall_s * 1e6, 3),
+                "args": args,
+            })
+            if s.name != "step" and s.device_s > 0.0:
+                events.append({
+                    "name": s.name, "cat": "device",
+                    "ph": "X", "pid": 1, "tid": 2,
+                    "ts": round(device_clock * 1e6, 3),
+                    "dur": round(s.device_s * 1e6, 3),
+                    "args": {"step": s.step},
+                })
+                device_clock += s.device_s
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": dict(self.meta),
+        }
+
+    def to_chrome(self, path: str | Path) -> Path:
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_dict(), fh, default=_json_safe)
+        return path
+
+    # ------------------------------------------------------------------
+    # import (the `report` subcommand reads traces back)
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Tracer":
+        """Read a trace written by :meth:`write` (either format)."""
+        path = Path(path)
+        text = path.read_text()
+        first = text.lstrip()[:1]
+        if first == "{" and '"traceEvents"' in text[:4096]:
+            return cls._from_chrome(json.loads(text))
+        return cls._from_jsonl(text)
+
+    @classmethod
+    def _from_jsonl(cls, text: str) -> "Tracer":
+        tracer = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.get("type")
+            if kind == "meta":
+                tracer.meta = {k: v for k, v in obj.items() if k != "type"}
+            elif kind == "span":
+                tracer.spans.append(SpanRecord(
+                    name=obj["name"],
+                    step=int(obj.get("step", -1)),
+                    start=float(obj.get("start", 0.0)),
+                    wall_s=float(obj.get("wall_s", 0.0)),
+                    device_s=float(obj.get("device_s", 0.0)),
+                    extras=dict(obj.get("extras", {})),
+                ))
+            else:
+                raise ValueError(f"unrecognised trace line type {kind!r}")
+        return tracer
+
+    @classmethod
+    def _from_chrome(cls, obj: dict) -> "Tracer":
+        tracer = cls()
+        tracer.meta = dict(obj.get("otherData", {}))
+        for ev in obj.get("traceEvents", []):
+            # only the wall-clock track carries the authoritative spans;
+            # tid 2 re-renders the same modelled time on a synthetic clock
+            if ev.get("ph") != "X" or ev.get("tid") != 1:
+                continue
+            args = dict(ev.get("args", {}))
+            step = int(args.pop("step", -1))
+            device_s = float(args.pop("device_s", 0.0))
+            tracer.spans.append(SpanRecord(
+                name=ev["name"],
+                step=step,
+                start=float(ev.get("ts", 0.0)) / 1e6,
+                wall_s=float(ev.get("dur", 0.0)) / 1e6,
+                device_s=device_s,
+                extras=args,
+            ))
+        return tracer
+
+
+#: The shared disabled tracer un-instrumented runs carry: one allocation
+#: for the whole process, every hook reduced to an attribute check.
+NULL_TRACER = Tracer(enabled=False)

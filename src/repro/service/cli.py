@@ -80,6 +80,12 @@ def build_batch_parser() -> argparse.ArgumentParser:
                    help="terminate attempts running longer than this")
     r.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress lines")
+    r.add_argument("--trace", action="store_true",
+                   help="write a Chrome-format span trace per successful "
+                        "attempt (trace_path in each outcome)")
+    r.add_argument("--metrics", action="store_true", dest="show_metrics",
+                   help="print scheduler + merged per-job metrics after "
+                        "the run")
 
     st = sub.add_parser("status", help="per-state counts and job table")
     add_dir(st)
@@ -138,7 +144,8 @@ def batch_main(argv: list[str] | None = None) -> int:
             lambda msg: print(msg, file=sys.stderr)
         )
         tallies = client.run(
-            n_workers=args.workers, job_timeout=args.job_timeout, log=log
+            n_workers=args.workers, job_timeout=args.job_timeout,
+            trace=args.trace, log=log,
         )
         print(
             f"dispatched {tallies['dispatched']}, "
@@ -146,6 +153,16 @@ def batch_main(argv: list[str] | None = None) -> int:
             f"(cache hits {tallies['cache_hits']}), "
             f"retried {tallies['retried']}, failed {tallies['failed']}"
         )
+        if args.show_metrics:
+            from repro.obs.metrics import render_snapshot
+
+            print()
+            print("scheduler metrics")
+            print(render_snapshot(client.last_run_metrics))
+            if client.last_job_metrics:
+                print()
+                print("job metrics (merged across finished jobs)")
+                print(render_snapshot(client.last_job_metrics))
         return 1 if tallies["failed"] else 0
 
     if args.command == "status":

@@ -44,6 +44,9 @@ class BatchClient:
         self.store = ResultStore(self.root / "store")
         self.scratch_root = self.root / "scratch"
         self.scratch_root.mkdir(parents=True, exist_ok=True)
+        #: metrics snapshots of the most recent ``run`` call
+        self.last_run_metrics: dict = {}
+        self.last_job_metrics: dict = {}
 
     # ------------------------------------------------------------------
     def submit(
@@ -61,18 +64,32 @@ class BatchClient:
         *,
         n_workers: int = 2,
         job_timeout: float | None = None,
+        trace: bool = False,
         log=None,
     ) -> dict[str, int]:
-        """Drain the queue with a worker pool; returns the run tallies."""
+        """Drain the queue with a worker pool; returns the run tallies.
+
+        After the call, :attr:`last_run_metrics` holds the scheduler's
+        metrics snapshot (dispatch outcomes, ``batch.cache_hits`` /
+        ``batch.cache_misses``) and :attr:`last_job_metrics` the merged
+        engine metrics of every job that finished in this run. With
+        ``trace=True`` each successful attempt writes a Chrome-format
+        trace into its scratch directory (``trace_path`` in the
+        outcome).
+        """
         pool = WorkerPool(
             self.queue,
             self.store,
             self.scratch_root,
             n_workers=n_workers,
             job_timeout=job_timeout,
+            trace=trace,
             log=log,
         )
-        return pool.run()
+        tallies = pool.run()
+        self.last_run_metrics = pool.metrics.snapshot()
+        self.last_job_metrics = pool.aggregate_job_metrics()
+        return tallies
 
     @staticmethod
     def _job_id(job: str | JobRecord) -> str:

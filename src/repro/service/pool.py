@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.io.batch_io import read_json, write_json_atomic
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
 from repro.service.queue import JobQueue
 from repro.service.spec import JobRecord, JobState
 from repro.service.store import ResultStore
@@ -57,6 +58,7 @@ class WorkerPool:
         n_workers: int = 2,
         poll_interval: float = 0.02,
         job_timeout: float | None = None,
+        trace: bool = False,
         log=None,
     ) -> None:
         if n_workers < 1:
@@ -67,10 +69,23 @@ class WorkerPool:
         self.n_workers = n_workers
         self.poll_interval = poll_interval
         self.job_timeout = job_timeout
+        #: when True, each successful attempt writes a Chrome-format
+        #: trace into its scratch dir (pool-level knob — deliberately
+        #: not part of the spec, so cache hashes are unaffected)
+        self.trace = trace
         self._ctx = multiprocessing.get_context(_start_method())
         self._log = log or (lambda msg: None)
         #: per-run tallies (reset at each ``run`` call)
         self.stats: dict[str, int] = self._zero_stats()
+        #: scheduler-side metrics registry (dispatch outcomes, cache
+        #: hit/miss); accumulates across ``run`` calls
+        self.metrics = MetricsRegistry()
+        for name in ("batch.cache_hits", "batch.cache_misses"):
+            self.metrics.counter(name)
+        #: per-job engine metrics snapshots keyed by job_id, rolled up
+        #: from each successful outcome; ``aggregate_job_metrics()``
+        #: merges them into one snapshot
+        self.job_metrics: dict[str, dict] = {}
 
     @staticmethod
     def _zero_stats() -> dict[str, int]:
@@ -78,6 +93,15 @@ class WorkerPool:
             "dispatched": 0, "cache_hits": 0,
             "succeeded": 0, "failed": 0, "retried": 0, "cancelled": 0,
         }
+
+    def _tally(self, key: str) -> None:
+        """Bump a per-run stat and its ``batch.<key>`` metrics counter."""
+        self.stats[key] += 1
+        self.metrics.inc(f"batch.{key}")
+
+    def aggregate_job_metrics(self) -> dict:
+        """One snapshot merging every finished job's engine metrics."""
+        return merge_snapshots(*self.job_metrics.values())
 
     # ------------------------------------------------------------------
     def run(self) -> dict[str, int]:
@@ -146,7 +170,7 @@ class WorkerPool:
                 {"status": "cancelled"},
             )
             self.queue.ack(ticket)
-            self.stats["cancelled"] += 1
+            self._tally("cancelled")
             self._log(f"{record.job_id}: cancelled before dispatch")
             return None
         # Consult the cache on *every* dispatch, retries included: a
@@ -154,6 +178,8 @@ class WorkerPool:
         # when a sibling cached an identical spec in the meantime.
         spec_hash = record.spec.spec_hash()
         cached = self.store.lookup(spec_hash)
+        if cached is None:
+            self.metrics.inc("batch.cache_misses")
         if cached is not None:
             record.state = JobState.SUCCEEDED
             record.cached = True
@@ -170,8 +196,10 @@ class WorkerPool:
                 self._scratch(record) / "outcome-final.json", outcome
             )
             self.queue.ack(ticket)
-            self.stats["cache_hits"] += 1
-            self.stats["succeeded"] += 1
+            self._tally("cache_hits")
+            self._tally("succeeded")
+            if cached.get("metrics"):
+                self.job_metrics[record.job_id] = cached["metrics"]
             self._log(f"{record.job_id}: cache hit ({spec_hash[:12]})")
             return None
         attempt = record.attempts
@@ -182,13 +210,14 @@ class WorkerPool:
         outcome_path = scratch / f"outcome-attempt-{attempt:03d}.json"
         process = self._ctx.Process(
             target=worker_entry,
-            args=(record.spec.to_dict(), str(scratch), attempt, str(outcome_path)),
+            args=(record.spec.to_dict(), str(scratch), attempt,
+                  str(outcome_path), self.trace),
             daemon=True,
         )
         process.start()
         record.worker_pid = process.pid
         self.queue.save_record(record)
-        self.stats["dispatched"] += 1
+        self._tally("dispatched")
         self._log(
             f"{record.job_id}: attempt {attempt + 1} started (pid {process.pid})"
         )
@@ -247,7 +276,9 @@ class WorkerPool:
                 dict(outcome, spec_hash=spec_hash, cached=False),
             )
             self.queue.ack(slot.ticket)
-            self.stats["succeeded"] += 1
+            self._tally("succeeded")
+            if outcome.get("metrics"):
+                self.job_metrics[record.job_id] = outcome["metrics"]
             self._log(
                 f"{record.job_id}: succeeded "
                 f"({outcome.get('steps_executed', '?')} steps, "
@@ -276,13 +307,13 @@ class WorkerPool:
                  "attempts": record.attempts},
             )
             self.queue.ack(slot.ticket)
-            self.stats["cancelled"] += 1
+            self._tally("cancelled")
             self._log(f"{record.job_id}: cancelled; not retrying ({error})")
         elif record.attempts <= record.max_retries:
             record.state = JobState.QUEUED
             self.queue.save_record(record)
             self.queue.requeue(slot.ticket)
-            self.stats["retried"] += 1
+            self._tally("retried")
             self._log(
                 f"{record.job_id}: attempt {record.attempts} failed "
                 f"({error}); retrying"
@@ -299,7 +330,7 @@ class WorkerPool:
                  "attempt_log": record.attempt_log},
             )
             self.queue.ack(slot.ticket)
-            self.stats["failed"] += 1
+            self._tally("failed")
             self._log(
                 f"{record.job_id}: failed after {record.attempts} "
                 f"attempt(s): {error}"

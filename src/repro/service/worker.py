@@ -89,14 +89,23 @@ def find_resume_point(scratch: str | Path):
     return best
 
 
-def run_job(spec: JobSpec, scratch: str | Path, attempt: int) -> dict:
+def run_job(
+    spec: JobSpec, scratch: str | Path, attempt: int, *, trace: bool = False
+) -> dict:
     """Execute one attempt of a job; returns the outcome dict.
 
     The outcome's ``status`` is ``succeeded`` or ``failed`` (engine
     failures are caught and reported — only a process death leaves no
-    outcome at all).
+    outcome at all). With ``trace=True`` a successful attempt also
+    writes a Chrome-format span trace into the scratch directory and
+    records its path under ``trace_path``. Tracing is a pool-level
+    option, not part of the spec, so it never perturbs the content hash
+    the result cache keys on.
     """
+    from repro.obs.tracer import Tracer
+
     scratch = Path(scratch)
+    tracer = Tracer(enabled=trace)
     resume_cp, resume_offset = None, 0
     if attempt > 0 and spec.checkpoint_every > 0:
         found = find_resume_point(scratch)
@@ -119,6 +128,7 @@ def run_job(spec: JobSpec, scratch: str | Path, attempt: int) -> dict:
             resume_checkpoint=resume_cp,
             resume_offset=resume_offset,
             fault_injector=injector,
+            tracer=tracer,
         )
     except SimulationError as err:
         report = getattr(err, "report", None)
@@ -147,11 +157,16 @@ def run_job(spec: JobSpec, scratch: str | Path, attempt: int) -> dict:
     summary["status"] = "succeeded"
     summary["attempt"] = attempt
     summary["state_stem"] = str(state_stem)
+    if trace:
+        trace_path = scratch / f"trace-attempt-{attempt:03d}.json"
+        tracer.write(trace_path)
+        summary["trace_path"] = str(trace_path)
     return summary
 
 
 def worker_entry(
-    spec_dict: dict, scratch: str, attempt: int, outcome_path: str
+    spec_dict: dict, scratch: str, attempt: int, outcome_path: str,
+    trace: bool = False,
 ) -> None:
     """``multiprocessing`` target: run one attempt, write the outcome.
 
@@ -159,6 +174,6 @@ def worker_entry(
     no file, which is the scheduler's crash signal.
     """
     spec = JobSpec.from_dict(spec_dict)
-    outcome = run_job(spec, scratch, attempt)
+    outcome = run_job(spec, scratch, attempt, trace=trace)
     outcome["pid"] = os.getpid()
     write_json_atomic(outcome_path, outcome)

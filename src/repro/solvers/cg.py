@@ -70,6 +70,17 @@ def _vector_ops_counters(n: int, ops: int) -> KernelCounters:
     )
 
 
+def _observe(metrics, res: CGResult) -> CGResult:
+    """Record solve outcome on ``metrics`` (no-op when ``metrics`` is None)."""
+    if metrics is not None:
+        metrics.histogram("cg.iterations").observe(res.iterations)
+        if res.breakdown:
+            metrics.inc("cg.breakdowns")
+        elif not res.converged:
+            metrics.inc("cg.non_convergence")
+    return res
+
+
 def pcg(
     a: BlockMatrix | HSBCSRMatrix,
     b: np.ndarray,
@@ -79,6 +90,7 @@ def pcg(
     tol: float = 1e-8,
     max_iterations: int = 200,
     device: VirtualDevice | None = None,
+    metrics=None,
 ) -> CGResult:
     """Solve ``A x = b`` by preconditioned conjugate gradients.
 
@@ -100,6 +112,10 @@ def pcg(
     device:
         Optional virtual device; SpMV, preconditioner applications, and
         vector work are all recorded.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; the solve
+        records its iteration count on the ``cg.iterations`` histogram
+        and bumps ``cg.breakdowns`` / ``cg.non_convergence`` counters.
     """
     h = a if isinstance(a, HSBCSRMatrix) else HSBCSRMatrix.from_block_matrix(a)
     n = h.n * BS
@@ -116,13 +132,15 @@ def pcg(
                                                    shape=(n,)).copy()
     b_norm = float(np.linalg.norm(b))
     if b_norm == 0.0:
-        return CGResult(x=np.zeros(n), iterations=0, converged=True)
+        return _observe(metrics, CGResult(x=np.zeros(n), iterations=0,
+                                          converged=True))
 
     r = b - hsbcsr_spmv(h, x, device)
     residuals: list[float] = []
     rel = float(np.linalg.norm(r)) / b_norm
     if rel < tol:
-        return CGResult(x=x, iterations=0, converged=True, residuals=[])
+        return _observe(metrics, CGResult(x=x, iterations=0, converged=True,
+                                          residuals=[]))
 
     z = m.apply(r, device)
     p = z.copy()
@@ -132,8 +150,10 @@ def pcg(
         pap = float(p @ ap)
         if pap <= 0.0:
             # matrix not SPD along p (defensive): report breakdown
-            return CGResult(x=x, iterations=it, converged=False,
-                            residuals=residuals, breakdown=True)
+            return _observe(metrics, CGResult(x=x, iterations=it,
+                                              converged=False,
+                                              residuals=residuals,
+                                              breakdown=True))
         alpha = rz / pap
         x += alpha * p
         r -= alpha * ap
@@ -142,12 +162,13 @@ def pcg(
         rel = float(np.linalg.norm(r)) / b_norm
         residuals.append(rel)
         if rel < tol:
-            return CGResult(x=x, iterations=it, converged=True,
-                            residuals=residuals)
+            return _observe(metrics, CGResult(x=x, iterations=it,
+                                              converged=True,
+                                              residuals=residuals))
         z = m.apply(r, device)
         rz_new = float(r @ z)
         beta = rz_new / rz
         p = z + beta * p
         rz = rz_new
-    return CGResult(x=x, iterations=max_iterations, converged=False,
-                    residuals=residuals)
+    return _observe(metrics, CGResult(x=x, iterations=max_iterations,
+                                      converged=False, residuals=residuals))

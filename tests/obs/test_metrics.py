@@ -1,0 +1,133 @@
+"""Unit tests for the metrics registry and snapshot tooling."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_EDGES,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    render_snapshot,
+)
+
+
+class TestCounters:
+    def test_inc_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.inc("b", 0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 5, "b": 0}
+
+    def test_counter_is_get_or_create(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("x")
+        c2 = reg.counter("x")
+        assert c1 is c2
+
+    def test_snapshot_values_are_pure_python(self):
+        import numpy as np
+
+        reg = MetricsRegistry()
+        reg.inc("n", int(np.int64(7)))
+        reg.gauge("g").set(float(np.float64(1.5)))
+        snap = reg.snapshot()
+        # must survive strict JSON round-trip
+        again = json.loads(json.dumps(snap))
+        assert again["counters"]["n"] == 7
+        assert again["gauges"]["g"] == 1.5
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("temp").set(3.0)
+        reg.gauge("temp").set(9.0)
+        assert reg.snapshot()["gauges"]["temp"] == 9
+
+
+class TestHistogram:
+    def test_bucketing_inclusive_upper(self):
+        h = Histogram(edges=(1, 2, 5))
+        for v in (1, 2, 2, 3, 100):
+            h.observe(v)
+        assert h.buckets == [1, 2, 1, 1]
+        assert h.count == 5
+        assert h.min == 1 and h.max == 100
+        assert h.mean == pytest.approx(108 / 5)
+
+    def test_labels(self):
+        h = Histogram(edges=(1, 10))
+        assert h.bucket_labels() == ["<=1", "<=10", ">10"]
+
+    def test_default_edges_cover_cg_cap(self):
+        assert DEFAULT_EDGES[-1] == 200
+
+    def test_empty_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty")
+        snap = reg.snapshot()["histograms"]["empty"]
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a = {"counters": {"x": 1, "y": 2}, "gauges": {}, "histograms": {}}
+        b = {"counters": {"x": 10}, "gauges": {}, "histograms": {}}
+        assert merge_snapshots(a, b)["counters"] == {"x": 11, "y": 2}
+
+    def test_histograms_merge(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        for v in (1, 5):
+            r1.histogram("h").observe(v)
+        for v in (100, 300):
+            r2.histogram("h").observe(v)
+        merged = merge_snapshots(r1.snapshot(), r2.snapshot())
+        h = merged["histograms"]["h"]
+        assert h["count"] == 4
+        assert h["min"] == 1 and h["max"] == 300
+        assert h["mean"] == pytest.approx(406 / 4)
+        assert h["buckets"][">200"] == 1
+
+    def test_skips_empty_snapshots(self):
+        reg = MetricsRegistry()
+        reg.inc("k")
+        merged = merge_snapshots({}, reg.snapshot(), {})
+        assert merged["counters"] == {"k": 1}
+
+    def test_merge_of_nothing(self):
+        assert merge_snapshots() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+
+class TestRender:
+    def test_render_contains_series(self):
+        reg = MetricsRegistry()
+        reg.inc("contacts.VE", 3)
+        reg.histogram("cg.iterations").observe(42)
+        text = render_snapshot(reg.snapshot())
+        assert "contacts.VE" in text
+        assert "cg.iterations" in text
+        assert "<=50" in text
+
+    def test_render_orders_buckets_after_json_roundtrip(self):
+        reg = MetricsRegistry()
+        for v in (1, 3, 15, 150):
+            reg.histogram("h").observe(v)
+        # sort_keys scrambles dict order the way batch outcomes do
+        snap = json.loads(json.dumps(reg.snapshot(), sort_keys=True))
+        text = render_snapshot(snap)
+        lines = [l for l in text.splitlines() if "<=" in l or ">" in l]
+        labels = [l.split()[0] for l in lines]
+        assert labels == [
+            "<=1", "<=2", "<=5", "<=10", "<=20", "<=50", "<=100", "<=200",
+            ">200",
+        ]
+
+    def test_render_empty(self):
+        assert "no metrics" in render_snapshot({})

@@ -1,0 +1,109 @@
+"""Acceptance pins: disabled-tracing overhead, Perfetto trace, report.
+
+The ISSUE acceptance criteria this file asserts:
+
+* tracing **disabled** adds under 5% wall-clock overhead to a 50-step
+  serial slope run;
+* an **enabled** trace of that run has valid Perfetto/Chrome structure
+  and ``python -m repro report`` renders the Table-II-style table.
+
+The overhead bound is computed, not differenced: the un-instrumented
+baseline no longer exists (the hooks ARE the timing path now), so the
+honest measurement is (cost of one disabled hook) x (number of hook
+invocations the run made) against the run's measured wall time. The
+disabled hook is ``tracer.enabled`` attribute checks plus the
+metrics-counter adds — nanoseconds against a run that takes seconds.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.serial_engine import SerialEngine
+from repro.meshing.slope_models import build_slope_model
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+STEPS = 50
+SPACING = 16.0
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def slope_run():
+    """One 50-step serial slope run with the default (disabled) tracer."""
+    system = build_slope_model(joint_spacing=SPACING, seed=SEED)
+    engine = SerialEngine(system)
+    start = time.perf_counter()
+    result = engine.run(steps=STEPS)
+    wall = time.perf_counter() - start
+    return engine, result, wall
+
+
+def test_disabled_tracer_never_allocates(slope_run):
+    engine, result, _ = slope_run
+    assert engine.tracer is NULL_TRACER
+    assert engine.tracer.spans == []
+
+
+def test_disabled_overhead_under_5_percent(slope_run):
+    engine, result, wall = slope_run
+    # Count every per-step hook the run executed: one _stage context
+    # per module invocation (the span ledger of an enabled twin counts
+    # them exactly) plus one _observe_step per accepted step.
+    solves = sum(s.open_close_iterations for s in result.steps)
+    accepted = result.n_steps
+    # stage hooks: detection+diagonal once per attempt, nondiag/solve/
+    # check once per open-close iteration, update once per accepted
+    # step; retries re-run stages, so bound generously by 4x.
+    stage_hooks = 4 * (2 * accepted + 3 * solves + accepted)
+
+    # Microbenchmark the disabled hook: tracer.enabled check + the
+    # metrics increments _observe_step does. min-of-N against a tight
+    # loop isolates the per-hook cost from scheduler noise.
+    tracer = NULL_TRACER
+    reps = 20_000
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            if tracer.enabled:  # the _stage guard
+                raise AssertionError
+            engine.metrics.inc("overhead.probe")
+            engine.metrics.inc("overhead.probe2")
+        best = min(best, time.perf_counter() - t0)
+    per_hook = best / reps
+
+    overhead = per_hook * stage_hooks
+    assert overhead < 0.05 * wall, (
+        f"disabled-tracing overhead {overhead * 1e3:.3f} ms is not under "
+        f"5% of the {wall:.2f} s run ({stage_hooks} hooks at "
+        f"{per_hook * 1e9:.0f} ns each)"
+    )
+
+
+def test_enabled_trace_is_perfetto_loadable_and_reportable(tmp_path, capsys):
+    import json
+
+    from repro.obs.report import report_main
+
+    system = build_slope_model(joint_spacing=SPACING, seed=SEED)
+    tracer = Tracer(enabled=True)
+    engine = SerialEngine(system, tracer=tracer)
+    result = engine.run(steps=10)
+
+    path = tracer.write(tmp_path / "slope.json")
+    doc = json.loads(path.read_text())
+    # Perfetto/chrome://tracing structural requirements
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    for ev in doc["traceEvents"]:
+        assert "ph" in ev and "pid" in ev
+        if ev["ph"] == "X":
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+    tids = {ev.get("tid") for ev in doc["traceEvents"] if ev["ph"] == "X"}
+    assert {1, 2} <= tids  # wall track and modelled-device track
+
+    assert report_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "equation_solving" in out
+    assert "speedup" in out
+    assert f"steps: {result.n_steps}" in out

@@ -102,3 +102,58 @@ class TestSubcommands:
                    "--no-render", "--engine", "serial",
                    "--checkpoint-every", "1", "--on-failure", "partial"])
         assert rc == 0
+
+
+class TestObservabilityFlags:
+    def test_trace_flag_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.json"
+        rc = main(["--model", "wall", "--steps", "2", "--dynamic",
+                   "--no-render", "--trace", str(trace)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "equation_solving" in names
+
+    def test_trace_jsonl_format(self, tmp_path):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        rc = main(["--model", "wall", "--steps", "1", "--dynamic",
+                   "--no-render", "--trace", str(trace)])
+        assert rc == 0
+        first = json.loads(trace.read_text().splitlines()[0])
+        assert first["type"] == "meta"
+
+    def test_metrics_flag_prints_snapshot(self, capsys):
+        rc = main(["--model", "wall", "--steps", "1", "--dynamic",
+                   "--no-render", "--metrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "contacts.VE" in out
+        assert "cg.iterations" in out
+
+    def test_report_subcommand_renders_trace(self, tmp_path, capsys):
+        trace = tmp_path / "run.json"
+        main(["--model", "wall", "--steps", "2", "--dynamic",
+              "--no-render", "--trace", str(trace)])
+        capsys.readouterr()
+        rc = main(["report", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "modelled s" in out
+        assert "speedup" in out
+
+    def test_report_json_flag(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        main(["--model", "wall", "--steps", "1", "--dynamic",
+              "--no-render", "--trace", str(trace)])
+        capsys.readouterr()
+        rc = main(["report", str(trace), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "modules" in payload and payload["steps"] == 1

@@ -1,0 +1,72 @@
+"""Execute the fenced python examples in ``docs/*.md``.
+
+Each documentation page's ```python blocks run sequentially in one
+shared namespace (so later blocks may use names defined by earlier
+ones, exactly as a reader following the page would). Blocks whose info
+string contains ``no-run`` (```python no-run) are extracted but
+skipped — that marker is reserved for examples too expensive for CI,
+not for broken ones. Execution happens with the working directory set
+to a temp dir, so examples that write relative paths (``results/...``,
+``steps.csv``) stay hermetic.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+DOCS_DIR = Path(__file__).resolve().parent.parent / "docs"
+DOC_PAGES = sorted(DOCS_DIR.glob("*.md"))
+
+_FENCE = re.compile(r"^```([^\n`]*)\n(.*?)^```[ \t]*$", re.M | re.S)
+
+
+def python_blocks(path: Path) -> list[dict]:
+    """All fenced python blocks of one page, in document order."""
+    text = path.read_text(encoding="utf-8")
+    blocks = []
+    for match in _FENCE.finditer(text):
+        info = match.group(1).strip().split()
+        if not info or info[0] != "python":
+            continue
+        blocks.append({
+            # first line of the code body, 1-based, for tracebacks
+            "line": text.count("\n", 0, match.end(1)) + 2,
+            "run": "no-run" not in info[1:],
+            "code": match.group(2),
+        })
+    return blocks
+
+
+def test_extractor_sees_the_docs():
+    """Guard against the extractor (or the docs) silently going empty."""
+    names = {p.name for p in DOC_PAGES}
+    assert {"architecture.md", "benchmarking.md", "usage.md",
+            "robustness.md"} <= names
+    for name in ("usage.md", "robustness.md", "benchmarking.md"):
+        blocks = python_blocks(DOCS_DIR / name)
+        assert any(b["run"] for b in blocks), f"no runnable blocks: {name}"
+
+
+def test_no_run_marker_is_honoured():
+    blocks = python_blocks(DOCS_DIR / "usage.md")
+    assert any(not b["run"] for b in blocks)  # heavy examples stay marked
+
+
+@pytest.mark.parametrize(
+    "page", DOC_PAGES, ids=lambda p: p.name,
+)
+def test_docs_examples_execute(page, tmp_path, monkeypatch):
+    blocks = python_blocks(page)
+    if not any(b["run"] for b in blocks):
+        pytest.skip(f"{page.name} has no runnable python blocks")
+    monkeypatch.chdir(tmp_path)  # relative writes land in the temp dir
+    namespace: dict = {"__name__": f"docs_{page.stem}"}
+    for block in blocks:
+        if not block["run"]:
+            continue
+        code = compile(block["code"],
+                       f"{page.name}:{block['line']}", "exec")
+        exec(code, namespace)  # noqa: S102 - the docs are trusted input
