@@ -17,6 +17,12 @@ worker pool, and inspect cached results.
 ``report`` renders a paper-style per-module table (measured vs
 modelled seconds, speedup) from a trace file written by ``--trace``.
 
+``lint`` runs the device-path static analyzer (:mod:`repro.lint`):
+rules DDA001-DDA005 over the kernel-path modules, with ``--json``
+machine output and a grandfathering baseline. The dynamic counterpart,
+the scatter-write race sanitizer, is armed on ``run`` with
+``--sanitize``.
+
 Examples
 --------
 ::
@@ -28,6 +34,8 @@ Examples
     python -m repro report results/run.json
     python -m repro batch submit --dir results/batch --model slope
     python -m repro batch run --dir results/batch --workers 2
+    python -m repro lint --json
+    python -m repro run --model slope --steps 5 --sanitize
 """
 
 from __future__ import annotations
@@ -39,7 +47,7 @@ import numpy as np
 
 #: Subcommands accepted as the first CLI token; anything else is
 #: treated as legacy ``run`` flags.
-SUBCOMMANDS = ("run", "batch", "report")
+SUBCOMMANDS = ("run", "batch", "report", "lint")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the metrics snapshot (contact classes, CG "
                           "iteration histogram, fallback/rollback counters) "
                           "after the run")
+    obs.add_argument("--sanitize", action="store_true",
+                     help="arm the scatter-write race sanitizer: "
+                          "instrumented scatter kernels verify their "
+                          "destination indices are duplicate-free "
+                          "(python -m repro lint covers the static rules)")
     res = p.add_argument_group("resilience (long-run survival)")
     res.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
                      help="full-state checkpoint every N accepted steps "
@@ -141,6 +154,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.report import report_main
 
         return report_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import lint_main
+
+        return lint_main(argv[1:])
     if argv and argv[0] == "run":
         argv = argv[1:]
     return run_main(argv)
@@ -163,6 +180,7 @@ def run_main(argv: list[str] | None = None) -> int:
         dynamic=args.dynamic,
         preconditioner=args.preconditioner,
         contract_level=args.contracts,
+        sanitize=args.sanitize,
         resilience=ResilienceControls(
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
@@ -236,6 +254,14 @@ def run_main(argv: list[str] | None = None) -> int:
             for stage, count in sorted(result.contract_violations.items())
         )
         print(f"contract violations caught: {counts}")
+    if engine.sanitizer is not None:
+        print(
+            f"sanitizer: {engine.sanitizer.checks} scatter checks, "
+            f"{len(engine.sanitizer.findings)} race(s)",
+            file=sys.stderr,
+        )
+        for race in engine.sanitizer.findings:
+            print(f"race [{race.stage}]: {race.message()}", file=sys.stderr)
     if injector is not None:
         for fault in injector.injected:
             print(

@@ -24,6 +24,7 @@ from repro.gpu.counters import KernelCounters
 from repro.gpu.kernel import VirtualDevice
 from repro.gpu.memory import coalesced_transactions, gather_transactions
 from repro.gpu.warp import WARP_SIZE
+from repro.lint.sanitize import scatter_check
 from repro.primitives.radix_sort import radix_sort_pairs
 from repro.primitives.reduce import segment_boundaries, segmented_reduce
 from repro.util.validation import check_array
@@ -97,9 +98,10 @@ class BlockMatrix:
     def to_dense(self) -> np.ndarray:
         """Dense ``(6n, 6n)`` matrix (tests / tiny systems only)."""
         a = np.zeros((self.n * BS, self.n * BS))
-        for i in range(self.n):
+        # dense materialisation is for tests/tiny systems, never on GPU
+        for i in range(self.n):  # lint: host-ok[DDA001]
             a[i * BS : (i + 1) * BS, i * BS : (i + 1) * BS] = self.diag[i]
-        for k in range(self.n_offdiag):
+        for k in range(self.n_offdiag):  # lint: host-ok[DDA001]
             i, j = self.rows[k], self.cols[k]
             a[i * BS : (i + 1) * BS, j * BS : (j + 1) * BS] = self.blocks[k]
             a[j * BS : (j + 1) * BS, i * BS : (i + 1) * BS] = self.blocks[k].T
@@ -169,6 +171,8 @@ def assemble_serial(
         raise ValueError("off-diagonal contribution with row == col")
 
     diag = np.zeros((n, BS, BS))
+    scatter_check("assemble_serial.diag_scatter_add", diag_idx,
+                  reduction="sum")
     np.add.at(diag, diag_idx, diag_blocks)
 
     if m == 0:
@@ -181,6 +185,7 @@ def assemble_serial(
     starts = segment_boundaries(skey)
     summed = segmented_reduce(b[order].reshape(m, BS * BS), starts)
     ukey = skey[starts]
+    scatter_check("assemble_serial.offdiag_segment_write", ukey)
     return BlockMatrix(
         n,
         diag,
@@ -238,6 +243,7 @@ def assemble_gpu(
         sums = segmented_reduce(
             diag_blocks[perm].reshape(q, BS * BS), starts, device
         )
+        scatter_check("assemble_gpu.diag_segment_write", skeys[starts])
         diag[skeys[starts]] = sums.reshape(-1, BS, BS)
 
     if m == 0:
@@ -283,6 +289,7 @@ def assemble_gpu(
         )
     summed = segmented_reduce(b[perm].reshape(m, BS * BS), starts, device)
     ukey = skeys[starts]
+    scatter_check("assemble_gpu.offdiag_segment_write", ukey)
     return BlockMatrix(
         n,
         diag,

@@ -84,7 +84,10 @@ def mass_integral_matrices(
 
 
 def elastic_submatrix(area: float, material: BlockMaterial) -> np.ndarray:
-    """Elastic strain-energy stiffness: ``S * E`` in the strain DOFs (6x6)."""
+    """Elastic strain-energy stiffness ``S * E`` in the strain DOFs.
+
+    ``area`` is a scalar; returns the ``(6, 6)`` stiffness block.
+    """
     check_positive("area", area)
     k = np.zeros((6, 6))
     k[3:6, 3:6] = area * material.elastic_matrix()
@@ -104,6 +107,9 @@ def inertia_contribution(
     displacement: ``K += (2/dt^2) M`` and ``F += (2/dt) M v0`` where ``M``
     is the mass matrix and ``v0`` the step-start DOF velocity. (The
     velocity update after solving is ``v1 = (2/dt) d - v0``.)
+
+    ``velocity`` has shape ``(6,)``; returns the ``(6, 6)`` stiffness
+    and the ``(6,)`` load contribution.
     """
     check_positive("dt", dt)
     check_positive("density", density)
@@ -115,7 +121,8 @@ def inertia_contribution(
 def body_force_vector(area: float, fx: float, fy: float) -> np.ndarray:
     """Load of a constant body force (e.g. gravity): ``∫ T^T f dS``.
 
-    With the centroid as origin all non-translational rows vanish.
+    All inputs are scalars; returns the ``(6,)`` load vector. With the
+    centroid as origin all non-translational rows vanish.
     """
     check_positive("area", area)
     f = np.zeros(6)
@@ -127,7 +134,11 @@ def body_force_vector(area: float, fx: float, fy: float) -> np.ndarray:
 def point_load_vector(
     point: np.ndarray, centroid: np.ndarray, fx: float, fy: float
 ) -> np.ndarray:
-    """Load of a concentrated force at a material point: ``T^T F``."""
+    """Load of a concentrated force at a material point: ``T^T F``.
+
+    ``point`` and ``centroid`` have shape ``(2,)``; returns the ``(6,)``
+    load vector.
+    """
     t = displacement_matrix(
         check_array("point", point, dtype=np.float64, shape=(2,))[None, :],
         check_array("centroid", centroid, dtype=np.float64, shape=(2,))[None, :],
@@ -138,10 +149,11 @@ def point_load_vector(
 def fixed_point_contribution(
     point: np.ndarray, centroid: np.ndarray, penalty: float
 ) -> np.ndarray:
-    """Penalty-spring stiffness of a fixed material point: ``p T^T T`` (6x6).
+    """Penalty-spring stiffness of a fixed material point: ``p T^T T``.
 
-    The spring's target displacement is zero each step, so it contributes
-    no load vector.
+    ``point`` and ``centroid`` have shape ``(2,)``; returns the
+    ``(6, 6)`` stiffness block. The spring's target displacement is zero
+    each step, so it contributes no load vector.
     """
     check_positive("penalty", penalty)
     t = displacement_matrix(

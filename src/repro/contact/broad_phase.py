@@ -116,15 +116,18 @@ def broad_phase_pairs_python(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Pure-Python upper-triangular broad phase (the serial baseline).
 
-    Produces the same pair set as :func:`broad_phase_pairs` (possibly in a
-    different order; both are sorted before return).
+    ``aabbs`` has shape ``(n, 4)``; produces the same 1-D pair arrays as
+    :func:`broad_phase_pairs` (possibly in a different order; both are
+    sorted before return).
     """
     aabbs = check_array("aabbs", aabbs, dtype=np.float64, shape=(None, 4))
     n = aabbs.shape[0]
     out_i, out_j = [], []
-    for i in range(n):
+    # deliberately loop-based: the documented serial reference the
+    # vectorised broad phase is verified against
+    for i in range(n):  # lint: host-ok[DDA001]
         xi0, yi0, xi1, yi1 = aabbs[i]
-        for j in range(i + 1, n):
+        for j in range(i + 1, n):  # lint: host-ok[DDA001]
             xj0, yj0, xj1, yj1 = aabbs[j]
             if (
                 xi0 <= xj1 + margin
@@ -141,6 +144,9 @@ def broad_phase_pairs_python(
 
 
 def sort_pairs(i: np.ndarray, j: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Canonical (row-major) ordering of a pair list, for comparisons."""
+    """Canonical (row-major) ordering of a pair list, for comparisons.
+
+    ``i`` and ``j`` are matching 1-D index arrays; returns them reordered.
+    """
     order = np.lexsort((j, i))
     return i[order], j[order]

@@ -71,8 +71,10 @@ def initialize_contacts_classified(
 ) -> ContactSet:
     """Initialise contacts with one uniform kernel per kind.
 
-    Assumes (and exploits) the kind-grouped layout the narrow phase
-    produced; each kind's kernel is divergence-free.
+    Takes a ``ContactSet`` of 1-D per-contact arrays and returns an
+    initialised copy of the same shape. Assumes (and exploits) the
+    kind-grouped layout the narrow phase produced; each kind's kernel is
+    divergence-free.
     """
     check_positive("penalty_scale", penalty_scale)
     out = contacts.copy()
@@ -111,7 +113,8 @@ def initialize_contacts_unclassified(
 ) -> ContactSet:
     """Initialise contacts with one divergent do-everything kernel.
 
-    The baseline of the paper's case analysis: a single launch whose
+    Takes a ``ContactSet`` of 1-D per-contact arrays and returns an
+    initialised copy of the same shape. The baseline of the paper's case analysis: a single launch whose
     threads branch on the contact kind. The divergence cost is measured
     from the *actual* kind layout — pass ``shuffle_seed`` to model an
     unsorted contact array (the state before the classification framework

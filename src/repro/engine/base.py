@@ -43,12 +43,21 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.gpu.device import DeviceProfile, K40
 from repro.gpu.kernel import VirtualDevice
+from repro.lint.sanitize import ScatterSanitizer, sanitized
 from repro.solvers.cg import CGResult, pcg
 from repro.solvers.preconditioners import make_preconditioner
 from repro.util.timing import ModuleTimes
 
 #: Maximum times a step is retried with a halved time step (loop 2).
 MAX_STEP_RETRIES = 10
+
+#: Pipeline module -> contract-ledger stage for sanitizer findings (both
+#: matrix-building modules report as "matrix_assembly", matching the
+#: stage names :class:`~repro.engine.contracts.StageContracts` uses).
+_SANITIZER_STAGE = {
+    "diagonal_matrix_building": "matrix_assembly",
+    "nondiagonal_matrix_building": "matrix_assembly",
+}
 
 
 class EngineBase:
@@ -140,6 +149,17 @@ class EngineBase:
             contact_threshold=self.contact_threshold,
             penetration_factor=self.controls.resilience.penetration_factor,
         )
+        #: scatter-write race sanitizer (:mod:`repro.lint.sanitize`);
+        #: ``None`` unless ``controls.sanitize`` opted in
+        self.sanitizer: ScatterSanitizer | None = None
+        if self.controls.sanitize:
+            self.metrics.counter("lint.races")
+            self.metrics.counter("lint.scatter_checks")
+            self.sanitizer = ScatterSanitizer(
+                metrics=self.metrics,
+                contracts=self.contracts,
+                fault_injector=self.fault_injector,
+            )
 
     def _inject(self, stage: str, payload, step: int):
         """Chaos-harness hook: possibly corrupt a stage output."""
@@ -168,6 +188,8 @@ class EngineBase:
             n0 = len(device.records)
             start = tracer.now()
         t0 = time.perf_counter()
+        if self.sanitizer is not None:
+            self.sanitizer.stage = _SANITIZER_STAGE.get(module, module)
         device._region_stack.append(module)
         try:
             yield
@@ -431,6 +453,23 @@ class EngineBase:
         return res, rung, total_iters
 
     def _run_one_step(
+        self,
+        step: int,
+        times: ModuleTimes,
+        warnings: list[HealthWarning] | None = None,
+    ) -> StepRecord:
+        sanitizer = self.sanitizer
+        if sanitizer is None:
+            return self._step_impl(step, times, warnings)
+        # arm the module-level scatter hooks for the duration of the
+        # step; a detected race raises a recoverable ContractViolation
+        # that the run loop's rollback machinery handles like any other
+        # corrupted stage output
+        sanitizer.step = step
+        with sanitized(sanitizer):
+            return self._step_impl(step, times, warnings)
+
+    def _step_impl(
         self,
         step: int,
         times: ModuleTimes,

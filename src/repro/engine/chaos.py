@@ -91,6 +91,13 @@ FAULT_REGISTRY: dict[str, FaultSpec] = {
             "overwrite one solution-vector entry with +inf",
             "contracts.finite_solution (cheap) / guard_finite",
         ),
+        FaultSpec(
+            "scatter_duplicate_index", "scatter_write",
+            "duplicate one destination index in a scatter kernel's "
+            "shadow view (the sanitizer's copy; downstream data stays "
+            "clean)",
+            "lint.sanitize scatter_race (requires sanitize=True)",
+        ),
     )
 }
 
@@ -234,6 +241,21 @@ class FaultInjector:
         victim = int(self._rng.integers(res.x.size))
         res.x[victim] = np.inf
         return res, f"set solution entry {victim} to +inf"
+
+    # ------------------------------------------------------------------
+    # scatter-write faults (payload: the sanitizer's shadow copy of a
+    # kernel's destination-index array)
+    # ------------------------------------------------------------------
+    def _apply_scatter_duplicate_index(self, targets, engine):
+        if targets.size < 2:
+            return targets, None
+        targets = targets.copy()
+        victim = int(self._rng.integers(1, targets.size))
+        targets[victim] = targets[victim - 1]
+        return targets, (
+            f"duplicated scatter destination {victim - 1} into slot "
+            f"{victim}"
+        )
 
 
 def corrupt_checkpoint_file(path: str | Path) -> Path:

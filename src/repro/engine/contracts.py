@@ -51,6 +51,10 @@ STAGES = (
     "equation_solving",
     "interpenetration_checking",
     "data_updating",
+    # virtual stage of the scatter-write race sanitizer: races found
+    # inside a pipeline module are attributed to that module's stage,
+    # but races from standalone primitive calls land here
+    "scatter_write",
 )
 
 

@@ -34,7 +34,8 @@ def coalesced_transactions(
 ) -> float:
     """Transactions for a contiguous, aligned access of ``n_elements``.
 
-    This is the best case: ``ceil(bytes / transaction)``.
+    Every argument and the result is a scalar. This is the best case:
+    ``ceil(bytes / transaction)``.
     """
     check_positive("elem_bytes", elem_bytes)
     if n_elements < 0:
@@ -50,7 +51,7 @@ def strided_transactions(
 ) -> float:
     """Transactions for a constant-stride access pattern.
 
-    With stride 1 this reduces to :func:`coalesced_transactions`; with a
+    Every argument and the result is a scalar. With stride 1 this reduces to :func:`coalesced_transactions`; with a
     stride of ``transaction_bytes / elem_bytes`` or more, every element
     costs a full transaction.
     """
@@ -67,7 +68,8 @@ def gather_transactions(
 ) -> int:
     """Transactions issued by a warp-structured gather ``x[indices]``.
 
-    Threads are mapped to warps in launch order; each warp issues one
+    ``indices`` is a 1-D element-index array; returns a scalar
+    transaction count. Threads are mapped to warps in launch order; each warp issues one
     transaction per distinct 128-byte segment its lanes touch, which is how
     the hardware coalescer behaves for simple access patterns.
     """
@@ -82,7 +84,8 @@ def gather_transactions(
     per_warp = segs.reshape(-1, warp_size)
     s = np.sort(per_warp, axis=1)
     distinct = 1 + np.count_nonzero(s[:, 1:] != s[:, :-1], axis=1)
-    return int(distinct.sum())
+    # transaction counters are host-side model outputs by contract
+    return int(distinct.sum())  # lint: host-ok[DDA002]
 
 
 def shared_bank_conflicts(
@@ -109,7 +112,9 @@ def shared_bank_conflicts(
     lanes = idx.reshape(-1, warp_size)
     extra = 0
     bank = lanes % banks
-    for w in range(lanes.shape[0]):
+    # deliberately loop-based: the reference implementation the _fast
+    # variant is verified against in tests
+    for w in range(lanes.shape[0]):  # lint: host-ok[DDA001]
         # per bank: number of *distinct words* accessed; cycles = max over banks
         words_by_bank: dict[int, set[int]] = {}
         for b, word in zip(bank[w], lanes[w]):
@@ -126,7 +131,8 @@ def shared_bank_conflicts_fast(
 ) -> int:
     """Vectorised variant of :func:`shared_bank_conflicts`.
 
-    Identical semantics, used by kernels on large launches where the
+    ``word_indices`` is 1-D; returns a scalar cycle count. Identical
+    semantics, used by kernels on large launches where the
     per-warp Python loop would dominate. Kept separate so the simple
     implementation can verify it in tests.
     """
@@ -152,4 +158,5 @@ def shared_bank_conflicts_fast(
     counts = np.zeros(n_warps * banks, dtype=np.int64)
     np.add.at(counts, wb[new_word], 1)
     cycles = counts.reshape(n_warps, banks).max(axis=1)
-    return int((cycles - 1).clip(min=0).sum())
+    # conflict counters are host-side model outputs by contract
+    return int((cycles - 1).clip(min=0).sum())  # lint: host-ok[DDA002]

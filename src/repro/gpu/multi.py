@@ -65,7 +65,10 @@ class PartitionStats:
 def partition_blocks(
     system: BlockSystem, n_devices: int, *, margin: float = 0.0
 ) -> tuple[np.ndarray, PartitionStats]:
-    """Stripe-partition blocks along x; returns labels and statistics."""
+    """Stripe-partition blocks along x.
+
+    Returns the ``(n_blocks,)`` device labels and partition statistics.
+    """
     if n_devices < 1:
         raise ValueError(f"n_devices must be >= 1, got {n_devices}")
     x = system.centroids[:, 0]
@@ -79,11 +82,12 @@ def partition_blocks(
     from repro.contact.broad_phase import broad_phase_pairs
 
     i, j = broad_phase_pairs(system.aabbs, margin or 0.0)
+    # host-side partition-planning statistics, computed once per run
     if i.size:
-        cut = float(np.count_nonzero(labels[i] != labels[j])) / i.size
+        cut = float(np.count_nonzero(labels[i] != labels[j])) / i.size  # lint: host-ok[DDA002]
     else:
         cut = 0.0
-    imbalance = float(counts.max()) / max(1.0, float(counts.mean()))
+    imbalance = float(counts.max()) / max(1.0, float(counts.mean()))  # lint: host-ok[DDA002]
     return labels, PartitionStats(counts, cut, imbalance)
 
 
@@ -115,6 +119,7 @@ def predict_multi_gpu_time(
     Returns
     -------
     dict
+        Each value a scalar (seconds or a ratio):
         ``{"single": s, "multi": s, "speedup": x, "comm": s}``.
     """
     check_positive("pcie_bandwidth", pcie_bandwidth)

@@ -77,9 +77,9 @@ def divergence_stats(
     Parameters
     ----------
     mask:
-        Boolean predicate per thread, in launch order.
+        1-D boolean predicate per thread, in launch order.
     warp_size:
-        SIMT width (32 unless testing the model itself).
+        Scalar SIMT width (32 unless testing the model itself).
 
     Returns
     -------
@@ -94,10 +94,11 @@ def divergence_stats(
     all_true = lanes.all(axis=1)
     divergent = any_true & ~all_true
     n_warps = lanes.shape[0]
-    n_div = int(divergent.sum())
+    # divergence statistics are host-side model outputs by contract
+    n_div = int(divergent.sum())  # lint: host-ok[DDA002]
     # Each divergent warp serializes both paths: warp_size wasted lane-slots.
     wasted = n_div * warp_size
-    taken = float(np.count_nonzero(mask)) / max(1, np.asarray(mask).size)
+    taken = float(np.count_nonzero(mask)) / max(1, np.asarray(mask).size)  # lint: host-ok[DDA002]
     return DivergenceStats(n_warps, n_div, wasted, taken)
 
 
@@ -106,7 +107,8 @@ def multiway_divergence_stats(
 ) -> DivergenceStats:
     """Analyse an ``n_paths``-way switch region (e.g. contact categories).
 
-    A warp executes one pass per distinct label among its lanes; lanes wait
+    ``labels`` is a 1-D per-thread path id in launch order. A warp
+    executes one pass per distinct label among its lanes; lanes wait
     through every pass that is not theirs, so wasted slots per warp are
     ``(distinct - 1) * warp_size``.
     """
@@ -123,7 +125,8 @@ def multiway_divergence_stats(
     s = np.sort(lanes, axis=1)
     distinct = 1 + np.count_nonzero(s[:, 1:] != s[:, :-1], axis=1)
     divergent = distinct > 1
-    wasted = int(((distinct - 1) * warp_size).sum())
+    # divergence statistics are host-side model outputs by contract
+    wasted = int(((distinct - 1) * warp_size).sum())  # lint: host-ok[DDA002]
     return DivergenceStats(
-        lanes.shape[0], int(divergent.sum()), wasted, 0.0
+        lanes.shape[0], int(divergent.sum()), wasted, 0.0  # lint: host-ok[DDA002]
     )

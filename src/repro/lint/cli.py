@@ -1,0 +1,102 @@
+"""The ``python -m repro lint`` subcommand.
+
+Exit status is 0 only when no *non-baselined* finding remains — the CI
+contract. ``--write-baseline`` grandfathers the current findings;
+``--baseline`` consumes such a file on later runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.framework import (
+    default_root,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+#: Baseline auto-loaded from the working directory when present.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Device-path static analysis (rules DDA001-DDA005).",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files/directories to lint (relative to --root; "
+                        "default: the whole package)")
+    p.add_argument("--root", metavar="DIR",
+                   help="lint root (default: the installed repro package)")
+    p.add_argument("--select", metavar="CODE,...",
+                   help="comma-separated rule codes to run "
+                        "(e.g. DDA001,DDA004)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable report on stdout")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="grandfather findings listed in FILE (default: "
+                        f"./{DEFAULT_BASELINE} when it exists)")
+    p.add_argument("--write-baseline", metavar="FILE", dest="write_baseline",
+                   help="write current findings to FILE and exit 0")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    return p
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.lint.passes import ALL_CODES, ALL_PASSES
+
+    if args.list_rules:
+        for lint_pass in ALL_PASSES:
+            print(f"{lint_pass.code} ({lint_pass.name}): "
+                  f"{lint_pass.description}")
+        return 0
+
+    select = None
+    if args.select:
+        select = {c.strip().upper() for c in args.select.split(",")
+                  if c.strip()}
+        unknown = select - ALL_CODES
+        if unknown:
+            print(f"unknown rule code(s): {sorted(unknown)}; "
+                  f"known: {sorted(ALL_CODES)}", file=sys.stderr)
+            return 2
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None and args.write_baseline is None:
+        baseline = load_baseline(baseline_path)
+
+    root = Path(args.root) if args.root else default_root()
+    report = run_lint(
+        root, select=select, paths=args.paths or None, baseline=baseline
+    )
+
+    if args.write_baseline:
+        path = write_baseline(args.write_baseline, report.findings)
+        print(f"baseline written: {path} "
+              f"({len(report.findings)} finding(s))", file=sys.stderr)
+        return 0
+
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        new = len(report.new_findings)
+        grandfathered = len(report.findings) - new
+        print(
+            f"{new} finding(s) ({grandfathered} baselined) in "
+            f"{report.files_scanned} file(s), "
+            f"{report.runtime_s * 1e3:.0f} ms",
+            file=sys.stderr,
+        )
+    return 1 if report.new_findings else 0

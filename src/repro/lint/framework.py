@@ -1,0 +1,322 @@
+"""Shared machinery of the ``repro.lint`` static passes.
+
+A *pass* is a small AST visitor producing :class:`Finding` records; this
+module provides what every pass shares — the parsed-module wrapper with
+``# lint: host-ok`` suppression handling, the kernel-path configuration,
+the file walker, and the baseline file for grandfathered findings.
+
+Suppression syntax (on the flagged line or the line directly above)::
+
+    for i in range(n):  # lint: host-ok -- documented serial baseline
+    # lint: host-ok[DDA002] -- key-bits inference needs keys.max()
+
+A bare ``host-ok`` silences every rule on that line; ``host-ok[CODE,...]``
+silences only the listed rules. Text after ``--`` is the (expected)
+human reason.
+
+Baselines grandfather pre-existing findings without suppression comments:
+entries are keyed by ``(file, code, message)`` — deliberately *not* by
+line number, so unrelated edits above a finding don't invalidate the
+baseline — and matched with multiplicity.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import time
+from dataclasses import dataclass, field, replace
+from collections import Counter
+from pathlib import Path
+import re
+
+#: Modules whose code runs (conceptually) on the device: rules DDA001,
+#: DDA002, DDA003 and DDA005 apply only here. Directory entries end in
+#: "/" and match by prefix; file entries match exactly.
+KERNEL_PATH = (
+    "contact/",
+    "assembly/",
+    "spmv/",
+    "primitives/",
+    "gpu/",
+    "solvers/cg.py",
+)
+
+#: Per-module rule exemptions: path -> (codes, reason). The framework's
+#: per-module configuration point — prefer line-level ``host-ok``
+#: comments for single sites, and an entry here when an entire module is
+#: host-side by design.
+MODULE_EXEMPTIONS: dict[str, tuple[frozenset[str], str]] = {
+    "spmv/synthetic.py": (
+        frozenset({"DDA001", "DDA002"}),
+        "host-side workload generator: builds benchmark matrices, "
+        "never runs in a kernel-recorded region",
+    ),
+}
+
+#: The one module allowed to construct RNGs (rule DDA004).
+RNG_HOME = "util/rng.py"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*host-ok(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+)
+
+#: Marker object: a bare ``host-ok`` suppresses every rule.
+_ALL_CODES = None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes
+    ----------
+    file:
+        Path relative to the linted root, POSIX separators.
+    line:
+        1-based source line.
+    code:
+        Rule id (``DDA001``..``DDA005``).
+    message:
+        Human explanation, stable across unrelated edits (it is part of
+        the baseline key).
+    baselined:
+        ``True`` when a baseline entry grandfathers this finding.
+    """
+
+    file: str
+    line: int
+    code: str
+    message: str
+    baselined: bool = False
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity (line numbers excluded — drift-proof)."""
+        return (self.file, self.code, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        tag = " [baselined]" if self.baselined else ""
+        return f"{self.file}:{self.line}: {self.code} {self.message}{tag}"
+
+
+class LintPass:
+    """Base class for a rule. Subclasses set the class attributes and
+    implement :meth:`run` yielding :class:`Finding` records."""
+
+    code: str = "DDA000"
+    name: str = ""
+    description: str = ""
+    #: Rules about device code only visit :data:`KERNEL_PATH` modules.
+    kernel_path_only: bool = True
+
+    def run(self, module: "SourceModule"):
+        raise NotImplementedError
+
+    def finding(self, module: "SourceModule", node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            file=module.rel, line=getattr(node, "lineno", 1),
+            code=self.code, message=message,
+        )
+
+
+class SourceModule:
+    """One parsed source file plus its suppression map."""
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.root = root
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.source = path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines()
+        self.tree = ast.parse(self.source, filename=str(path))
+        # line -> frozenset of codes, or None meaning "all codes"
+        self.suppressions: dict[int, frozenset[str] | None] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(text)
+            if m is None:
+                continue
+            codes = m.group("codes")
+            self.suppressions[lineno] = (
+                frozenset(c.strip() for c in codes.split(",") if c.strip())
+                if codes else _ALL_CODES
+            )
+
+    # ------------------------------------------------------------------
+    def is_kernel_path(self) -> bool:
+        return any(
+            self.rel == entry
+            or (entry.endswith("/") and self.rel.startswith(entry))
+            for entry in KERNEL_PATH
+        )
+
+    def rule_exempt(self, code: str) -> bool:
+        entry = MODULE_EXEMPTIONS.get(self.rel)
+        return entry is not None and code in entry[0]
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Is ``code`` silenced at ``line`` (same line or line above)?"""
+        for candidate in (line, line - 1):
+            if candidate not in self.suppressions:
+                continue
+            codes = self.suppressions[candidate]
+            if codes is _ALL_CODES or code in codes:
+                return True
+        return False
+
+
+@dataclass
+class LintReport:
+    """Outcome of one :func:`run_lint` invocation."""
+
+    root: str
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    runtime_s: float = 0.0
+
+    @property
+    def new_findings(self) -> list[Finding]:
+        """Findings not grandfathered by the baseline."""
+        return [f for f in self.findings if not f.baselined]
+
+    def counts_by_code(self) -> dict[str, int]:
+        out: Counter[str] = Counter(f.code for f in self.findings)
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "root": self.root,
+            "files_scanned": self.files_scanned,
+            "runtime_s": self.runtime_s,
+            "counts": self.counts_by_code(),
+            "new": len(self.new_findings),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (``src/repro``)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def walk_files(root: Path, paths: list[str] | None = None) -> list[Path]:
+    """Python files under ``root`` (or the explicit ``paths`` subset)."""
+    if paths:
+        out = []
+        for p in paths:
+            candidate = Path(p)
+            if not candidate.is_absolute():
+                candidate = root / candidate
+            if candidate.is_dir():
+                out.extend(sorted(candidate.rglob("*.py")))
+            else:
+                out.append(candidate)
+        return out
+    return sorted(root.rglob("*.py"))
+
+
+# ----------------------------------------------------------------------
+# baseline round-trip
+# ----------------------------------------------------------------------
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> Path:
+    """Persist ``findings`` as a grandfather baseline (JSON)."""
+    path = Path(path)
+    entries = [
+        {"file": f.file, "code": f.code, "message": f.message}
+        for f in sorted(findings, key=lambda f: (f.file, f.code, f.line))
+    ]
+    path.write_text(
+        json.dumps({"version": 1, "findings": entries}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Baseline keys with multiplicity (see :meth:`Finding.key`)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != 1:
+        raise ValueError(f"{path}: unsupported baseline version")
+    return Counter(
+        (e["file"], e["code"], e["message"]) for e in data["findings"]
+    )
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter
+) -> list[Finding]:
+    """Mark findings matched by the baseline (multiplicity-aware)."""
+    budget = Counter(baseline)
+    out = []
+    for f in findings:
+        if budget[f.key()] > 0:
+            budget[f.key()] -= 1
+            f = replace(f, baselined=True)
+        out.append(f)
+    return out
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+
+def run_lint(
+    root: str | Path | None = None,
+    *,
+    select: set[str] | None = None,
+    paths: list[str] | None = None,
+    baseline: Counter | None = None,
+) -> LintReport:
+    """Run every (selected) pass over every file under ``root``.
+
+    Parameters
+    ----------
+    root:
+        Directory whose ``*.py`` files are linted; defaults to the
+        installed ``repro`` package. Findings carry root-relative paths.
+    select:
+        Restrict to these rule codes (default: all registered passes).
+    paths:
+        Restrict to these files/directories (relative to ``root``).
+    baseline:
+        Grandfathered finding keys from :func:`load_baseline`.
+    """
+    from repro.lint.passes import ALL_PASSES
+
+    root = Path(root) if root is not None else default_root()
+    t0 = time.perf_counter()
+    findings: list[Finding] = []
+    files = walk_files(root, paths)
+    for path in files:
+        module = SourceModule(root, path)
+        for lint_pass in ALL_PASSES:
+            if select is not None and lint_pass.code not in select:
+                continue
+            if lint_pass.kernel_path_only and not module.is_kernel_path():
+                continue
+            if module.rule_exempt(lint_pass.code):
+                continue
+            findings.extend(
+                f for f in lint_pass.run(module)
+                if not module.suppressed(f.line, f.code)
+            )
+    findings.sort(key=lambda f: (f.file, f.line, f.code))
+    if baseline:
+        findings = apply_baseline(findings, baseline)
+    return LintReport(
+        root=str(root),
+        findings=findings,
+        files_scanned=len(files),
+        runtime_s=time.perf_counter() - t0,
+    )

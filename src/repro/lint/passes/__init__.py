@@ -1,0 +1,20 @@
+"""Rule registry: one pass per ``DDAxxx`` code."""
+
+from repro.lint.passes.loops import LoopPass
+from repro.lint.passes.transfers import TransferPass
+from repro.lint.passes.dtypes import DtypePass
+from repro.lint.passes.rng import RngPass
+from repro.lint.passes.docstrings import DocstringPass
+
+#: Every registered pass, in rule-code order.
+ALL_PASSES = (
+    LoopPass(),
+    TransferPass(),
+    DtypePass(),
+    RngPass(),
+    DocstringPass(),
+)
+
+ALL_CODES = frozenset(p.code for p in ALL_PASSES)
+
+__all__ = ["ALL_PASSES", "ALL_CODES"]

@@ -1,0 +1,57 @@
+"""DDA003 — dtype purity on the device path.
+
+The paper's precision discussion (and this repo's ``util/precision.py``
+ablation) depends on precision being *chosen*, not drifted into: the
+pipeline is float64/int64 end to end, and any narrowing —
+``np.float32``, ``astype("int32")``, a ``dtype="float32"`` literal —
+must happen through the explicit precision ablation, never inline in a
+kernel-path module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import LintPass, SourceModule
+
+#: Narrow dtypes banned on the device path.
+NARROW_DTYPES = frozenset({
+    "float32", "float16", "int32", "int16", "int8",
+    "uint32", "uint16", "uint8", "complex64",
+})
+
+
+class DtypePass(LintPass):
+    code = "DDA003"
+    name = "dtype-purity"
+    description = (
+        "no implicit float32/int32 literals or astype downcasts on "
+        "device-path arrays (float64/int64 end to end)"
+    )
+
+    def run(self, module: SourceModule):
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in NARROW_DTYPES
+            ):
+                yield self.finding(
+                    module, node,
+                    f"narrow dtype '.{node.attr}' on the device path; the "
+                    "pipeline is float64/int64 — route precision changes "
+                    "through the explicit precision ablation",
+                )
+            elif isinstance(node, ast.Call):
+                for value in (
+                    *node.args, *(kw.value for kw in node.keywords)
+                ):
+                    if (
+                        isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and value.value in NARROW_DTYPES
+                    ):
+                        yield self.finding(
+                            module, value,
+                            f"narrow dtype literal '{value.value}' on the "
+                            "device path; the pipeline is float64/int64",
+                        )

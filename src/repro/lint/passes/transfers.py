@@ -1,0 +1,105 @@
+"""DDA002 — no hidden host transfers in kernel-path modules.
+
+"Minimize data transmissions between RAM and GPU memory" (paper §III.B):
+on real hardware, ``float(arr[k])``, ``.item()``, ``.tolist()`` or
+truth-testing a device array each force a synchronising device-to-host
+copy. In this repo the arrays are host numpy, so nothing crashes — the
+rule exists to keep the *algorithm* expressible on a device: code that
+passes it only touches scalars the GPU pipeline would also materialise.
+
+Cost-model bookkeeping is exempt: expressions inside a
+``device.launch(...)`` / ``KernelCounters(...)`` call (and the
+transaction-counting helpers) *are* the virtual-GPU model itself, not
+the simulated data path.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import LintPass, SourceModule
+
+#: Method names whose call result is a device-side reduction.
+REDUCTION_ATTRS = frozenset({
+    "sum", "min", "max", "mean", "prod", "dot", "norm",
+    "count_nonzero", "all", "any", "trace",
+})
+
+#: Calls whose argument subtree is cost-model context, not data path.
+MODEL_CALL_NAMES = frozenset({
+    "KernelCounters", "coalesced_transactions", "strided_transactions",
+    "gather_transactions", "launch",
+})
+
+
+def _is_model_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in MODEL_CALL_NAMES
+    if isinstance(func, ast.Attribute):
+        return func.attr in MODEL_CALL_NAMES
+    return False
+
+
+def _reduction_evidence(node: ast.AST) -> str | None:
+    """Does this expression produce a device scalar? Returns evidence."""
+    if isinstance(node, ast.Subscript):
+        return "array subscript"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in REDUCTION_ATTRS:
+            return f"device reduction '.{node.func.attr}()'"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+        return "device dot product '@'"
+    return None
+
+
+class TransferPass(LintPass):
+    code = "DDA002"
+    name = "no-hidden-transfers"
+    description = (
+        "no hidden host transfers in kernel-path modules (.tolist(), "
+        ".item(), float/int/bool of device scalars, array truthiness)"
+    )
+
+    def run(self, module: SourceModule):
+        yield from self._visit(module, module.tree)
+
+    def _visit(self, module: SourceModule, node: ast.AST):
+        if isinstance(node, ast.Call) and _is_model_call(node):
+            return  # cost-model context: the launch model IS host code
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("tolist", "item")
+                and not node.args
+            ):
+                yield self.finding(
+                    module, node,
+                    f"'.{func.attr}()' forces a device-to-host copy; keep "
+                    "the value on the device or mark '# lint: host-ok' "
+                    "with a reason",
+                )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in ("float", "int", "bool")
+                and len(node.args) == 1
+            ):
+                evidence = _reduction_evidence(node.args[0])
+                if evidence:
+                    yield self.finding(
+                        module, node,
+                        f"'{func.id}(...)' of a {evidence} is a hidden "
+                        "host transfer; keep the value on the device or "
+                        "mark '# lint: host-ok' with a reason",
+                    )
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)) and isinstance(
+            node.test, ast.Subscript
+        ):
+            yield self.finding(
+                module, node,
+                "truth-testing an array element synchronises the device; "
+                "use vectorised masks or mark '# lint: host-ok'",
+            )
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(module, child)

@@ -19,6 +19,7 @@ from repro.gpu.counters import KernelCounters
 from repro.gpu.kernel import VirtualDevice
 from repro.gpu.memory import coalesced_transactions, gather_transactions
 from repro.gpu.warp import WARP_SIZE
+from repro.lint.sanitize import scatter_check
 from repro.primitives.radix_sort import radix_sort_pairs
 from repro.primitives.scan import exclusive_scan
 from repro.util.validation import check_array
@@ -32,13 +33,16 @@ def stream_compact(
 ) -> np.ndarray:
     """Indices of true entries, via the scan + scatter construction.
 
-    Returns the gather indices (``np.flatnonzero(mask)``); callers apply
-    them to however many payload arrays they carry. ``payload_bytes`` sizes
-    the modelled scatter traffic per surviving element.
+    ``mask`` is a 1-D boolean array of shape ``(n,)``; returns the 1-D
+    gather indices (``np.flatnonzero(mask)``) of the ``k`` survivors.
+    Callers apply them to however many payload arrays they carry.
+    ``payload_bytes`` sizes the modelled scatter traffic per surviving
+    element.
     """
     mask = check_array("mask", mask, ndim=1).astype(bool)
     positions = exclusive_scan(mask.astype(np.int64), device)
     keep = np.flatnonzero(mask)
+    scatter_check("compact.scatter", positions[keep])
     if device is not None and mask.size:
         n, k = mask.size, keep.size
         device.launch(

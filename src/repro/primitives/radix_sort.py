@@ -19,6 +19,7 @@ from repro.gpu.counters import KernelCounters
 from repro.gpu.kernel import VirtualDevice
 from repro.gpu.memory import coalesced_transactions, gather_transactions
 from repro.gpu.warp import WARP_SIZE
+from repro.lint.sanitize import active_sanitizer, scatter_check
 from repro.util.validation import check_array
 
 #: Digit width used by the launch model (Kepler-era sorts use 4–8 bits).
@@ -32,7 +33,8 @@ def _key_bits(keys: np.ndarray, key_bits: int | None) -> int:
         return key_bits
     if keys.size == 0:
         return 1
-    m = int(keys.max())
+    # pass count is launch configuration, decided on the host
+    m = int(keys.max())  # lint: host-ok[DDA002]
     return max(1, m.bit_length())
 
 
@@ -113,7 +115,8 @@ def radix_sort_pairs(
     keys = check_array("keys", keys, ndim=1)
     if not np.issubdtype(keys.dtype, np.integer):
         raise TypeError(f"keys must be an integer array, got {keys.dtype}")
-    if keys.size and int(keys.min()) < 0:
+    # input validation happens on the host before any launch
+    if keys.size and int(keys.min()) < 0:  # lint: host-ok[DDA002]
         raise ValueError("keys must be non-negative")
     if digit_bits <= 0:
         raise ValueError(f"digit_bits must be positive, got {digit_bits}")
@@ -126,13 +129,17 @@ def radix_sort_pairs(
     for shift in range(0, bits, digit_bits):
         digits = (cur >> shift) & mask
         order = np.argsort(digits, kind="stable")
-        if device is not None:
+        if device is not None or active_sanitizer() is not None:
+            # the pass's actual scatter destinations feed both the
+            # coalescing model and the race sanitizer
             dest = np.empty_like(order)
             dest[order] = np.arange(order.size)
-            for i, c in enumerate(
-                _pass_counters(cur, dest, value_bytes, digit_bits)
-            ):
-                device.launch(f"radix_pass{shift // digit_bits}[{i}]", c)
+            scatter_check(f"radix_pass{shift // digit_bits}.scatter", dest)
+            if device is not None:
+                for i, c in enumerate(
+                    _pass_counters(cur, dest, value_bytes, digit_bits)
+                ):
+                    device.launch(f"radix_pass{shift // digit_bits}[{i}]", c)
         cur = cur[order]
         perm = perm[order]
     return cur, perm
@@ -145,7 +152,10 @@ def radix_sort_keys(
     key_bits: int | None = None,
     digit_bits: int = DEFAULT_DIGIT_BITS,
 ) -> np.ndarray:
-    """Keys-only radix sort (see :func:`radix_sort_pairs`)."""
+    """Keys-only radix sort (see :func:`radix_sort_pairs`).
+
+    ``keys`` is 1-D non-negative integers; returns the sorted 1-D array.
+    """
     sorted_keys, _ = radix_sort_pairs(
         keys, None, device, key_bits=key_bits, digit_bits=digit_bits
     )

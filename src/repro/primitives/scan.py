@@ -106,7 +106,10 @@ def exclusive_scan(
     *,
     use_shuffle: bool = True,
 ) -> np.ndarray:
-    """Exclusive prefix sum: ``out[i] = sum(values[:i])``, ``out[0] = 0``."""
+    """Exclusive prefix sum of a 1-D array.
+
+    ``out[i] = sum(values[:i])``, ``out[0] = 0``; same shape as the input.
+    """
     values = check_array("values", values, ndim=1)
     _record(device, "exclusive_scan", _scan_counters(values.size, values.itemsize, use_shuffle))
     out = np.zeros(values.size, dtype=np.result_type(values.dtype, np.int64)

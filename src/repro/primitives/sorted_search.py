@@ -27,7 +27,10 @@ def lower_bound(
     needles: np.ndarray,
     device: VirtualDevice | None = None,
 ) -> np.ndarray:
-    """First position where each needle could be inserted keeping order."""
+    """First position where each needle could be inserted keeping order.
+
+    ``haystack`` and ``needles`` are 1-D; returns one index per needle.
+    """
     return sorted_search(haystack, needles, device, side="left")
 
 

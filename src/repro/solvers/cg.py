@@ -100,9 +100,10 @@ def pcg(
         The symmetric positive-definite system, half-stored. A
         :class:`BlockMatrix` is converted to HSBCSR once up front.
     b:
-        Right-hand side, length ``6 n``.
+        Right-hand side, shape ``(6 n,)``.
     x0:
-        Warm-start iterate (previous step's solution); zero if omitted.
+        Warm-start iterate of the same shape (previous step's solution);
+        zero if omitted.
     preconditioner:
         Any :class:`Preconditioner`; identity if omitted.
     tol:
@@ -130,24 +131,26 @@ def pcg(
 
     x = np.zeros(n) if x0 is None else check_array("x0", x0, dtype=np.float64,
                                                    shape=(n,)).copy()
-    b_norm = float(np.linalg.norm(b))
+    # CG's scalar coefficients live on the host by design: one word per
+    # reduction per iteration, matching the real kernel pipeline
+    b_norm = float(np.linalg.norm(b))  # lint: host-ok[DDA002]
     if b_norm == 0.0:
         return _observe(metrics, CGResult(x=np.zeros(n), iterations=0,
                                           converged=True))
 
     r = b - hsbcsr_spmv(h, x, device)
     residuals: list[float] = []
-    rel = float(np.linalg.norm(r)) / b_norm
+    rel = float(np.linalg.norm(r)) / b_norm  # lint: host-ok[DDA002]
     if rel < tol:
         return _observe(metrics, CGResult(x=x, iterations=0, converged=True,
                                           residuals=[]))
 
     z = m.apply(r, device)
     p = z.copy()
-    rz = float(r @ z)
+    rz = float(r @ z)  # lint: host-ok[DDA002]
     for it in range(1, max_iterations + 1):
         ap = hsbcsr_spmv(h, p, device)
-        pap = float(p @ ap)
+        pap = float(p @ ap)  # lint: host-ok[DDA002]
         if pap <= 0.0:
             # matrix not SPD along p (defensive): report breakdown
             return _observe(metrics, CGResult(x=x, iterations=it,
@@ -159,14 +162,14 @@ def pcg(
         r -= alpha * ap
         if device is not None:
             device.launch("cg_vector_ops", _vector_ops_counters(n, 5))
-        rel = float(np.linalg.norm(r)) / b_norm
+        rel = float(np.linalg.norm(r)) / b_norm  # lint: host-ok[DDA002]
         residuals.append(rel)
         if rel < tol:
             return _observe(metrics, CGResult(x=x, iterations=it,
                                               converged=True,
                                               residuals=residuals))
         z = m.apply(r, device)
-        rz_new = float(r @ z)
+        rz_new = float(r @ z)  # lint: host-ok[DDA002]
         beta = rz_new / rz
         p = z + beta * p
         rz = rz_new

@@ -132,7 +132,8 @@ def hsbcsr_spmv(
 ) -> np.ndarray:
     """``y = A x`` using the two-stage HSBCSR kernel.
 
-    The computation indexes the slice arrays exactly as the CUDA kernel
+    ``x`` has shape ``(6 n,)``; returns ``y`` of the same shape. The
+    computation indexes the slice arrays exactly as the CUDA kernel
     does; the modelled cost reflects the coalesced slice reads, the
     texture-path vector gathers, the bank-conflict-free shared reduction
     of Fig. 8, and the regular/irregular stage-2 reductions of Fig. 9.

@@ -50,16 +50,18 @@ def merge_path_partitions(
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     n_rows = indptr.size - 1
-    nnz = int(indptr[-1])
+    # path length / worker count are host-side launch configuration
+    nnz = int(indptr[-1])  # lint: host-ok[DDA002]
     path_len = n_rows + nnz
-    coords = np.zeros((n_workers + 1, 2), dtype=np.int64)
-    # row-end markers sit at path positions indptr[r+1] + r
+    # row-end markers sit at path positions indptr[r+1] + r; one thread
+    # per worker binary-searches its diagonal (vectorised searchsorted)
     markers = indptr[1:] + np.arange(n_rows)
-    for w in range(n_workers + 1):
-        diag = min(path_len, (w * path_len) // n_workers)
-        row = int(np.searchsorted(markers, diag, side="left"))
-        k = diag - row
-        coords[w] = (row, k)
+    diags = np.minimum(
+        path_len, (np.arange(n_workers + 1, dtype=np.int64) * path_len)
+        // n_workers
+    )
+    rows = np.searchsorted(markers, diags, side="left")
+    coords = np.stack([rows, diags - rows], axis=1).astype(np.int64)
     coords[-1] = (n_rows, nnz)
     return coords
 
@@ -83,26 +85,19 @@ def merge_csr_spmv(
         n_workers = max(1, min(1024, a.nnz // 64 + 1))
     coords = merge_path_partitions(a.indptr, n_workers)
     y = np.zeros(a.n_rows)
-    carry_rows = np.full(n_workers, -1, dtype=np.int64)
-    carry_vals = np.zeros(n_workers)
     contrib = a.data * x[a.indices]
-    for w in range(n_workers):
-        row, k = coords[w]
-        row_end, k_end = coords[w + 1]
-        row = int(row)
-        k = int(k)
-        while row < row_end:
-            stop = min(int(a.indptr[row + 1]), k_end)
-            y[row] += contrib[k:stop].sum()
-            k = stop
-            row += 1
-        if k < k_end:  # partial tail of row `row_end`
-            carry_rows[w] = row
-            carry_vals[w] = contrib[k:k_end].sum()
-    # phase 2: fix-up
-    for w in range(n_workers):
-        if carry_rows[w] >= 0:
-            y[carry_rows[w]] += carry_vals[w]
+    if a.nnz:
+        # phase 1: every contiguous run of `contrib` between consecutive
+        # boundaries — the union of row starts and worker starts —
+        # belongs to exactly one (row, worker) pair, so the per-worker
+        # serial accumulation is a segmented reduction
+        bounds = np.union1d(a.indptr[:-1], coords[:-1, 1])
+        bounds = bounds[bounds < a.nnz].astype(np.int64)
+        seg_sums = np.add.reduceat(contrib, bounds)
+        seg_rows = np.searchsorted(a.indptr, bounds, side="right") - 1
+        # phase 2: complete-row emits and cross-worker carry fix-ups are
+        # both row-indexed scatter-adds of the segment sums
+        np.add.at(y, seg_rows, seg_sums)
 
     if device is not None:
         nnz = a.nnz

@@ -71,42 +71,49 @@ class SELLMatrix:
         indptr = csr.indptr.astype(np.int64)
         n_rows = a.n * BS
         lengths = np.diff(indptr)
-        # sigma-window length sort (descending within each window)
-        perm = np.arange(n_rows, dtype=np.int64)
-        for w0 in range(0, n_rows, sigma):
-            w1 = min(n_rows, w0 + sigma)
-            order = np.argsort(-lengths[w0:w1], kind="stable")
-            perm[w0:w1] = w0 + order
+        # sigma-window length sort (descending within each window): one
+        # segmented sort keyed (window, -length, stable tiebreak)
+        window_id = np.arange(n_rows, dtype=np.int64) // sigma
+        perm = np.lexsort(
+            (np.arange(n_rows, dtype=np.int64), -lengths, window_id)
+        ).astype(np.int64)
         sorted_lengths = lengths[perm]
 
+        # per-slice padded width is a segmented max over slices of c rows
         n_slices = (n_rows + c - 1) // c
-        slice_width = np.zeros(n_slices, dtype=np.int64)
-        for s in range(n_slices):
-            lo, hi = s * c, min(n_rows, (s + 1) * c)
-            slice_width[s] = sorted_lengths[lo:hi].max() if hi > lo else 0
+        padded = np.zeros(n_slices * c, dtype=np.int64)
+        padded[:n_rows] = sorted_lengths
+        slice_width = (
+            padded.reshape(n_slices, c).max(axis=1)
+            if n_slices else np.zeros(0, dtype=np.int64)
+        )
         slice_ptr = np.zeros(n_slices + 1, dtype=np.int64)
         np.cumsum(slice_width * c, out=slice_ptr[1:])
 
-        data = np.zeros(int(slice_ptr[-1]))
-        indices = np.zeros(int(slice_ptr[-1]), dtype=np.int64)
-        for s in range(n_slices):
-            lo = s * c
-            w = int(slice_width[s])
-            for lane in range(c):
-                k = lo + lane
-                if k >= n_rows:
-                    continue
-                row = int(perm[k])
-                r0, r1 = indptr[row], indptr[row + 1]
-                length = int(r1 - r0)
-                base = int(slice_ptr[s])
-                # column-major within the slice: element j of lane at
-                # base + j * c + lane (coalesced across lanes)
-                pos = base + np.arange(length) * c + lane
-                data[pos] = csr.data[r0:r1]
-                indices[pos] = csr.indices[r0:r1]
-                pad = base + np.arange(length, w) * c + lane
-                indices[pad] = row  # self-index padding (x gather is benign)
+        # stored-payload size is a host-side allocation parameter
+        total = int(slice_ptr[-1])  # lint: host-ok[DDA002]
+        data = np.zeros(total)
+        indices = np.zeros(total, dtype=np.int64)
+        # one thread per stored CSR entry: expand sorted position k into
+        # its column-major slice slot — element j of lane (k % c) lands
+        # at slice_ptr[k // c] + j * c + (k % c) (coalesced across lanes)
+        k_ids = np.repeat(np.arange(n_rows, dtype=np.int64), sorted_lengths)
+        entry_starts = np.zeros(n_rows, dtype=np.int64)
+        np.cumsum(sorted_lengths[:-1], out=entry_starts[1:])
+        j = np.arange(k_ids.size, dtype=np.int64) - entry_starts[k_ids]
+        src = indptr[perm][k_ids] + j
+        dest = slice_ptr[k_ids // c] + j * c + k_ids % c
+        data[dest] = csr.data[src]
+        indices[dest] = csr.indices[src]
+        # self-index padding (x gather is benign): pad slot j of sorted
+        # row k runs over [length_k, width of k's slice)
+        pad_counts = slice_width[np.arange(n_rows) // c] - sorted_lengths
+        pk = np.repeat(np.arange(n_rows, dtype=np.int64), pad_counts)
+        pad_starts = np.zeros(n_rows, dtype=np.int64)
+        np.cumsum(pad_counts[:-1], out=pad_starts[1:])
+        pj = (sorted_lengths[pk] + np.arange(pk.size, dtype=np.int64)
+              - pad_starts[pk])
+        indices[slice_ptr[pk // c] + pj * c + pk % c] = perm[pk]
         return cls(
             n_rows=n_rows, c=c, sigma=sigma, perm=perm,
             slice_ptr=slice_ptr, slice_width=slice_width,
@@ -125,32 +132,38 @@ class SELLMatrix:
         """Useful entries / stored entries."""
         if self.data.size == 0:
             return 1.0
-        return float(np.count_nonzero(self.data)) / self.data.size
+        # host-side storage statistic, not on the solve path
+        return float(np.count_nonzero(self.data)) / self.data.size  # lint: host-ok[DDA002]
 
 
 def sell_spmv(
     a: SELLMatrix, x: np.ndarray, device: VirtualDevice | None = None
 ) -> np.ndarray:
-    """``y = A x`` with the warp-per-slice SELL kernel."""
+    """``y = A x`` with the warp-per-slice SELL kernel.
+
+    ``x`` has shape ``(n_rows,)``; returns ``y`` of the same shape.
+    """
     x = check_array("x", x, dtype=np.float64, shape=(a.n_rows,))
+    # stored-payload size drives the launch model, not the data path
+    stored = int(a.slice_ptr[-1])  # lint: host-ok[DDA002]
     y_sorted = np.zeros(a.n_rows)
-    n_slices = a.slice_width.size
-    for s in range(n_slices):
-        base = int(a.slice_ptr[s])
-        w = int(a.slice_width[s])
-        lo = s * a.c
-        hi = min(a.n_rows, lo + a.c)
-        lanes = hi - lo
-        if w == 0 or lanes == 0:
-            continue
-        block = a.data[base : base + w * a.c].reshape(w, a.c)[:, :lanes]
-        cols = a.indices[base : base + w * a.c].reshape(w, a.c)[:, :lanes]
-        y_sorted[lo:hi] = np.einsum("wl,wl->l", block, x[cols])
+    if stored:
+        # one thread per stored slot: decompose the flat slot id into
+        # (slice, lane) to recover the sorted row it accumulates into,
+        # then segment-sum the products by sorted row
+        slot = np.arange(stored, dtype=np.int64)
+        slice_of = np.searchsorted(a.slice_ptr, slot, side="right") - 1
+        lane = (slot - a.slice_ptr[slice_of]) % a.c
+        k = slice_of * a.c + lane
+        valid = k < a.n_rows  # last slice may have lanes past n_rows
+        prod = a.data * x[a.indices]
+        y_sorted = np.bincount(
+            k[valid], weights=prod[valid], minlength=a.n_rows
+        )
     y = np.zeros(a.n_rows)
     y[a.perm] = y_sorted
 
     if device is not None:
-        stored = int(a.slice_ptr[-1])
         device.launch(
             "sell_spmv",
             KernelCounters(

@@ -81,7 +81,8 @@ def synthetic_block_matrix(
 ) -> BlockMatrix:
     """A symmetric positive-definite DDA-like :class:`BlockMatrix`.
 
-    Off-diagonal blocks are random with magnitude ``coupling``; diagonal
+    Returns a matrix with ``(n, 6, 6)`` diagonal blocks and
+    ``(n_offdiag, 6, 6)`` strictly-upper blocks. Off-diagonal blocks are random with magnitude ``coupling``; diagonal
     blocks are random SPD plus a dominance term that guarantees global
     positive definiteness (Gershgorin), mimicking the inertia-stiffened
     diagonal of the time-stepped DDA system.

@@ -1,0 +1,192 @@
+"""Baseline round-trip and the ``python -m repro lint`` CLI contract.
+
+The CI contract under test: exit 0 only when no *non-baselined* finding
+remains, exit 1 on fresh findings, exit 2 on operator error (unknown
+rule codes); ``--json`` emits the schema the lint benchmark and the CI
+job consume.
+"""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import DEFAULT_BASELINE, lint_main
+from repro.lint.framework import (
+    apply_baseline,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+#: A kernel-path module with two DDA001 findings (identical messages —
+#: both loops range over ``n`` — exercising baseline multiplicity) and
+#: one DDA002.
+DIRTY = (
+    "def f(a, n):\n"
+    "    for i in range(n):\n"
+    "        pass\n"
+    "    for j in range(n):\n"
+    "        pass\n"
+    "    return float(a.sum())\n"
+)
+
+CLEAN = (
+    "def f(a):\n"
+    '    """``a`` is 1-D; returns ``a`` unchanged."""\n'
+    "    return a\n"
+)
+
+
+def make_corpus(tmp_path: Path, source: str = DIRTY) -> Path:
+    root = tmp_path / "corpus"
+    (root / "contact").mkdir(parents=True)
+    (root / "contact" / "k.py").write_text(source, encoding="utf-8")
+    return root
+
+
+# ----------------------------------------------------------------------
+# baseline round-trip (library level)
+# ----------------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    root = make_corpus(tmp_path)
+    first = run_lint(root)
+    assert first.new_findings, "fixture corpus must be dirty"
+
+    baseline_file = write_baseline(tmp_path / "base.json", first.findings)
+    baseline = load_baseline(baseline_file)
+    again = run_lint(root, baseline=baseline)
+    # every finding is still reported, but all are grandfathered
+    assert len(again.findings) == len(first.findings)
+    assert all(f.baselined for f in again.findings)
+    assert not again.new_findings
+
+
+def test_baseline_is_multiplicity_aware(tmp_path):
+    """Two identical (file, code, message) findings need two entries."""
+    root = make_corpus(tmp_path)  # two DDA001s with identical messages
+    report = run_lint(root, select={"DDA001"})
+    assert len(report.findings) == 2
+    assert report.findings[0].key() == report.findings[1].key()
+
+    one_entry = load_baseline(
+        write_baseline(tmp_path / "one.json", report.findings[:1])
+    )
+    marked = apply_baseline(report.findings, one_entry)
+    assert [f.baselined for f in marked] == [True, False]
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    """Edits above a finding must not invalidate the baseline."""
+    root = make_corpus(tmp_path)
+    baseline = load_baseline(
+        write_baseline(tmp_path / "b.json", run_lint(root).findings)
+    )
+    shifted = "import os  # noqa: F401\n\n\n" + DIRTY
+    (root / "contact" / "k.py").write_text(shifted, encoding="utf-8")
+    report = run_lint(root, baseline=baseline)
+    assert not report.new_findings
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"version": 99, "findings": []}', encoding="utf-8")
+    try:
+        load_baseline(bad)
+    except ValueError as e:
+        assert "version" in str(e)
+    else:
+        raise AssertionError("unsupported version must be rejected")
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+
+def test_cli_exit_zero_on_clean_corpus(tmp_path):
+    root = make_corpus(tmp_path, CLEAN)
+    assert lint_main(["--root", str(root)]) == 0
+
+
+def test_cli_exit_one_on_dirty_corpus(tmp_path, capsys):
+    root = make_corpus(tmp_path)
+    assert lint_main(["--root", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "contact/k.py" in out
+    assert "DDA001" in out
+
+
+def test_cli_exit_two_on_unknown_rule_code(tmp_path):
+    root = make_corpus(tmp_path, CLEAN)
+    assert lint_main(["--root", str(root), "--select", "DDA999"]) == 2
+
+
+def test_cli_select_restricts_rules(tmp_path, capsys):
+    root = make_corpus(tmp_path)
+    assert lint_main(["--root", str(root), "--select", "DDA002"]) == 1
+    out = capsys.readouterr().out
+    assert "DDA002" in out
+    assert "DDA001" not in out
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DDA001", "DDA002", "DDA003", "DDA004", "DDA005"):
+        assert code in out
+
+
+# ----------------------------------------------------------------------
+# CLI --json schema
+# ----------------------------------------------------------------------
+
+def test_cli_json_schema(tmp_path, capsys):
+    root = make_corpus(tmp_path)
+    assert lint_main(["--root", str(root), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == 1
+    assert report["root"] == str(root)
+    assert report["files_scanned"] == 1
+    assert report["runtime_s"] >= 0
+    assert report["counts"] == {"DDA001": 2, "DDA002": 1, "DDA005": 1}
+    assert report["new"] == len(report["findings"]) == 4
+    for f in report["findings"]:
+        assert set(f) == {"file", "line", "code", "message", "baselined"}
+        assert f["file"] == "contact/k.py"
+        assert f["baselined"] is False
+
+
+# ----------------------------------------------------------------------
+# CLI baseline workflow (--write-baseline, --baseline, auto-discovery)
+# ----------------------------------------------------------------------
+
+def test_cli_write_then_consume_baseline(tmp_path, capsys):
+    root = make_corpus(tmp_path)
+    base = tmp_path / "grandfathered.json"
+    assert lint_main(
+        ["--root", str(root), "--write-baseline", str(base)]
+    ) == 0
+    capsys.readouterr()
+    assert lint_main(
+        ["--root", str(root), "--baseline", str(base), "--json"]
+    ) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["new"] == 0
+    assert all(f["baselined"] for f in report["findings"])
+
+
+def test_cli_auto_discovers_default_baseline(tmp_path, monkeypatch, capsys):
+    root = make_corpus(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(
+        ["--root", str(root), "--write-baseline", DEFAULT_BASELINE]
+    ) == 0
+    capsys.readouterr()
+    # no --baseline flag: ./lint-baseline.json is picked up automatically
+    assert lint_main(["--root", str(root)]) == 0
+
+
+def test_repo_package_is_lint_clean():
+    """The shipped package passes its own linter with no baseline."""
+    report = run_lint()
+    assert not report.findings, [f.render() for f in report.findings]
+    assert report.files_scanned > 80

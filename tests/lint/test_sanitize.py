@@ -1,0 +1,191 @@
+"""Scatter-write race sanitizer: unit level and engine level.
+
+Engine-level tests mirror the chaos fault matrix: the
+``scatter_duplicate_index`` fault plants a duplicate destination in the
+sanitizer's shadow view of an instrumented scatter, and the run must
+detect it (contract violation), recover it (rollback), and complete.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import Block, BlockSystem
+from repro.core.materials import BlockMaterial
+from repro.core.state import ResilienceControls, SimulationControls
+from repro.engine.chaos import FaultInjector
+from repro.engine.contracts import ContractViolation
+from repro.engine.gpu_engine import GpuEngine
+from repro.engine.serial_engine import SerialEngine
+from repro.lint.sanitize import (
+    RaceFinding,
+    ScatterSanitizer,
+    active_sanitizer,
+    sanitized,
+    scatter_check,
+)
+from repro.obs.metrics import MetricsRegistry
+
+SQ = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+MAT = BlockMaterial(young=1e9)
+
+
+def stacked() -> BlockSystem:
+    base = np.array([[0, 0], [3, 0], [3, 1], [0, 1.0]])
+    s = BlockSystem([Block(base, MAT), Block(SQ + np.array([1.0, 1.0]), MAT)])
+    s.fix_block(0)
+    return s
+
+
+def sanitize_controls(**over) -> SimulationControls:
+    res = dict(checkpoint_every=1, max_rollbacks=10)
+    res.update(over.pop("resilience", {}))
+    return SimulationControls(
+        time_step=1e-3, dynamic=True, max_displacement_ratio=0.05,
+        contract_level="full", sanitize=True,
+        resilience=ResilienceControls(**res), **over,
+    )
+
+
+# ----------------------------------------------------------------------
+# unit level: ScatterSanitizer.check
+# ----------------------------------------------------------------------
+
+def test_unique_targets_pass():
+    s = ScatterSanitizer(raise_on_race=False)
+    s.check("k", np.array([3, 1, 2, 0]))
+    assert s.checks == 1
+    assert not s.findings
+
+
+def test_duplicate_targets_raise_recoverable_violation():
+    s = ScatterSanitizer()
+    with pytest.raises(ContractViolation) as err:
+        s.check("assemble.diag", np.array([0, 1, 1, 2]))
+    assert err.value.recoverable
+    assert err.value.contract == "scatter_race"
+    assert "assemble.diag" in str(err.value)
+    [finding] = s.findings
+    assert finding.kernel == "assemble.diag"
+    assert finding.indices == (1,)
+    assert finding.writers == ((1, 2),)  # the two colliding store slots
+
+
+def test_reduction_combinator_exempts_duplicates():
+    """np.add.at-style scatter-adds declare reduction='sum': no race."""
+    s = ScatterSanitizer()
+    s.check("scatter_add", np.array([0, 1, 1, 2]), reduction="sum")
+    assert s.checks == 1
+    assert not s.findings
+
+
+def test_record_only_mode_and_metrics():
+    metrics = MetricsRegistry()
+    metrics.counter("lint.races")
+    metrics.counter("lint.scatter_checks")
+    s = ScatterSanitizer(metrics=metrics, raise_on_race=False)
+    s.check("k", np.array([5, 5, 7, 7, 9]))
+    snap = metrics.snapshot()
+    assert snap["counters"]["lint.scatter_checks"] == 1
+    assert snap["counters"]["lint.races"] == 2  # two duplicated indices
+    [finding] = s.findings
+    assert finding.indices == (5, 7)
+
+
+def test_finding_message_names_kernel_and_step():
+    finding = RaceFinding(
+        kernel="radix_pass0.scatter", stage="contact_detection", step=3,
+        indices=(4,), writers=((0, 9),),
+    )
+    msg = finding.message()
+    assert "radix_pass0.scatter" in msg
+    assert "step 3" in msg
+    assert "index 4" in msg
+
+
+# ----------------------------------------------------------------------
+# module-level hook: the disabled fast path and the armed path
+# ----------------------------------------------------------------------
+
+def test_scatter_check_is_noop_when_disabled():
+    assert active_sanitizer() is None
+    # duplicates everywhere, but nobody is armed: must not raise
+    scatter_check("k", np.array([1, 1, 1]))
+
+
+def test_sanitized_context_arms_and_restores():
+    s = ScatterSanitizer(raise_on_race=False)
+    assert active_sanitizer() is None
+    with sanitized(s) as armed:
+        assert armed is s
+        assert active_sanitizer() is s
+        scatter_check("k", np.array([2, 2]))
+    assert active_sanitizer() is None
+    assert s.checks == 1
+    assert len(s.findings) == 1
+
+
+def test_sanitized_restores_on_raise():
+    s = ScatterSanitizer()
+    with pytest.raises(ContractViolation):
+        with sanitized(s):
+            scatter_check("k", np.array([0, 0]))
+    assert active_sanitizer() is None
+
+
+# ----------------------------------------------------------------------
+# engine level: clean runs and the planted chaos race
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("engine_cls", [SerialEngine, GpuEngine])
+def test_clean_run_has_checks_but_no_races(engine_cls):
+    eng = engine_cls(stacked(), sanitize_controls())
+    result = eng.run(steps=3)
+    assert eng.sanitizer is not None
+    assert eng.sanitizer.checks > 0, "no scatter site was instrumented"
+    assert not eng.sanitizer.findings
+    assert result.failure is None
+    snap = result.metrics.snapshot()
+    assert snap["counters"]["lint.races"] == 0
+    assert (
+        snap["counters"]["lint.scatter_checks"] == eng.sanitizer.checks
+    )
+
+
+@pytest.mark.parametrize("engine_cls", [SerialEngine, GpuEngine])
+def test_planted_race_detected_and_recovered(engine_cls):
+    injector = FaultInjector(
+        ["scatter_duplicate_index"], seed=3, start_step=1
+    )
+    eng = engine_cls(
+        stacked(), sanitize_controls(), fault_injector=injector
+    )
+    result = eng.run(steps=4)
+    # (a) the fault landed on an instrumented scatter
+    assert injector.injected
+    assert injector.injected[0].stage == "scatter_write"
+    # (b) the sanitizer saw the duplicate, not some other contract
+    assert eng.sanitizer.findings
+    assert sum(result.contract_violations.values()) >= 1
+    # (c) rollback recovered it and the run completed on clean data
+    assert result.rollbacks >= 1
+    assert result.failure is None
+    assert result.n_steps == 4
+    assert np.isfinite(eng.system.vertices).all()
+
+
+def test_sanitizer_disabled_leaves_engine_unarmed():
+    eng = GpuEngine(stacked(), SimulationControls(time_step=1e-3))
+    result = eng.run(steps=2)
+    assert eng.sanitizer is None
+    assert result.failure is None
+    # the fault that needs the sanitizer reports itself inapplicable
+    injector = FaultInjector(
+        ["scatter_duplicate_index"], seed=0, start_step=0
+    )
+    eng2 = GpuEngine(
+        stacked(), SimulationControls(time_step=1e-3),
+        fault_injector=injector,
+    )
+    eng2.run(steps=2)
+    assert not injector.injected
+    assert injector.pending == ["scatter_duplicate_index"]
