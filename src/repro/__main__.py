@@ -12,7 +12,9 @@ the engine's metrics snapshot after the run.
 
 ``batch`` is the batch simulation service (:mod:`repro.service`):
 submit jobs to a persistent queue, drain it with a crash-isolated
-worker pool, and inspect cached results.
+worker pool, and inspect cached results. ``batch soak`` runs a chaos
+campaign (storage faults + scheduler kills) and ``batch audit``
+replays the job-event journal to prove exactly-once completion.
 
 ``report`` renders a paper-style per-module table (measured vs
 modelled seconds, speedup) from a trace file written by ``--trace``.
@@ -34,6 +36,8 @@ Examples
     python -m repro report results/run.json
     python -m repro batch submit --dir results/batch --model slope
     python -m repro batch run --dir results/batch --workers 2
+    python -m repro batch soak --dir results/soak --jobs 24 --seed 0
+    python -m repro batch audit --dir results/soak --final
     python -m repro lint --json
     python -m repro run --model slope --steps 5 --sanitize
 """

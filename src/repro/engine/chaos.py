@@ -18,14 +18,37 @@ signature "detected and recovered" the chaos tests look for.
 
 Checkpoint-file corruption is not a stage output, so it is exposed as
 the standalone helper :func:`corrupt_checkpoint_file`.
+
+This module perturbs the *numeric* pipeline. Its durability-layer
+sibling, :mod:`repro.service.chaosio`, perturbs the batch service's
+*storage* operations (torn writes, crashed renames, ``ENOSPC``, stale
+locks) and shares this module's :class:`FaultSpec` registry idiom and
+:func:`derive_seed` fault-plan plumbing.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
+
+
+def derive_seed(seed: int, *tokens) -> int:
+    """Derive a stable child seed from a root seed and string tokens.
+
+    The shared fault-plan plumbing of the two chaos layers: the engine
+    injector, the storage injector (:mod:`repro.service.chaosio`), and
+    the retry-policy jitter all fan one user-facing seed out into
+    independent per-component streams through this function, so two
+    runs with equal configuration perturb identically while components
+    never share a stream. SHA-256-based, so it is stable across
+    processes and Python versions (unlike ``hash``).
+    """
+    payload = repr((int(seed), tuple(str(t) for t in tokens)))
+    digest = hashlib.sha256(payload.encode()).digest()
+    return int.from_bytes(digest[:8], "little")
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,15 @@ SimulationResult` into a JSON-safe summary dict (what the
 prints), and writing JSON files *atomically* (tmp file + ``os.rename``)
 so a killed scheduler or worker never leaves a half-written record for
 the next process to trip over.
+
+Every durability-relevant operation in this module is also a *chaos
+hook*: when a storage fault plan is armed
+(:mod:`repro.service.chaosio`), :func:`write_json_atomic`,
+:func:`read_json`, and :func:`locked_fd` consult the process-wide
+injector and may suffer a torn write, a simulated crash before or
+after the rename, ``ENOSPC``, a planted stale lock, or injected IO
+latency. With no plan armed the hooks are a single ``is None`` check,
+so the clean path pays nothing measurable.
 """
 
 from __future__ import annotations
@@ -26,27 +35,111 @@ try:
 except ImportError:  # pragma: no cover - POSIX
     msvcrt = None
 
+#: Environment variable naming a JSON fault-plan file. Checked lazily
+#: the first time a hooked operation runs in a process, so worker
+#: processes (fork *and* spawn) inherit the armed plan from the
+#: scheduler without any explicit plumbing.
+CHAOS_PLAN_ENV = "REPRO_IO_FAULT_PLAN"
+
+#: Age (seconds) past which an O_EXCL sidecar lockfile is considered
+#: abandoned by a crashed holder and may be taken over.
+LOCK_STALE_AFTER = 10.0
+
+#: Process-wide storage fault injector (None = clean path).
+_io_chaos = None
+_env_checked = False
+#: When True, :func:`locked_fd` uses the O_EXCL sidecar protocol even
+#: where ``flock`` is available — set by tests and by the ``stale_lock``
+#: chaos fault so the takeover path is exercisable on every platform.
+_force_sidecar = False
+
+
+def set_io_chaos(injector) -> None:
+    """Install (or clear, with ``None``) the process fault injector."""
+    global _io_chaos, _env_checked
+    _io_chaos = injector
+    _env_checked = True  # an explicit install overrides the env plan
+
+
+def get_io_chaos():
+    """The armed injector, or ``None`` when the process is clean."""
+    return _io_chaos
+
+
+def set_force_sidecar(enabled: bool) -> None:
+    """Route :func:`locked_fd` through the O_EXCL sidecar protocol."""
+    global _force_sidecar
+    _force_sidecar = bool(enabled)
+
+
+def _chaos():
+    """Resolve the active injector, arming lazily from the env plan."""
+    global _env_checked
+    if _io_chaos is None and not _env_checked:
+        _env_checked = True
+        if os.environ.get(CHAOS_PLAN_ENV):
+            from repro.service.chaosio import install_from_env
+
+            install_from_env()
+    return _io_chaos
+
+
+def _fsync_dir(dirpath: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a crash.
+
+    ``os.replace`` makes the *file* atomic, but the new directory entry
+    itself lives in the parent directory's metadata — a power loss (or
+    the chaos layer's simulated one) right after the rename can roll
+    the entry back unless the directory fd is fsynced too. No-op on
+    platforms without directory fds (Windows).
+    """
+    if os.name != "posix":  # pragma: no cover - Windows
+        return
+    try:
+        fd = os.open(dirpath, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dir fds
+        pass
+    finally:
+        os.close(fd)
+
 
 @contextlib.contextmanager
-def locked_fd(path: str | Path, mode: int = 0o644):
+def locked_fd(
+    path: str | Path, mode: int = 0o644, stale_after: float = LOCK_STALE_AFTER
+):
     """Open ``path`` read-write under an exclusive lock; yields the fd.
 
     Serialises the read-modify-write cycles behind the queue's submit
-    counter and the result cache's hit/miss counters: ``flock`` on
-    POSIX, ``msvcrt.locking`` on Windows, and an ``O_EXCL`` sidecar
-    lockfile (create + spin) anywhere else. The lock is never silently
-    skipped, so concurrent writers cannot allocate duplicate sequence
-    numbers or lose counter increments on any platform.
+    counter, the per-job record transitions, and the result cache's
+    hit/miss counters: ``flock`` on POSIX, ``msvcrt.locking`` on
+    Windows, and an ``O_EXCL`` sidecar lockfile (create + spin)
+    anywhere else. The lock is never silently skipped, so concurrent
+    writers cannot allocate duplicate sequence numbers or lose counter
+    increments on any platform.
+
+    The sidecar protocol tolerates a crashed holder: a sidecar older
+    than ``stale_after`` seconds is *taken over*. Takeover is
+    race-checked — the contender renames the stale sidecar to a unique
+    name first (exactly one racer wins the rename; losers keep
+    spinning) and then competes in the normal ``O_EXCL`` create, so two
+    takeover attempts can never both hold the lock.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    chaos = _chaos()
+    if chaos is not None:
+        chaos.on_lock(path)
     fd = os.open(path, os.O_RDWR | os.O_CREAT, mode)
     sidecar = None
     msvcrt_locked = False
     try:
-        if fcntl is not None:
+        if fcntl is not None and not _force_sidecar:
             fcntl.flock(fd, fcntl.LOCK_EX)
-        elif msvcrt is not None:  # pragma: no cover - Windows
+        elif msvcrt is not None and not _force_sidecar:  # pragma: no cover
             while True:
                 os.lseek(fd, 0, os.SEEK_SET)
                 try:
@@ -55,7 +148,7 @@ def locked_fd(path: str | Path, mode: int = 0o644):
                     break
                 except OSError:
                     time.sleep(0.01)
-        else:  # pragma: no cover - neither fcntl nor msvcrt
+        else:  # O_EXCL sidecar protocol
             sidecar = str(path) + ".lock"
             while True:
                 try:
@@ -64,6 +157,25 @@ def locked_fd(path: str | Path, mode: int = 0o644):
                     )
                     break
                 except FileExistsError:
+                    try:
+                        age = time.time() - os.stat(sidecar).st_mtime
+                    except OSError:
+                        continue  # holder released it; retry the create
+                    if age > stale_after:
+                        # Stale takeover: rename wins for exactly one
+                        # contender; everyone else re-enters the spin
+                        # and competes in the O_EXCL create above.
+                        claim = (
+                            f"{sidecar}.stale.{os.getpid()}"
+                            f".{time.monotonic_ns()}"
+                        )
+                        try:
+                            os.rename(sidecar, claim)
+                        except OSError:
+                            continue
+                        with contextlib.suppress(OSError):
+                            os.unlink(claim)
+                        continue
                     time.sleep(0.005)
         yield fd
     finally:
@@ -72,20 +184,30 @@ def locked_fd(path: str | Path, mode: int = 0o644):
                 os.lseek(fd, 0, os.SEEK_SET)
                 msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
         os.close(fd)
-        if sidecar is not None:  # pragma: no cover
+        if sidecar is not None:
             with contextlib.suppress(OSError):
                 os.unlink(sidecar)
 
 
 def write_json_atomic(path: str | Path, obj) -> Path:
-    """Write ``obj`` as JSON to ``path`` atomically.
+    """Write ``obj`` as JSON to ``path`` atomically and durably.
 
-    The payload lands in a temporary file in the same directory and is
-    renamed into place, so concurrent readers see either the old file or
-    the complete new one — never a truncated intermediate.
+    The payload lands in a temporary file in the same directory
+    (fsynced) and is renamed into place, after which the *parent
+    directory* is fsynced too — so concurrent readers see either the
+    old file or the complete new one, and a crash immediately after
+    the rename cannot lose the directory entry.
+
+    Under an armed fault plan (:mod:`repro.service.chaosio`) this is
+    the primary chaos hook: the write may raise
+    :class:`~repro.service.chaosio.ChaosIOError` after leaving the
+    destination torn, untouched, or — for ``crash_after_rename`` —
+    fully written even though the caller saw a failure.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    chaos = _chaos()
+    fault = chaos.on_write(path) if chaos is not None else None
     fd, tmp = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -93,13 +215,22 @@ def write_json_atomic(path: str | Path, obj) -> Path:
         with os.fdopen(fd, "w") as fh:
             json.dump(obj, fh, indent=2, sort_keys=True)
             fh.flush()
+            if fault == "torn_write":
+                # a crash mid-write of a non-atomic overwrite: expose a
+                # truncated payload to every later reader
+                size = fh.tell()
+                os.ftruncate(fh.fileno(), max(1, size // 2))
             os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
+        if fault == "crash_before_rename":
             os.unlink(tmp)
-        except OSError:
-            pass
+            chaos.raise_fault(fault, path)
+        os.replace(tmp, path)
+        if fault in ("torn_write", "crash_after_rename"):
+            chaos.raise_fault(fault, path)
+        _fsync_dir(path.parent)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
         raise
     return path
 
@@ -109,8 +240,13 @@ def read_json(path: str | Path):
 
     A missing or corrupt file is how the scheduler *detects* a crashed
     worker (the outcome never landed), so both cases map to ``None``
-    rather than raising.
+    rather than raising. Torn files left behind by the chaos layer's
+    ``torn_write`` fault take the same path — a durability fault must
+    degrade into a detected crash, never into wrong data.
     """
+    chaos = _chaos()
+    if chaos is not None:
+        chaos.on_read(Path(path))
     try:
         with open(path) as fh:
             return json.load(fh)

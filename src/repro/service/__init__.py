@@ -8,31 +8,52 @@ orchestrates them on top of the per-run survival primitives from
 * :class:`~repro.service.spec.JobSpec` — a declarative, content-hashed
   description of one run (model, engine, steps, controls, chaos knobs);
 * :class:`~repro.service.queue.JobQueue` — a persistent on-disk queue
-  with atomic rename-based claim/ack, priority ordering, and orphan
-  recovery after a killed scheduler;
+  with atomic rename-based claim/ack, priority ordering, and
+  lease-based orphan recovery after a killed scheduler;
+* :class:`~repro.service.lease.LeaseStore` — heartbeat-renewed liveness
+  claims with fencing epochs, so a superseded (zombie) claimant can
+  never complete a job the new owner re-runs;
+* :class:`~repro.service.spec.RetryPolicy` — per-job retry budget with
+  exponential seeded backoff and poison-job quarantine;
 * :class:`~repro.service.store.ResultStore` — a content-addressed cache
   of result summaries + final states keyed by spec hash, so
   resubmitting an identical spec skips execution entirely;
 * :class:`~repro.service.pool.WorkerPool` — runs jobs in separate
   ``multiprocessing`` processes, so one job's crash or NaN blow-up
   cannot take down its siblings; dead workers are detected, retried
-  from their newest valid checkpoint, and finally reported failed;
+  from their newest valid checkpoint, and finally reported failed (or
+  quarantined when every attempt dies identically);
+* :class:`~repro.service.journal.Journal` — the append-only job-event
+  trail ``python -m repro batch audit`` replays to prove exactly-once
+  completion, and ``batch soak`` ends every chaos campaign with;
+* :class:`~repro.service.chaosio.IOFaultPlan` — the seeded storage
+  fault injector (torn writes, crashed renames, ``ENOSPC``, stale
+  locks) the durability claims are tested under;
 * :class:`~repro.service.client.BatchClient` — the programmatic facade
   behind the ``python -m repro batch`` CLI.
 """
 
+from repro.service.chaosio import IOFaultInjector, IOFaultPlan
 from repro.service.client import BatchClient
+from repro.service.journal import Journal
+from repro.service.lease import Lease, LeaseStore
 from repro.service.pool import WorkerPool
 from repro.service.queue import JobQueue
-from repro.service.spec import JobRecord, JobSpec, JobState
+from repro.service.spec import JobRecord, JobSpec, JobState, RetryPolicy
 from repro.service.store import ResultStore
 
 __all__ = [
     "BatchClient",
+    "IOFaultInjector",
+    "IOFaultPlan",
     "JobQueue",
     "JobRecord",
     "JobSpec",
     "JobState",
+    "Journal",
+    "Lease",
+    "LeaseStore",
     "ResultStore",
+    "RetryPolicy",
     "WorkerPool",
 ]

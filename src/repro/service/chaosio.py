@@ -1,0 +1,331 @@
+"""Seeded storage fault injector — the durability chaos layer.
+
+:mod:`repro.engine.chaos` makes the *numeric* resilience story
+testable; this module does the same for the *durability* story. A
+:class:`IOFaultPlan` names which storage faults to inject, at what
+rate, into which paths; an armed :class:`IOFaultInjector` is consulted
+by the hooks in :mod:`repro.io.batch_io` on every atomic JSON write,
+JSON read, and lock acquisition the batch service performs. The
+service's exactly-once claim (see ``python -m repro batch audit``)
+must hold with this layer armed.
+
+Fault classes (:data:`IO_FAULT_REGISTRY`):
+
+``torn_write``
+    The destination file is replaced by a truncated payload and the
+    caller sees a failure — models a crash mid-write of a non-atomic
+    overwrite. Readers must treat the torn file as missing.
+``crash_before_rename``
+    The tmp file is written and fsynced but never renamed; the caller
+    sees a failure — models a crash in the rename window. The previous
+    file content survives untouched.
+``crash_after_rename``
+    The rename lands but the caller still sees a failure — models a
+    crash after the rename but before the caller observed success.
+    Tests idempotency: the write took effect although its issuer
+    believes it did not.
+``enospc``
+    ``OSError(ENOSPC)`` before anything is written.
+``stale_lock``
+    A pre-aged sidecar lockfile is planted next to the target and
+    sidecar locking is forced, exercising the stale-takeover path of
+    :func:`repro.io.batch_io.locked_fd` under load.
+``io_latency``
+    A short seeded sleep — models a slow disk; surfaces ordering
+    assumptions that only hold when IO is instant.
+
+Arming is per-process: call :func:`install` programmatically, or set
+the ``REPRO_IO_FAULT_PLAN`` environment variable to a plan file path
+(written with :meth:`IOFaultPlan.save`) and every process that touches
+``batch_io`` — scheduler and workers, fork or spawn — arms itself
+lazily on first use. Decisions are drawn from a private RNG seeded via
+:func:`repro.engine.chaos.derive_seed`, so a plan is deterministic per
+operation sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import errno
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.chaos import FaultSpec, derive_seed
+
+#: Every injectable storage fault, in the engine chaos registry idiom.
+#: ``stage`` names the hooked operation class instead of a pipeline
+#: stage; ``detector`` names the mechanism that must absorb the fault.
+IO_FAULT_REGISTRY: dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in (
+        FaultSpec(
+            "torn_write", "write",
+            "replace the destination with a truncated payload and fail "
+            "the write",
+            "read_json corrupt-file handling / crash reclassification",
+        ),
+        FaultSpec(
+            "crash_before_rename", "write",
+            "write and fsync the tmp file but never rename it",
+            "missing-outcome crash detection / lease expiry",
+        ),
+        FaultSpec(
+            "crash_after_rename", "write",
+            "complete the rename but report failure to the caller",
+            "idempotent rewrites / journal audit",
+        ),
+        FaultSpec(
+            "enospc", "write",
+            "raise OSError(ENOSPC) before writing anything",
+            "retry policy / scheduler restart",
+        ),
+        FaultSpec(
+            "stale_lock", "lock",
+            "plant a pre-aged sidecar lockfile and force sidecar "
+            "locking",
+            "locked_fd stale-age takeover",
+        ),
+        FaultSpec(
+            "io_latency", "write",
+            "sleep a seeded few milliseconds before the operation "
+            "(applies to writes, reads, and locks)",
+            "lease TTL margins / poll loops",
+        ),
+    )
+}
+
+#: Faults applicable per hooked operation.
+_OP_FAULTS = {
+    "write": (
+        "torn_write", "crash_before_rename", "crash_after_rename",
+        "enospc", "io_latency",
+    ),
+    "read": ("io_latency",),
+    "lock": ("stale_lock", "io_latency"),
+}
+
+#: Path substrings never perturbed: the job-event journal is the audit
+#: ground truth, and fault-plan files must stay loadable.
+PROTECTED_PATHS = ("journal", "chaos-plan",)
+
+
+class ChaosIOError(OSError):
+    """An injected storage fault (carries the fault name)."""
+
+    def __init__(self, fault: str, path, os_errno: int | None = None):
+        if os_errno is not None:
+            super().__init__(os_errno, f"injected {fault}", str(path))
+        else:
+            super().__init__(f"injected {fault}: {path}")
+        self.fault = fault
+
+
+@dataclass(frozen=True)
+class IOFaultPlan:
+    """Declarative description of a storage fault campaign.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; the injector's RNG stream derives from it.
+    rate:
+        Per-eligible-operation injection probability in [0, 1].
+    faults:
+        Registry names to arm; ``None`` arms every fault.
+    paths:
+        Path substrings to restrict injection to (empty = all paths).
+    max_faults:
+        Total injection budget (0 = unlimited).
+    latency_s:
+        Upper bound of the seeded ``io_latency`` sleep.
+    """
+
+    seed: int = 0
+    rate: float = 0.05
+    faults: tuple[str, ...] | None = None
+    paths: tuple[str, ...] = ()
+    max_faults: int = 0
+    latency_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        names = self.faults if self.faults is not None else ()
+        unknown = [n for n in names if n not in IO_FAULT_REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown io fault(s) {unknown}; "
+                f"known: {sorted(IO_FAULT_REGISTRY)}"
+            )
+        for attr in ("faults", "paths"):
+            value = getattr(self, attr)
+            if value is not None and not isinstance(value, tuple):
+                object.__setattr__(self, attr, tuple(value))
+
+    def armed_faults(self) -> tuple[str, ...]:
+        return (
+            self.faults if self.faults is not None
+            else tuple(IO_FAULT_REGISTRY)
+        )
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        if d["faults"] is not None:
+            d["faults"] = list(d["faults"])
+        d["paths"] = list(d["paths"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "IOFaultPlan":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown IOFaultPlan field(s): {sorted(unknown)}")
+        return cls(**d)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the plan as JSON (plain write — plans are never faulted)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "IOFaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class IOFaultInjector:
+    """Seeded per-process decision engine behind the batch_io hooks."""
+
+    plan: IOFaultPlan
+    counts: dict[str, int] = field(default_factory=dict)
+    #: Optional MetricsRegistry; when bound, every injection bumps
+    #: ``batch.io_faults`` (and ``batch.io_faults.<name>``).
+    metrics = None
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(
+            derive_seed(self.plan.seed, "chaosio")
+        )
+        self._armed = self.plan.armed_faults()
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def bind_metrics(self, registry) -> None:
+        self.metrics = registry
+
+    def _eligible(self, path: Path) -> bool:
+        text = str(path)
+        if any(token in text for token in PROTECTED_PATHS):
+            return False
+        if self.plan.paths and not any(t in text for t in self.plan.paths):
+            return False
+        return True
+
+    def decide(self, op: str, path: Path) -> str | None:
+        """Pick a fault for one operation, or ``None`` (the usual case)."""
+        if self.plan.max_faults and self.total >= self.plan.max_faults:
+            return None
+        if not self._eligible(path):
+            return None
+        candidates = [f for f in self._armed if f in _OP_FAULTS[op]]
+        if not candidates:
+            return None
+        if self._rng.random() >= self.plan.rate:
+            return None
+        fault = str(self._rng.choice(candidates))
+        self.counts[fault] = self.counts.get(fault, 0) + 1
+        if self.metrics is not None:
+            self.metrics.inc("batch.io_faults")
+            self.metrics.inc(f"batch.io_faults.{fault}")
+        return fault
+
+    # ------------------------------------------------------------------
+    # hook entry points (called by repro.io.batch_io)
+    # ------------------------------------------------------------------
+    def on_write(self, path: Path) -> str | None:
+        """Decide a write fault; latency/ENOSPC act here, the structural
+        faults are returned for ``write_json_atomic`` to act out."""
+        fault = self.decide("write", path)
+        if fault == "io_latency":
+            self._sleep()
+            return None
+        if fault == "enospc":
+            raise ChaosIOError("enospc", path, os_errno=errno.ENOSPC)
+        return fault
+
+    def on_read(self, path: Path) -> None:
+        if self.decide("read", path) == "io_latency":
+            self._sleep()
+
+    def on_lock(self, path: Path) -> None:
+        fault = self.decide("lock", path)
+        if fault == "io_latency":
+            self._sleep()
+        elif fault == "stale_lock":
+            self._plant_stale_lock(path)
+
+    def raise_fault(self, fault: str, path: Path) -> None:
+        """Raise the caller-visible error for a structural write fault."""
+        raise ChaosIOError(fault, path)
+
+    # ------------------------------------------------------------------
+    def _sleep(self) -> None:
+        time.sleep(float(self._rng.uniform(0.0, self.plan.latency_s)))
+
+    def _plant_stale_lock(self, path: Path) -> None:
+        """Leave a long-abandoned sidecar for the acquisition to absorb."""
+        from repro.io import batch_io
+
+        batch_io.set_force_sidecar(True)
+        sidecar = str(path) + ".lock"
+        try:
+            fd = os.open(sidecar, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return  # a real holder (or an earlier plant) is present
+        except OSError:
+            return
+        os.close(fd)
+        ancient = time.time() - 3600.0
+        with_suppress_os(os.utime, sidecar, (ancient, ancient))
+
+
+def with_suppress_os(fn, *args) -> None:
+    """Run ``fn`` swallowing OSError (chaos must never crash the hook)."""
+    try:
+        fn(*args)
+    except OSError:
+        pass
+
+
+def install(plan: IOFaultPlan | None) -> IOFaultInjector | None:
+    """Arm (or, with ``None``, disarm) the process storage injector."""
+    from repro.io import batch_io
+
+    if plan is None:
+        batch_io.set_io_chaos(None)
+        batch_io.set_force_sidecar(False)
+        return None
+    injector = IOFaultInjector(plan)
+    batch_io.set_io_chaos(injector)
+    return injector
+
+
+def install_from_env() -> IOFaultInjector | None:
+    """Arm from the ``REPRO_IO_FAULT_PLAN`` env var (no-op when unset)."""
+    from repro.io.batch_io import CHAOS_PLAN_ENV
+
+    plan_path = os.environ.get(CHAOS_PLAN_ENV)
+    if not plan_path:
+        return install(None)
+    return install(IOFaultPlan.load(plan_path))

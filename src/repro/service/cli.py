@@ -1,15 +1,19 @@
 """``python -m repro batch`` — the batch-service command surface.
 
-Four verbs over a shared batch directory::
+Verbs over a shared batch directory::
 
     python -m repro batch submit --dir results/batch --model slope --steps 50
     python -m repro batch run    --dir results/batch --workers 2
     python -m repro batch status --dir results/batch [--json]
     python -m repro batch results --dir results/batch [--json] [JOB_ID ...]
+    python -m repro batch soak   --dir results/soak --jobs 24 --seed 0
+    python -m repro batch audit  --dir results/soak [--final] [--json]
 
 Every verb is a separate process invocation: submit from one shell, run
 from another, kill the runner and run again — the on-disk queue and
-result cache carry the state across.
+result cache carry the state across. ``soak`` runs a full chaos
+campaign (storage faults + scheduler kills) and ``audit`` replays the
+job-event journal to prove the exactly-once invariants held.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ import json
 import sys
 
 from repro.service.client import BatchClient
-from repro.service.spec import ENGINES, JobSpec, MODELS, PROFILES
+from repro.service.spec import ENGINES, JobSpec, MODELS, PROFILES, RetryPolicy
 from repro.util.tables import Table
 
 
@@ -63,6 +67,14 @@ def build_batch_parser() -> argparse.ArgumentParser:
                    help="0-999; higher runs sooner (FIFO within a priority)")
     s.add_argument("--max-retries", type=int, default=1,
                    help="extra attempts after a failed/crashed one")
+    retry = s.add_argument_group("retry policy")
+    retry.add_argument("--backoff", type=float, default=0.0, metavar="SEC",
+                       help="base retry delay; grows exponentially with "
+                            "seeded jitter (0 = retry immediately)")
+    retry.add_argument("--attempt-deadline", type=float, default=None,
+                       metavar="SEC",
+                       help="per-attempt wall-clock budget (overrides the "
+                            "pool's --job-timeout for this job)")
     chaos = s.add_argument_group("chaos harness")
     chaos.add_argument("--inject-faults", type=int, metavar="SEED",
                        default=None)
@@ -72,6 +84,9 @@ def build_batch_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--kill-at-step", type=int, default=None, metavar="N",
                        help="hard-kill the worker process at this step "
                             "(crash-isolation testing)")
+    chaos.add_argument("--kill-once", action="store_true",
+                       help="with --kill-at-step: only the first attempt "
+                            "dies; retries sail past the kill step")
 
     r = sub.add_parser("run", help="drain the queue with a worker pool")
     add_dir(r)
@@ -99,6 +114,36 @@ def build_batch_parser() -> argparse.ArgumentParser:
     c = sub.add_parser("cancel", help="cancel a queued job")
     add_dir(c)
     c.add_argument("job_id", metavar="JOB_ID")
+
+    a = sub.add_parser(
+        "audit",
+        help="replay the job-event journal; assert exactly-once invariants",
+    )
+    add_dir(a)
+    a.add_argument("--final", action="store_true",
+                   help="also require every submitted job to have reached "
+                        "a terminal state (use after a drained campaign)")
+    a.add_argument("--json", action="store_true", dest="as_json")
+
+    k = sub.add_parser(
+        "soak",
+        help="chaos campaign: storage faults + scheduler kills + audit",
+    )
+    add_dir(k)
+    k.add_argument("--jobs", type=int, default=24)
+    k.add_argument("--seed", type=int, default=0)
+    k.add_argument("--workers", type=int, default=2)
+    k.add_argument("--steps", type=int, default=3,
+                   help="simulation steps per soak job")
+    k.add_argument("--fault-rate", type=float, default=0.03,
+                   help="storage fault probability per IO operation "
+                        "(0 disables the chaos layer)")
+    k.add_argument("--scheduler-kills", type=int, default=1,
+                   help="how many scheduler rounds to SIGKILL mid-drain")
+    k.add_argument("--lease-ttl", type=float, default=2.0,
+                   help="lease time-to-live for the campaign's schedulers")
+    k.add_argument("--json", action="store_true", dest="as_json")
+    k.add_argument("--quiet", action="store_true")
     return p
 
 
@@ -122,6 +167,7 @@ def spec_from_args(args: argparse.Namespace) -> JobSpec:
         fault_names=tuple(args.fault_names) if args.fault_names else None,
         fault_step=args.fault_step,
         kill_at_step=args.kill_at_step,
+        kill_once=args.kill_once,
         tag=args.tag,
     )
 
@@ -132,8 +178,16 @@ def batch_main(argv: list[str] | None = None) -> int:
 
     if args.command == "submit":
         spec = spec_from_args(args)
+        retry = None
+        if args.backoff or args.attempt_deadline is not None:
+            retry = RetryPolicy(
+                max_attempts=args.max_retries + 1,
+                backoff_s=args.backoff,
+                attempt_deadline_s=args.attempt_deadline,
+            )
         record = client.submit(
-            spec, priority=args.priority, max_retries=args.max_retries
+            spec, priority=args.priority, max_retries=args.max_retries,
+            retry=retry,
         )
         print(f"submitted {record.job_id} "
               f"(spec {spec.spec_hash()[:12]}, priority {record.priority})")
@@ -151,7 +205,8 @@ def batch_main(argv: list[str] | None = None) -> int:
             f"dispatched {tallies['dispatched']}, "
             f"succeeded {tallies['succeeded']} "
             f"(cache hits {tallies['cache_hits']}), "
-            f"retried {tallies['retried']}, failed {tallies['failed']}"
+            f"retried {tallies['retried']}, failed {tallies['failed']}, "
+            f"quarantined {tallies['quarantined']}"
         )
         if args.show_metrics:
             from repro.obs.metrics import render_snapshot
@@ -163,7 +218,7 @@ def batch_main(argv: list[str] | None = None) -> int:
                 print()
                 print("job metrics (merged across finished jobs)")
                 print(render_snapshot(client.last_job_metrics))
-        return 1 if tallies["failed"] else 0
+        return 1 if tallies["failed"] or tallies["quarantined"] else 0
 
     if args.command == "status":
         status = client.status()
@@ -210,7 +265,10 @@ def batch_main(argv: list[str] | None = None) -> int:
                     f"{outcome.get('max_total_displacement', 0.0):.3e} m"
                 )
             else:
-                print(f"{job_id}: failed — {outcome.get('error')}")
+                print(
+                    f"{job_id}: {outcome.get('status', 'failed')} — "
+                    f"{outcome.get('error')}"
+                )
         return 0
 
     if args.command == "cancel":
@@ -220,5 +278,47 @@ def batch_main(argv: list[str] | None = None) -> int:
         print(f"{args.job_id}: not cancellable (unknown or not queued)",
               file=sys.stderr)
         return 1
+
+    if args.command == "audit":
+        from repro.service.audit import audit_journal, format_report
+
+        report = audit_journal(args.batch_dir, final=args.final)
+        if args.as_json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_report(report))
+        return 0 if report["ok"] else 1
+
+    if args.command == "soak":
+        from repro.service.soak import run_soak
+
+        log = (lambda msg: None) if args.quiet else (
+            lambda msg: print(msg, file=sys.stderr)
+        )
+        summary = run_soak(
+            args.batch_dir,
+            jobs=args.jobs, seed=args.seed, workers=args.workers,
+            fault_rate=args.fault_rate,
+            scheduler_kills=args.scheduler_kills,
+            lease_ttl=args.lease_ttl, steps=args.steps, log=log,
+        )
+        if args.as_json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            from repro.service.audit import format_report
+
+            counts = ", ".join(
+                f"{s}={n}" for s, n in summary["counts"].items() if n
+            )
+            print(
+                f"soak: {summary['jobs']} jobs, {summary['rounds']} "
+                f"round(s), {summary['scheduler_kills']} scheduler "
+                f"kill(s), drained={summary['drained']} "
+                f"in {summary['duration_s']:.1f}s"
+            )
+            print(f"final states: {counts}")
+            print(format_report(summary["audit"]))
+        ok = summary["drained"] and summary["audit"]["ok"]
+        return 0 if ok else 1
 
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -50,14 +50,24 @@ class BatchClient:
 
     # ------------------------------------------------------------------
     def submit(
-        self, spec: JobSpec, *, priority: int = 0, max_retries: int = 1
+        self,
+        spec: JobSpec,
+        *,
+        priority: int = 0,
+        max_retries: int = 1,
+        retry=None,
     ) -> JobRecord:
         """Enqueue one job; returns its record (state ``queued``).
 
         Submission never consults the cache — the scheduler does, at
         claim time, so ``status`` after a run shows the hit explicitly.
+        ``retry`` attaches a :class:`~repro.service.spec.RetryPolicy`
+        (backoff, attempt deadline, quarantine budget); without one the
+        legacy ``max_retries`` knob applies.
         """
-        return self.queue.submit(spec, priority=priority, max_retries=max_retries)
+        return self.queue.submit(
+            spec, priority=priority, max_retries=max_retries, retry=retry
+        )
 
     def run(
         self,

@@ -4,14 +4,32 @@ The pool claims tickets from the :class:`JobQueue` and runs each job's
 attempt in its own ``multiprocessing`` process. The process boundary is
 the isolation guarantee: a job that segfaults, NaN-blows, calls
 ``os._exit``, or is OOM-killed takes down only its own process — the
-scheduler notices the death (no outcome file, or a nonzero exit code),
-logs the attempt, and either requeues the job (next attempt resumes
-from the newest valid checkpoint) or marks it failed once the retry
-budget ``max_retries`` is spent. Sibling jobs never observe any of it.
+scheduler notices the death (no outcome file), logs the attempt, and
+either requeues the job (next attempt resumes from the newest valid
+checkpoint) or exhausts its :class:`~repro.service.spec.RetryPolicy`.
+Sibling jobs never observe any of it.
+
+Exactly-once completion is enforced here, not assumed: every terminal
+transition goes through :meth:`JobQueue.finalize` carrying the fencing
+epoch this pool claimed the job under. A pool (or worker) whose claim
+was superseded — its scheduler stalled past the lease ttl and another
+scheduler re-claimed the job — gets its late write rejected and
+journalled as ``fenced`` instead of double-completing the job.
+
+Retry behaviour is data (:class:`~repro.service.spec.RetryPolicy`):
+exhausting the attempt budget on a *reproducible* failure (every
+attempt died with the same error) quarantines the job — a poison job
+is separated from jobs that merely had bad luck — while mixed failures
+mark it ``failed``. Retries respect the policy's exponential backoff:
+the record's ``not_before`` keeps the ticket unclaimable until the
+delay elapses.
 
 Before spawning anything the pool consults the :class:`ResultStore`:
 a spec whose hash is already cached completes instantly as a cache hit
-with zero steps executed.
+with zero steps executed. The scheduler also tolerates the storage
+chaos layer (:mod:`repro.service.chaosio`): an injected IO fault while
+claiming or finishing abandons that one slot — the job's lease expires
+and recovery requeues it — instead of taking the whole drain down.
 """
 
 from __future__ import annotations
@@ -44,6 +62,8 @@ class _Slot:
     ticket: str
     outcome_path: Path
     started: float
+    epoch: int
+    deadline: float | None
 
 
 class WorkerPool:
@@ -78,10 +98,22 @@ class WorkerPool:
         #: per-run tallies (reset at each ``run`` call)
         self.stats: dict[str, int] = self._zero_stats()
         #: scheduler-side metrics registry (dispatch outcomes, cache
-        #: hit/miss); accumulates across ``run`` calls
+        #: hit/miss, durability events); accumulates across ``run`` calls
         self.metrics = MetricsRegistry()
-        for name in ("batch.cache_hits", "batch.cache_misses"):
+        for name in (
+            "batch.cache_hits", "batch.cache_misses",
+            "batch.lease_expired", "batch.fenced_writes",
+            "batch.io_faults",
+        ):
             self.metrics.counter(name)
+        # durability counters live queue-side (recover/finalize) and in
+        # the storage injector; bind them to this registry
+        self.queue.metrics = self.metrics
+        from repro.io.batch_io import get_io_chaos
+
+        injector = get_io_chaos()
+        if injector is not None:
+            injector.bind_metrics(self.metrics)
         #: per-job engine metrics snapshots keyed by job_id, rolled up
         #: from each successful outcome; ``aggregate_job_metrics()``
         #: merges them into one snapshot
@@ -92,6 +124,7 @@ class WorkerPool:
         return {
             "dispatched": 0, "cache_hits": 0,
             "succeeded": 0, "failed": 0, "retried": 0, "cancelled": 0,
+            "quarantined": 0, "fenced": 0,
         }
 
     def _tally(self, key: str) -> None:
@@ -109,47 +142,64 @@ class WorkerPool:
 
         Blocks until no ticket is queued and no worker is in flight.
         Jobs requeued for retry during the run are picked back up before
-        the pool returns.
+        the pool returns (a retry backoff shows up as idle polling until
+        its ``not_before`` elapses).
         """
         self.stats = self._zero_stats()
         # Reclaim tickets orphaned by a dead scheduler before draining.
         # This is the one safe recovery point: JobQueue.recover gates on
-        # claimant liveness, so a concurrently live pool keeps its work.
+        # lease liveness, so a concurrently live pool keeps its work.
         recovered = self.queue.recover()
         if recovered:
             self._log(f"recovered {recovered} orphaned ticket(s)")
         active: list[_Slot] = []
         while True:
             while len(active) < self.n_workers:
-                claimed = self.queue.claim()
-                if claimed is None:
+                try:
+                    claimed = self.queue.claim()
+                    if claimed is None:
+                        break
+                    slot = self._dispatch(*claimed)
+                except OSError as err:
+                    # injected (or real) storage fault mid-claim: abandon
+                    # the slot; the lease expires and recovery requeues it
+                    self.metrics.inc("batch.scheduler_io_errors")
+                    self._log(f"claim/dispatch aborted by IO fault: {err}")
                     break
-                slot = self._dispatch(*claimed)
                 if slot is not None:
                     active.append(slot)
             if not active:
                 if self.queue.pending() == 0:
                     break
                 time.sleep(self.poll_interval)
-                continue  # everything claimable was a cache hit; refill
+                continue  # cache hits or pending backoffs; refill
             time.sleep(self.poll_interval)
             still_active = []
             for slot in active:
                 if slot.process.is_alive():
                     if (
-                        self.job_timeout is not None
-                        and time.time() - slot.started > self.job_timeout
+                        slot.deadline is not None
+                        and time.time() > slot.deadline
                     ):
                         slot.process.terminate()
                         slot.process.join()
-                        self._finish(slot, timed_out=True)
+                        self._finish_guarded(slot, timed_out=True)
                     else:
                         still_active.append(slot)
                 else:
                     slot.process.join()
-                    self._finish(slot)
+                    self._finish_guarded(slot)
             active = still_active
         return dict(self.stats)
+
+    def _finish_guarded(self, slot: _Slot, *, timed_out: bool = False) -> None:
+        try:
+            self._finish(slot, timed_out=timed_out)
+        except OSError as err:
+            # storage fault while recording the result: drop the slot;
+            # the released-or-expiring lease puts the job back in play
+            self.metrics.inc("batch.scheduler_io_errors")
+            self._log(f"{slot.record.job_id}: finish aborted by IO fault: {err}")
 
     # ------------------------------------------------------------------
     def _scratch(self, record: JobRecord) -> Path:
@@ -159,19 +209,26 @@ class WorkerPool:
 
     def _dispatch(self, record: JobRecord, ticket: str) -> _Slot | None:
         """Start one attempt (or complete instantly from the cache)."""
+        epoch = record.lease_epoch
         if self.queue.is_cancelled(record.job_id):
-            # tombstone landed between submit and claim: drop the job
-            record.state = JobState.CANCELLED
-            record.worker_pid = None
-            record.finished_at = time.time()
-            self.queue.save_record(record)
-            write_json_atomic(
-                self._scratch(record) / "outcome-final.json",
-                {"status": "cancelled"},
+            # tombstone landed between submit and claim: drop the job.
+            # finalize() returns None both when cancel() already finalised
+            # the record itself (count it cancelled) and when another
+            # owner superseded our claim (a genuinely fenced write).
+            final = self.queue.finalize(
+                record.job_id, JobState.CANCELLED, epoch=epoch
             )
+            current = final or self.queue.load_record(record.job_id)
+            if current is not None and current.state == JobState.CANCELLED:
+                write_json_atomic(
+                    self._scratch(record) / "outcome-final.json",
+                    {"status": "cancelled"},
+                )
+                self._tally("cancelled")
+                self._log(f"{record.job_id}: cancelled before dispatch")
+            else:
+                self._tally("fenced")
             self.queue.ack(ticket)
-            self._tally("cancelled")
-            self._log(f"{record.job_id}: cancelled before dispatch")
             return None
         # Consult the cache on *every* dispatch, retries included: a
         # job recovered after a scheduler crash still short-circuits
@@ -181,13 +238,19 @@ class WorkerPool:
         if cached is None:
             self.metrics.inc("batch.cache_misses")
         if cached is not None:
-            record.state = JobState.SUCCEEDED
-            record.cached = True
-            record.finished_at = time.time()
-            record.attempt_log.append(
-                {"cached": True, "spec_hash": spec_hash}
+
+            def _mark_cached(rec: JobRecord) -> None:
+                rec.cached = True
+                rec.attempt_log.append({"cached": True, "spec_hash": spec_hash})
+
+            final = self.queue.finalize(
+                record.job_id, JobState.SUCCEEDED,
+                epoch=epoch, mutate=_mark_cached,
             )
-            self.queue.save_record(record)
+            if final is None:
+                self._tally("fenced")
+                self.queue.ack(ticket)
+                return None
             outcome = dict(
                 cached, status="succeeded", cached=True,
                 steps_executed=0, spec_hash=spec_hash,
@@ -207,40 +270,59 @@ class WorkerPool:
         record.state = JobState.RUNNING
         record.started_at = record.started_at or time.time()
         scratch = self._scratch(record)
-        outcome_path = scratch / f"outcome-attempt-{attempt:03d}.json"
+        outcome_path = scratch / f"outcome-e{epoch:04d}-attempt-{attempt:03d}.json"
+        lease_info = {
+            "root": str(self.queue.leases.root),
+            "ttl": self.queue.leases.ttl,
+            "job_id": record.job_id,
+            "epoch": epoch,
+            "owner": self.queue.owner,
+            "journal": str(self.queue.journal.root),
+        }
         process = self._ctx.Process(
             target=worker_entry,
             args=(record.spec.to_dict(), str(scratch), attempt,
-                  str(outcome_path), self.trace),
+                  str(outcome_path), self.trace, lease_info),
             daemon=True,
         )
         process.start()
         record.worker_pid = process.pid
         self.queue.save_record(record)
         self._tally("dispatched")
-        self._log(
-            f"{record.job_id}: attempt {attempt + 1} started (pid {process.pid})"
+        policy = record.policy()
+        timeout = (
+            policy.attempt_deadline_s
+            if policy.attempt_deadline_s is not None else self.job_timeout
         )
-        return _Slot(process, record, ticket, outcome_path, time.time())
+        deadline = None if timeout is None else time.time() + timeout
+        self._log(
+            f"{record.job_id}: attempt {attempt + 1} started "
+            f"(pid {process.pid}, epoch {epoch})"
+        )
+        return _Slot(
+            process, record, ticket, outcome_path, time.time(), epoch, deadline
+        )
 
     def _finish(self, slot: _Slot, *, timed_out: bool = False) -> None:
-        """Classify a finished attempt and route it (ack/retry/fail)."""
+        """Classify a finished attempt and route it (ack/retry/fail).
+
+        An outcome file that exists and parses is trusted over the exit
+        code: an injected ``crash_after_rename`` makes the worker die
+        *after* its outcome landed, and re-running a completed attempt
+        would violate the effort (though not the correctness) story.
+        """
         record, process = slot.record, slot.process
         outcome = read_json(slot.outcome_path)
         if timed_out:
             record.attempt_log.append(
                 {"attempt": record.attempts - 1, "crash": True,
                  "error": "JobTimeout",
-                 "message": f"exceeded {self.job_timeout:.1f}s; terminated"}
+                 "message": "attempt deadline exceeded; terminated"}
             )
             self._retry_or_fail(slot, "JobTimeout: worker terminated")
-        elif outcome is None or process.exitcode != 0:
-            # no outcome (or a nonzero exit): the worker died mid-run
-            message = (
-                f"worker crashed (exit code {process.exitcode}, "
-                f"no outcome file)" if outcome is None
-                else f"worker exited {process.exitcode} after writing outcome"
-            )
+        elif outcome is None:
+            # no (valid) outcome: the worker died mid-run
+            message = f"worker crashed (exit code {process.exitcode}, no outcome file)"
             record.attempt_log.append(
                 {"attempt": record.attempts - 1, "crash": True,
                  "exitcode": process.exitcode, "error": "WorkerCrashed",
@@ -250,9 +332,25 @@ class WorkerPool:
         elif outcome.get("status") == "succeeded":
             spec_hash = record.spec.spec_hash()
             state_stem = outcome.pop("state_stem", None)
+            record.attempt_log.append(outcome)
+
+            def _log_attempt(rec: JobRecord) -> None:
+                rec.attempts = record.attempts
+                rec.attempt_log = record.attempt_log
+
+            final = self.queue.finalize(
+                record.job_id, JobState.SUCCEEDED,
+                epoch=slot.epoch, mutate=_log_attempt,
+            )
+            if final is None:
+                # our claim was superseded; the new owner completes it
+                self._tally("fenced")
+                self.queue.ack(slot.ticket)
+                self._log(f"{record.job_id}: success discarded (fenced)")
+                return
             cache_entry = {
                 k: v for k, v in outcome.items()
-                if k not in ("status", "attempt", "pid")
+                if k not in ("status", "attempt", "pid", "epoch")
             }
             # The entry describes the whole computation, not the final
             # attempt: a success resumed from a checkpoint reports only
@@ -266,11 +364,6 @@ class WorkerPool:
                 steps_executed=total, resumed_from=0, total_steps=total
             )
             self.store.put(spec_hash, cache_entry, state_stem=state_stem)
-            record.state = JobState.SUCCEEDED
-            record.finished_at = time.time()
-            record.worker_pid = None
-            record.attempt_log.append(outcome)
-            self.queue.save_record(record)
             write_json_atomic(
                 self._scratch(record) / "outcome-final.json",
                 dict(outcome, spec_hash=spec_hash, cached=False),
@@ -292,46 +385,108 @@ class WorkerPool:
                 f"{outcome.get('message', 'unknown failure')}",
             )
 
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _poisoned(record: JobRecord) -> bool:
+        """True when every attempt failed with the *same* error class —
+        the reproducible-fault signature that warrants quarantine."""
+        errors = [
+            a.get("error") for a in record.attempt_log if a.get("error")
+        ]
+        return len(errors) >= 2 and len(set(errors)) == 1
+
     def _retry_or_fail(self, slot: _Slot, error: str) -> None:
         record = slot.record
-        record.worker_pid = None
-        if self.queue.is_cancelled(record.job_id):
+        job_id = record.job_id
+        policy = record.policy()
+        if self.queue.is_cancelled(job_id):
             # cancelled while (or just before) the attempt ran: never retry
-            record.state = JobState.CANCELLED
-            record.error = error
-            record.finished_at = time.time()
-            self.queue.save_record(record)
-            write_json_atomic(
-                self._scratch(record) / "outcome-final.json",
-                {"status": "cancelled", "error": error,
-                 "attempts": record.attempts},
+            def _mark(rec: JobRecord) -> None:
+                rec.error = error
+                rec.attempts = record.attempts
+                rec.attempt_log = record.attempt_log
+
+            final = self.queue.finalize(
+                job_id, JobState.CANCELLED, epoch=slot.epoch, mutate=_mark
             )
+            if final is not None:
+                write_json_atomic(
+                    self._scratch(record) / "outcome-final.json",
+                    {"status": "cancelled", "error": error,
+                     "attempts": record.attempts},
+                )
+                self._tally("cancelled")
+                self._log(f"{job_id}: cancelled; not retrying ({error})")
+            else:
+                self._tally("fenced")
             self.queue.ack(slot.ticket)
-            self._tally("cancelled")
-            self._log(f"{record.job_id}: cancelled; not retrying ({error})")
-        elif record.attempts <= record.max_retries:
-            record.state = JobState.QUEUED
-            self.queue.save_record(record)
-            self.queue.requeue(slot.ticket)
+        elif record.attempts < policy.max_attempts:
+            delay = policy.delay(job_id, record.attempts)
+            with self.queue.locked_record(job_id):
+                current = self.queue.load_record(job_id)
+                if current is None and self.queue.record_unreadable(job_id):
+                    # torn record (storage fault): heal it from the
+                    # claimant's in-memory copy rather than dropping it
+                    current = record
+                if (
+                    current is None
+                    or current.state in JobState.TERMINAL
+                    or current.lease_epoch != slot.epoch
+                ):
+                    # superseded: the new owner handles this job's fate
+                    self._tally("fenced")
+                    self.queue.ack(slot.ticket)
+                    return
+                current.state = JobState.QUEUED
+                current.worker_pid = None
+                current.attempts = record.attempts
+                current.attempt_log = record.attempt_log
+                current.not_before = time.time() + delay if delay else 0.0
+                self.queue.save_record(current)
+            try:
+                self.queue.requeue(slot.ticket)
+            except FileNotFoundError:
+                pass  # a recover pass moved the ticket for us already
             self._tally("retried")
             self._log(
-                f"{record.job_id}: attempt {record.attempts} failed "
+                f"{job_id}: attempt {record.attempts} failed "
                 f"({error}); retrying"
+                + (f" in {delay:.2f}s" if delay else "")
             )
         else:
-            record.state = JobState.FAILED
-            record.error = error
-            record.finished_at = time.time()
-            self.queue.save_record(record)
+            state = (
+                JobState.QUARANTINED if self._poisoned(record)
+                else JobState.FAILED
+            )
+
+            def _mark_failed(rec: JobRecord) -> None:
+                rec.error = error
+                rec.attempts = record.attempts
+                rec.attempt_log = record.attempt_log
+
+            final = self.queue.finalize(
+                job_id, state, epoch=slot.epoch, mutate=_mark_failed
+            )
+            if final is None:
+                self._tally("fenced")
+                self.queue.ack(slot.ticket)
+                return
+            if state == JobState.QUARANTINED:
+                self.queue.journal.append(
+                    "quarantined", job_id,
+                    error=error, attempts=record.attempts,
+                )
             write_json_atomic(
                 self._scratch(record) / "outcome-final.json",
-                {"status": "failed", "error": error,
+                {"status": state, "error": error,
                  "attempts": record.attempts,
                  "attempt_log": record.attempt_log},
             )
             self.queue.ack(slot.ticket)
-            self._tally("failed")
+            self._tally(
+                "quarantined" if state == JobState.QUARANTINED else "failed"
+            )
             self._log(
-                f"{record.job_id}: failed after {record.attempts} "
+                f"{job_id}: {state} after {record.attempts} "
                 f"attempt(s): {error}"
             )

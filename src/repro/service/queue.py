@@ -1,4 +1,4 @@
-"""Persistent on-disk job queue with atomic claim/ack.
+"""Persistent on-disk job queue with atomic claim/ack and lease fencing.
 
 The queue is a directory of *ticket* files:
 
@@ -6,8 +6,11 @@ The queue is a directory of *ticket* files:
 
     <root>/
         jobs/<job_id>.json        canonical JobRecord (atomic rewrite)
+        jobs/.<job_id>.lock       per-job record lock (claim/finalise)
         tickets/queued/<ticket>   one empty-ish file per runnable job
         tickets/claimed/<ticket>  tickets a scheduler is working on
+        leases/<job_id>.json      heartbeat-renewed liveness claims
+        journal/events.jsonl      append-only audit trail
         seq                       monotonically increasing submit counter
 
 A ticket's *name* encodes its scheduling key — zero-padded inverted
@@ -19,20 +22,24 @@ directory tree is atomic on POSIX, so when several pools race for the
 same ticket exactly one rename succeeds and the losers see
 ``FileNotFoundError`` and move on. *Acking* deletes the claimed ticket.
 
-Crash recovery falls out of the layout: a killed scheduler leaves its
-tickets in ``claimed/``; :meth:`JobQueue.recover` moves every *orphaned*
-ticket back to ``queued/`` and flips the job record back to ``queued``,
-so the next scheduler resumes exactly where the dead one stopped — a
-job is never lost and never runs twice concurrently within a single
-scheduler host. A claimed ticket counts as orphaned only when its
-claimant is provably gone (the recorded ``worker_pid`` no longer
-exists); a ticket whose worker is alive belongs to a live scheduler and
-is left alone, so inspection commands opening the same directory can
-never steal in-flight work. Recovery runs when a :class:`WorkerPool`
-starts draining (and on ``JobQueue`` open unless ``recover=False`` —
-the :class:`~repro.service.client.BatchClient` opens with
-``recover=False`` precisely because submit/status/results must be safe
-to run concurrently with a live runner).
+**Liveness is lease-based.** Claiming bumps the job's fencing epoch
+(under the per-job record lock) and writes a lease file the claimant's
+worker renews by heartbeat (:mod:`repro.service.lease`). Crash recovery
+falls out of the layout: a killed scheduler leaves its tickets in
+``claimed/`` and its leases stop renewing; :meth:`JobQueue.recover`
+returns every claimed ticket whose lease is missing or expired to
+``queued/``. No pid probing — pids are recycled, lease files are not.
+Freshly claimed tickets get a short mtime grace window so a concurrent
+recover cannot steal a ticket in the instant between the claim rename
+and its lease write.
+
+**Terminal transitions are exactly-once.** Every path that moves a job
+into a terminal state funnels through :meth:`JobQueue.finalize`, which
+re-reads the record under the per-job lock, rejects the transition when
+the record is already terminal or the caller's fencing epoch has been
+superseded (a *fenced* zombie write), and appends the single
+``completed`` event to the journal. ``python -m repro batch audit``
+replays the journal against the records to prove the invariants held.
 
 Cancellation is a tombstone file (``cancelled/<job_id>``) rather than a
 record rewrite, so it cannot race a scheduler's claim: claim, dispatch,
@@ -43,30 +50,38 @@ instead of running (or re-running) it.
 from __future__ import annotations
 
 import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.io.batch_io import locked_fd, read_json, write_json_atomic
-from repro.service.spec import JobRecord, JobState
+from repro.service.journal import Journal
+from repro.service.lease import DEFAULT_TTL, LeaseStore
+from repro.service.spec import JobRecord, JobState, RetryPolicy
 
 #: Priorities live in [0, MAX_PRIORITY]; higher runs sooner.
 MAX_PRIORITY = 999
 
+#: Tickets claimed within the last ``CLAIM_GRACE`` seconds are never
+#: treated as orphans: the claimer may be between its rename and its
+#: lease write. Kept well under any sane ttl.
+CLAIM_GRACE = 1.0
 
-def _pid_alive(pid: int) -> bool:
-    """Best-effort liveness probe for a recorded claimant pid."""
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except OSError:  # e.g. EPERM: exists but owned by someone else
-        return True
-    return True
+#: Record saves are read-back verified and retried this many times —
+#: a torn record write that went unrepaired would orphan the job.
+SAVE_RETRIES = 3
 
 
 class JobQueue:
     """Directory-backed priority queue of :class:`JobRecord` s."""
 
-    def __init__(self, root: str | Path, *, recover: bool = True) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        recover: bool = True,
+        lease_ttl: float = DEFAULT_TTL,
+    ) -> None:
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
         self.queued_dir = self.root / "tickets" / "queued"
@@ -77,6 +92,13 @@ class JobQueue:
         ):
             d.mkdir(parents=True, exist_ok=True)
         self._seq_path = self.root / "seq"
+        self.leases = LeaseStore(self.root / "leases", ttl=lease_ttl)
+        self.journal = Journal(self.root / "journal")
+        #: Scheduler identity stamped into leases this queue acquires.
+        self.owner = f"sched-{os.getpid()}"
+        #: Optional MetricsRegistry (bound by the pool): recover and
+        #: finalize bump ``batch.lease_expired`` / ``batch.fenced_writes``.
+        self.metrics = None
         if recover:
             self.recover()
 
@@ -97,8 +119,20 @@ class JobQueue:
     def _ticket_name(priority: int, seq: int, job_id: str) -> str:
         return f"{MAX_PRIORITY - priority:03d}-{seq:010d}-{job_id}"
 
-    def submit(self, spec, *, priority: int = 0, max_retries: int = 1) -> JobRecord:
-        """Enqueue a :class:`JobSpec`; returns the new record."""
+    def submit(
+        self,
+        spec,
+        *,
+        priority: int = 0,
+        max_retries: int = 1,
+        retry: RetryPolicy | None = None,
+    ) -> JobRecord:
+        """Enqueue a :class:`JobSpec`; returns the new record.
+
+        ``retry`` attaches a full :class:`RetryPolicy`; when omitted the
+        legacy ``max_retries`` knob maps to
+        ``RetryPolicy(max_attempts=max_retries + 1)``.
+        """
         if not (0 <= priority <= MAX_PRIORITY):
             raise ValueError(f"priority must be in [0, {MAX_PRIORITY}], got {priority}")
         if max_retries < 0:
@@ -106,46 +140,100 @@ class JobQueue:
         seq = self._next_seq()
         job_id = f"j{seq:06d}-{spec.spec_hash()[:8]}"
         record = JobRecord(
-            job_id=job_id, spec=spec, priority=priority, max_retries=max_retries
+            job_id=job_id, spec=spec, priority=priority,
+            max_retries=max_retries, retry=retry,
         )
         self.save_record(record)
         ticket = self.queued_dir / self._ticket_name(priority, seq, job_id)
         ticket.write_text(job_id)
+        self.journal.append("submitted", job_id, priority=priority)
         return record
+
+    # ------------------------------------------------------------------
+    # per-job record lock
+    # ------------------------------------------------------------------
+    @contextmanager
+    def locked_record(self, job_id: str):
+        """Serialise record mutations (claim epoch bump, finalise)."""
+        with locked_fd(self.jobs_dir / f".{job_id}.lock") as fd:
+            yield fd
 
     # ------------------------------------------------------------------
     # claim / ack / requeue
     # ------------------------------------------------------------------
     def claim(self) -> tuple[JobRecord, str] | None:
-        """Atomically take the highest-priority queued ticket.
+        """Atomically take the highest-priority claimable ticket.
 
-        Returns ``(record, ticket_name)`` or ``None`` when the queue is
-        empty. Losing a rename race just advances to the next ticket;
-        when every listed ticket vanished to racing claimers the
+        Returns ``(record, ticket_name)`` or ``None`` when nothing is
+        claimable. Losing a rename race just advances to the next
+        ticket; when every listed ticket vanished to racing claimers the
         directory is re-listed, so tickets enqueued during the scan are
-        still found and ``None`` means a genuinely empty fresh listing.
+        still found and ``None`` means a genuinely empty (or fully
+        backed-off) fresh listing.
+
+        A successful claim bumps the record's fencing epoch under the
+        per-job lock, persists it, writes the lease, and journals the
+        ``claimed`` event — so by the time the caller sees the record,
+        any previous owner's epoch is provably superseded. Tickets whose
+        record carries a future ``not_before`` (retry backoff pending)
+        are put back and skipped for this call.
         """
+        deferred: set[str] = set()
         while True:
             tickets = sorted(p.name for p in self.queued_dir.iterdir())
-            if not tickets:
+            candidates = [t for t in tickets if t not in deferred]
+            if not candidates:
                 return None
-            for name in tickets:
+            for name in candidates:
                 try:
                     os.rename(self.queued_dir / name, self.claimed_dir / name)
                 except FileNotFoundError:
                     continue  # another claimer won this ticket
+                # refresh the mtime: recover()'s grace window keys off it
+                os.utime(self.claimed_dir / name)
                 job_id = name.split("-", 2)[2]
-                record = self.load_record(job_id)
-                if record is None or record.state in JobState.TERMINAL:
-                    # cancelled (or corrupt) while queued: consume silently
-                    (self.claimed_dir / name).unlink(missing_ok=True)
-                    continue
-                if self.is_cancelled(job_id):
-                    # tombstone beat the record update: finalise it here
-                    record.state = JobState.CANCELLED
+                with self.locked_record(job_id):
+                    record = self.load_record(job_id)
+                    if record is None and self.record_unreadable(job_id):
+                        # torn record (storage fault): never consume the
+                        # ticket — defer it so a later heal can still run
+                        os.rename(
+                            self.claimed_dir / name, self.queued_dir / name
+                        )
+                        deferred.add(name)
+                        continue
+                    if record is None or record.state in JobState.TERMINAL:
+                        # cancelled-and-gone while queued: consume
+                        (self.claimed_dir / name).unlink(missing_ok=True)
+                        self.leases.release(job_id)
+                        continue
+                    if self.is_cancelled(job_id):
+                        # tombstone beat the record update: finalise it
+                        record.state = JobState.CANCELLED
+                        record.finished_at = time.time()
+                        self.save_record(record)
+                        self.journal.append(
+                            "completed", job_id,
+                            status=JobState.CANCELLED,
+                            epoch=record.lease_epoch,
+                        )
+                        (self.claimed_dir / name).unlink(missing_ok=True)
+                        self.leases.release(job_id)
+                        continue
+                    if record.not_before > time.time():
+                        # retry backoff still pending: put it back
+                        os.rename(
+                            self.claimed_dir / name, self.queued_dir / name
+                        )
+                        deferred.add(name)
+                        continue
+                    record.lease_epoch += 1
                     self.save_record(record)
-                    (self.claimed_dir / name).unlink(missing_ok=True)
-                    continue
+                    self.leases.acquire(job_id, record.lease_epoch, self.owner)
+                self.journal.append(
+                    "claimed", job_id,
+                    epoch=record.lease_epoch, owner=self.owner,
+                )
                 return record, name
             # every listed ticket vanished or was consumed under us; re-list
 
@@ -153,52 +241,134 @@ class JobQueue:
         """Retire a claimed ticket (job reached a terminal state)."""
         (self.claimed_dir / ticket_name).unlink(missing_ok=True)
 
-    def requeue(self, ticket_name: str) -> None:
+    def requeue(self, ticket_name: str, *, reason: str = "retry") -> None:
         """Put a claimed ticket back at the tail of its priority band."""
         prio_part = ticket_name.split("-", 2)[0]
         job_id = ticket_name.split("-", 2)[2]
         seq = self._next_seq()
         new_name = f"{prio_part}-{seq:010d}-{job_id}"
         os.rename(self.claimed_dir / ticket_name, self.queued_dir / new_name)
+        self.leases.release(job_id)
+        self.journal.append("requeued", job_id, reason=reason)
 
     def recover(self) -> int:
         """Return orphaned claimed tickets to the queue; count moved.
 
-        A ticket in ``claimed/`` is an orphan only when its claimant is
-        provably gone: a ``running`` record whose ``worker_pid`` is
-        still alive belongs to a live scheduler and is left untouched —
-        so a concurrent ``batch status``/``submit`` (or a second
+        A ticket in ``claimed/`` is an orphan exactly when its lease is
+        missing or expired — provable from the filesystem alone, no pid
+        arithmetic. A claimed ticket with a live (renewing) lease
+        belongs to a live scheduler and is left untouched, so a
+        concurrent ``batch status``/``submit`` (or a second
         ``batch run``) can never steal in-flight work and spawn a
-        duplicate execution. Orphans are flipped back to ``queued``
-        (keeping their attempt history); tombstoned or terminal orphans
-        are dropped.
+        duplicate execution. Tickets claimed within the last
+        :data:`CLAIM_GRACE` seconds are skipped outright: their claimer
+        may be between the rename and the lease write. Orphans are
+        flipped back to ``queued`` (keeping their attempt history and
+        fencing epoch); tombstoned or terminal orphans are dropped.
         """
         moved = 0
+        now = time.time()
         for ticket in sorted(self.claimed_dir.iterdir()):
             job_id = ticket.name.split("-", 2)[2]
             record = self.load_record(job_id)
-            if record is None or record.state in JobState.TERMINAL:
+            unreadable = record is None and self.record_unreadable(job_id)
+            if record is None and not unreadable:
                 ticket.unlink(missing_ok=True)
+                self.leases.release(job_id)
+                continue
+            if record is not None and record.state in JobState.TERMINAL:
+                ticket.unlink(missing_ok=True)
+                self.leases.release(job_id)
                 continue
             if self.is_cancelled(job_id):
-                record.state = JobState.CANCELLED
-                record.worker_pid = None
-                self.save_record(record)
+                self.finalize(job_id, JobState.CANCELLED)
                 ticket.unlink(missing_ok=True)
                 continue
-            if (
-                record.state == JobState.RUNNING
-                and record.worker_pid is not None
-                and _pid_alive(record.worker_pid)
-            ):
+            try:
+                age = now - ticket.stat().st_mtime
+            except FileNotFoundError:
+                continue  # acked or requeued under us
+            if age < min(CLAIM_GRACE, self.leases.ttl):
+                continue  # freshly claimed: lease write may be in flight
+            lease = self.leases.peek(job_id)
+            if lease is not None and not lease.expired(now):
                 continue  # live claimant: not an orphan
-            if record.state == JobState.RUNNING:
-                record.state = JobState.QUEUED
-                record.worker_pid = None
-                self.save_record(record)
-            os.rename(ticket, self.queued_dir / ticket.name)
+            if lease is not None:
+                self.journal.append(
+                    "lease_expired", job_id,
+                    epoch=lease.epoch, owner=lease.owner,
+                )
+                if self.metrics is not None:
+                    self.metrics.inc("batch.lease_expired")
+            with self.locked_record(job_id):
+                record = self.load_record(job_id)
+                if record is None and not self.record_unreadable(job_id):
+                    ticket.unlink(missing_ok=True)
+                    self.leases.release(job_id)
+                    continue
+                if record is not None and record.state in JobState.TERMINAL:
+                    ticket.unlink(missing_ok=True)
+                    self.leases.release(job_id)
+                    continue
+                if record is not None and record.state == JobState.RUNNING:
+                    record.state = JobState.QUEUED
+                    record.worker_pid = None
+                    self.save_record(record)
+                # a torn (unreadable) record keeps its ticket: requeue
+            try:
+                self.requeue(ticket.name, reason="lease_expired")
+            except FileNotFoundError:
+                continue  # a racing recover beat us to it
             moved += 1
         return moved
+
+    # ------------------------------------------------------------------
+    # terminal transitions (exactly-once)
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        epoch: int | None = None,
+        mutate=None,
+    ) -> JobRecord | None:
+        """Move a job into a terminal state, exactly once.
+
+        Re-reads the record under the per-job lock and rejects the
+        transition when the record is already terminal (someone else
+        finalised first) or — when ``epoch`` is given — the record's
+        fencing epoch has moved past it (the caller is a zombie whose
+        claim was superseded; its write is *fenced* and journalled as
+        such). ``mutate(record)`` may apply extra fields (error text,
+        cache flags) before the save. Returns the updated record, or
+        ``None`` when the transition was rejected.
+        """
+        if state not in JobState.TERMINAL:
+            raise ValueError(f"finalize() requires a terminal state, got {state!r}")
+        with self.locked_record(job_id):
+            record = self.load_record(job_id)
+            if record is None or record.state in JobState.TERMINAL:
+                return None
+            if epoch is not None and record.lease_epoch != epoch:
+                self.journal.append(
+                    "fenced", job_id,
+                    epoch=epoch, current_epoch=record.lease_epoch,
+                )
+                if self.metrics is not None:
+                    self.metrics.inc("batch.fenced_writes")
+                return None
+            record.state = state
+            record.finished_at = time.time()
+            record.worker_pid = None
+            if mutate is not None:
+                mutate(record)
+            self.save_record(record)
+            self.leases.release(job_id)
+            self.journal.append(
+                "completed", job_id, status=state, epoch=record.lease_epoch
+            )
+            return record
 
     # ------------------------------------------------------------------
     # cancellation
@@ -221,24 +391,61 @@ class JobQueue:
         if record is None or record.state != JobState.QUEUED:
             return False
         (self.cancelled_dir / job_id).touch()
-        # Mark the record only if it is still queued *after* the
-        # tombstone landed; a pool that re-saved it in between owns the
-        # record and honours the tombstone through its own paths.
-        record = self.load_record(job_id)
-        if record is not None and record.state == JobState.QUEUED:
-            record.state = JobState.CANCELLED
-            self.save_record(record)
+        # Finalise only if the job is still queued *after* the tombstone
+        # landed; a pool that claimed it in between owns the record and
+        # honours the tombstone through its own paths.
+        with self.locked_record(job_id):
+            record = self.load_record(job_id)
+            if record is not None and record.state == JobState.QUEUED:
+                record.state = JobState.CANCELLED
+                record.finished_at = time.time()
+                self.save_record(record)
+                self.leases.release(job_id)
+                self.journal.append(
+                    "completed", job_id,
+                    status=JobState.CANCELLED, epoch=record.lease_epoch,
+                )
         return True
 
     # ------------------------------------------------------------------
     # records
     # ------------------------------------------------------------------
     def save_record(self, record: JobRecord) -> None:
-        write_json_atomic(self.jobs_dir / f"{record.job_id}.json", record.to_dict())
+        """Persist ``record`` with read-back verification.
+
+        The record file is the one artifact whose loss orphans a job,
+        so the atomic write is verified by re-reading it; a torn or
+        failed write (storage fault) is retried :data:`SAVE_RETRIES`
+        times before the error is allowed to surface.
+        """
+        path = self.jobs_dir / f"{record.job_id}.json"
+        payload = record.to_dict()
+        last: OSError = OSError(f"record write failed: {path}")
+        for _ in range(SAVE_RETRIES):
+            try:
+                write_json_atomic(path, payload)
+            except OSError as exc:
+                last = exc
+                continue
+            if read_json(path) is not None:
+                return
+            last = OSError(f"record write torn: {path}")
+        raise last
 
     def load_record(self, job_id: str) -> JobRecord | None:
         d = read_json(self.jobs_dir / f"{job_id}.json")
         return None if d is None else JobRecord.from_dict(d)
+
+    def record_unreadable(self, job_id: str) -> bool:
+        """True when the record file exists but cannot be parsed.
+
+        Distinguishes a *torn* record (storage fault landed on the last
+        save and its writer died before the verified-save retry) from a
+        genuinely absent one: torn records must keep their ticket so
+        the job stays visible instead of silently disappearing.
+        """
+        path = self.jobs_dir / f"{job_id}.json"
+        return path.exists() and read_json(path) is None
 
     def records(self) -> list[JobRecord]:
         """Every known job record, in submit order."""
@@ -250,10 +457,21 @@ class JobQueue:
         return out
 
     def counts(self) -> dict[str, int]:
-        """Job count per lifecycle state."""
+        """Job count per lifecycle state.
+
+        A record file that exists but cannot be parsed (torn by a
+        storage fault) is counted under ``"unreadable"`` — a
+        non-terminal bucket, so drain checks keep waiting for it
+        instead of declaring the job gone.
+        """
         out = {state: 0 for state in JobState.ALL}
-        for record in self.records():
-            out[record.state] = out.get(record.state, 0) + 1
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            d = read_json(path)
+            if d is None:
+                out["unreadable"] = out.get("unreadable", 0) + 1
+            else:
+                record = JobRecord.from_dict(d)
+                out[record.state] = out.get(record.state, 0) + 1
         return out
 
     def pending(self) -> int:

@@ -1,0 +1,214 @@
+"""Soak campaign: storage faults + process kills, ended by the auditor.
+
+``python -m repro batch soak`` drives the whole durability story in one
+command: it submits a seeded mixed-priority campaign (clean jobs,
+crash-then-recover jobs, duplicate specs for cache hits, poison jobs
+destined for quarantine), arms the storage fault injector
+(:mod:`repro.service.chaosio`), runs scheduler rounds in *child
+processes* and SIGKILLs some of them mid-drain — orphaning their
+daemon workers, which keep heartbeating until their attempt ends, the
+genuine zombie scenario lease fencing exists for — then keeps starting
+fresh rounds until the queue drains, and finally hands the directory
+to :func:`repro.service.audit.audit_journal` with ``final=True``.
+
+The campaign is seeded end to end: the job mix, the fault plan, and
+the kill schedule all derive from one ``--seed`` via
+:func:`repro.engine.chaos.derive_seed`, so a soak that passes (zero
+audit violations) passes reproducibly. The *timings* of kills vary
+with machine load, which is the point — the invariants must hold for
+every interleaving, and the auditor checks invariants, not traces.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.chaos import derive_seed
+from repro.io.batch_io import CHAOS_PLAN_ENV
+from repro.service.audit import audit_journal
+from repro.service.chaosio import IOFaultPlan
+from repro.service.client import BatchClient
+from repro.service.spec import JobSpec, JobState, RetryPolicy
+
+
+def build_job_mix(
+    jobs: int, seed: int, *, steps: int = 3
+) -> list[tuple[JobSpec, int, RetryPolicy]]:
+    """Seeded mixed campaign: (spec, priority, retry) per job.
+
+    Roughly 60% clean runs, 15% duplicates of earlier clean specs (the
+    result cache must absorb them), 15% crash-then-recover jobs
+    (``kill_once`` hard-kills the first attempt; the retry resumes from
+    checkpoint), and 10% poison jobs (every attempt dies identically —
+    they must end *quarantined*, not retried forever).
+    """
+    rng = np.random.default_rng(derive_seed(seed, "soak-mix"))
+    mix: list[tuple[JobSpec, int, RetryPolicy]] = []
+    clean: list[JobSpec] = []
+    for i in range(jobs):
+        priority = int(rng.integers(0, 3))
+        roll = rng.random()
+        if roll < 0.60 or not clean:
+            spec = JobSpec(
+                model="wall", steps=steps, checkpoint_every=1,
+                seed=int(rng.integers(0, 1_000_000)), tag=f"soak-{i}",
+            )
+            clean.append(spec)
+            retry = RetryPolicy(max_attempts=3, seed=seed)
+        elif roll < 0.75:
+            spec = clean[int(rng.integers(0, len(clean)))]
+            retry = RetryPolicy(max_attempts=3, seed=seed)
+        elif roll < 0.90:
+            spec = JobSpec(
+                model="wall", steps=steps, checkpoint_every=1,
+                kill_at_step=1, kill_once=True,
+                seed=int(rng.integers(0, 1_000_000)), tag=f"soak-kill-{i}",
+            )
+            retry = RetryPolicy(
+                max_attempts=4, backoff_s=0.05, jitter=0.5, seed=seed
+            )
+        else:
+            spec = JobSpec(
+                model="wall", steps=steps, checkpoint_every=1,
+                kill_at_step=1, kill_once=False,
+                seed=int(rng.integers(0, 1_000_000)), tag=f"soak-poison-{i}",
+            )
+            retry = RetryPolicy(max_attempts=2, seed=seed)
+        mix.append((spec, priority, retry))
+    return mix
+
+
+def _scheduler_round(
+    root: str, workers: int, lease_ttl: float, job_timeout: float
+) -> None:
+    """One scheduler process: recover, drain, exit.
+
+    Runs as a forked child, so the chaos layer is re-armed explicitly —
+    the parent deliberately keeps *itself* unfaulted (it submits jobs
+    and audits), and a forked child inherits that decision unless it
+    re-reads the environment.
+    """
+    from repro.service import chaosio
+    from repro.service.pool import WorkerPool
+    from repro.service.queue import JobQueue
+    from repro.service.store import ResultStore
+
+    chaosio.install_from_env()
+    base = Path(root)
+    queue = JobQueue(base / "queue", lease_ttl=lease_ttl)
+    store = ResultStore(base / "store")
+    pool = WorkerPool(
+        queue, store, base / "scratch",
+        n_workers=workers, job_timeout=job_timeout,
+    )
+    pool.run()
+
+
+def run_soak(
+    root: str | Path,
+    *,
+    jobs: int = 24,
+    seed: int = 0,
+    workers: int = 2,
+    fault_rate: float = 0.03,
+    scheduler_kills: int = 1,
+    lease_ttl: float = 2.0,
+    steps: int = 3,
+    max_rounds: int = 30,
+    job_timeout: float = 120.0,
+    log=None,
+) -> dict:
+    """Run one full soak campaign; returns the summary + audit report.
+
+    ``scheduler_kills`` scheduler rounds are SIGKILLed mid-drain; the
+    remaining rounds run to completion. ``fault_rate`` arms the storage
+    chaos plan for every scheduler/worker process (0 disables it). The
+    final audit runs with ``final=True``: zero violations is the pass
+    criterion.
+    """
+    log = log or (lambda msg: None)
+    root = Path(root)
+    client = BatchClient(root)
+    t0 = time.time()
+
+    mix = build_job_mix(jobs, seed, steps=steps)
+    submitted = [
+        client.queue.submit(spec, priority=priority, retry=retry)
+        for spec, priority, retry in mix
+    ]
+    log(f"submitted {len(submitted)} jobs (seed {seed})")
+
+    rng = np.random.default_rng(derive_seed(seed, "soak-driver"))
+    cancel_ids = (
+        [submitted[i].job_id
+         for i in rng.choice(len(submitted), size=2, replace=False)]
+        if jobs >= 10 else []
+    )
+
+    plan = None
+    if fault_rate > 0:
+        plan = IOFaultPlan(seed=seed, rate=fault_rate)
+        plan_path = plan.save(root / "chaos-plan.json")
+        os.environ[CHAOS_PLAN_ENV] = str(plan_path)
+        log(f"armed storage chaos plan (rate {fault_rate})")
+
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    kills_left = scheduler_kills
+    rounds = kills = 0
+    drained = False
+    try:
+        while rounds < max_rounds:
+            rounds += 1
+            proc = ctx.Process(
+                target=_scheduler_round,
+                args=(str(root), workers, lease_ttl, job_timeout),
+            )
+            proc.start()
+            if kills_left > 0:
+                time.sleep(float(rng.uniform(0.4, 1.2)))
+                if proc.is_alive():
+                    os.kill(proc.pid, signal.SIGKILL)
+                    kills += 1
+                    log(f"round {rounds}: scheduler SIGKILLed (pid {proc.pid})")
+                kills_left -= 1
+                proc.join()
+            else:
+                proc.join()
+            if rounds == 1:
+                for job_id in cancel_ids:
+                    client.cancel(job_id)  # False when already past queued
+            counts = client.queue.counts()
+            open_jobs = sum(
+                n for state, n in counts.items()
+                if state not in JobState.TERMINAL
+            )
+            log(f"round {rounds}: {open_jobs} job(s) still open ({counts})")
+            if open_jobs == 0:
+                drained = True
+                break
+            # give orphaned leases time to expire before the next round
+            time.sleep(lease_ttl * 0.6)
+    finally:
+        os.environ.pop(CHAOS_PLAN_ENV, None)
+
+    report = audit_journal(root, final=True)
+    return {
+        "jobs": jobs,
+        "seed": seed,
+        "rounds": rounds,
+        "scheduler_kills": kills,
+        "cancelled": cancel_ids,
+        "drained": drained,
+        "duration_s": time.time() - t0,
+        "counts": client.queue.counts(),
+        "fault_plan": None if plan is None else plan.to_dict(),
+        "audit": report,
+    }

@@ -4,12 +4,15 @@ A :class:`JobSpec` is a pure *workload* description — everything that
 determines the simulation's output, nothing about how it is scheduled.
 That split is what makes the content hash a valid cache key: two
 submissions with different priorities but equal specs are the same
-computation. Scheduling knobs (priority, retry budget) live on the
-:class:`JobRecord` the queue tracks through the lifecycle
+computation. Scheduling knobs (priority, the :class:`RetryPolicy`)
+live on the :class:`JobRecord` the queue tracks through the lifecycle
 
-    queued -> running -> succeeded | failed | cancelled
+    queued -> running -> succeeded | failed | cancelled | quarantined
 
-with ``attempts`` counting executions (1 + retries).
+with ``attempts`` counting executions. ``quarantined`` is the
+poison-job terminal state: the retry budget exhausted with every
+attempt failing identically, so retrying further would only burn
+workers on a reproducible fault.
 """
 
 from __future__ import annotations
@@ -18,6 +21,9 @@ import dataclasses
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.engine.chaos import derive_seed
 from repro.util.hashing import content_hash
 
 MODELS = ("slope", "rocks", "wall", "rubble")
@@ -33,10 +39,82 @@ class JobState:
     SUCCEEDED = "succeeded"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    QUARANTINED = "quarantined"
 
-    ALL = (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+    ALL = (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED, QUARANTINED)
     #: States a job can never leave.
-    TERMINAL = (SUCCEEDED, FAILED, CANCELLED)
+    TERMINAL = (SUCCEEDED, FAILED, CANCELLED, QUARANTINED)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-job retry behaviour, as data the scheduler enforces.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total execution budget (first attempt included); >= 1.
+    backoff_s:
+        Base delay before the first retry. ``0`` retries immediately
+        (the historical behaviour).
+    backoff_factor:
+        Exponential growth of the delay per retry.
+    backoff_max_s:
+        Cap on the computed delay.
+    jitter:
+        Fractional seeded jitter: the delay is scaled by a factor drawn
+        uniformly from ``[1, 1 + jitter]``. Deterministic per
+        ``(seed, job_id, attempt)`` via
+        :func:`repro.engine.chaos.derive_seed`.
+    seed:
+        Root seed of the jitter stream.
+    attempt_deadline_s:
+        Wall-clock budget for one attempt; the scheduler terminates the
+        worker past it (``None`` = the pool's ``job_timeout`` default).
+    """
+
+    max_attempts: int = 2
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    jitter: float = 0.25
+    seed: int = 0
+    attempt_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.attempt_deadline_s is not None and self.attempt_deadline_s <= 0:
+            raise ValueError("attempt_deadline_s must be > 0")
+
+    def delay(self, job_id: str, attempt: int) -> float:
+        """Backoff delay (seconds) before retrying after ``attempt``
+        failed attempts — exponential with seeded jitter."""
+        if self.backoff_s == 0.0:
+            return 0.0
+        base = min(
+            self.backoff_max_s,
+            self.backoff_s * self.backoff_factor ** max(0, attempt - 1),
+        )
+        rng = np.random.default_rng(derive_seed(self.seed, job_id, attempt))
+        return float(base * (1.0 + self.jitter * rng.random()))
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RetryPolicy":
+        return cls(**d)
 
 
 @dataclass(frozen=True)
@@ -69,6 +147,11 @@ class JobSpec:
         Test/chaos knob: hard-kill the worker process (``os._exit``)
         when this accepted step is reached, simulating a segfault or
         OOM kill that no in-process handler can catch.
+    kill_once:
+        Soften ``kill_at_step`` to a one-shot: the first attempt dies,
+        every later attempt sails past the kill step — the
+        crash-then-recover soak workload. ``False`` (default) kills on
+        every attempt, the poison-job workload.
     tag:
         Free-form label; hashed, so distinct tags never share a cache
         entry.
@@ -91,6 +174,7 @@ class JobSpec:
     fault_names: tuple[str, ...] | None = None
     fault_step: int = 1
     kill_at_step: int | None = None
+    kill_once: bool = False
     tag: str = ""
 
     def __post_init__(self) -> None:
@@ -140,10 +224,18 @@ class JobRecord:
     """Queue-tracked state of one submitted job.
 
     ``attempts`` counts worker executions; a job whose worker died or
-    failed is retried until ``attempts > max_retries``, then marked
-    ``failed`` with the last attempt's error in ``error``. The
-    ``attempt_log`` keeps one dict per execution (outcome, resume step,
-    crash exit code) for post-mortems.
+    failed is retried until its :class:`RetryPolicy` budget is spent,
+    then marked ``failed`` — or ``quarantined`` when every attempt
+    failed identically (a reproducible poison job). The ``attempt_log``
+    keeps one dict per execution (outcome, resume step, crash exit
+    code) for post-mortems.
+
+    ``lease_epoch`` is the job's fencing epoch: bumped on every claim,
+    stamped into attempt and outcome filenames, and checked before any
+    terminal transition — a scheduler or worker holding a superseded
+    epoch cannot complete the job (see :mod:`repro.service.lease`).
+    ``not_before`` is the earliest claimable wall-clock time, set by
+    the retry backoff.
     """
 
     job_id: str
@@ -151,7 +243,10 @@ class JobRecord:
     state: str = JobState.QUEUED
     priority: int = 0
     max_retries: int = 1
+    retry: RetryPolicy | None = None
     attempts: int = 0
+    lease_epoch: int = 0
+    not_before: float = 0.0
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -160,13 +255,23 @@ class JobRecord:
     error: str | None = None
     attempt_log: list[dict] = field(default_factory=list)
 
+    def policy(self) -> RetryPolicy:
+        """The effective retry policy (legacy ``max_retries`` mapped in)."""
+        if self.retry is not None:
+            return self.retry
+        return RetryPolicy(max_attempts=self.max_retries + 1)
+
     def to_dict(self) -> dict:
         d = dataclasses.asdict(self)
         d["spec"] = self.spec.to_dict()
+        if self.retry is not None:
+            d["retry"] = self.retry.to_dict()
         return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "JobRecord":
         d = dict(d)
         d["spec"] = JobSpec.from_dict(d["spec"])
+        if d.get("retry") is not None:
+            d["retry"] = RetryPolicy.from_dict(d["retry"])
         return cls(**d)

@@ -10,8 +10,19 @@ about it either from a ``failed`` outcome file or from the process
 dying without one (treated as a crash). Nothing a job does can
 propagate into the scheduler or its sibling workers.
 
+While an attempt runs, a daemon :class:`Heartbeat` thread renews the
+job's lease every ``ttl / 4`` seconds. A renewal that comes back
+``False`` means the worker's fencing epoch was superseded — its
+scheduler died, the lease expired, and another scheduler re-claimed the
+job — so the worker **fences itself**: it journals the fact and
+``os._exit`` s without writing an outcome, guaranteeing a zombie can
+never race the new owner's execution. Attempt checkpoint directories,
+final-state stems, and outcome filenames are all epoch-stamped for the
+same reason: even a zombie that dies *between* heartbeats cannot write
+into the new epoch's files.
+
 Retry granularity comes from checkpoints: every attempt persists
-checkpoints into its own ``attempt-<k>/`` directory together with the
+checkpoints into its own ``attempt-<...>`` directory together with the
 *global* step offset it resumed at (``engine.run`` numbers steps from 0
 each attempt, so the offset file is what lines the attempts up into one
 global step axis). The next attempt scans all previous attempts for the
@@ -21,6 +32,7 @@ newest valid checkpoint and continues from there.
 from __future__ import annotations
 
 import os
+import threading
 import traceback
 from pathlib import Path
 
@@ -34,6 +46,8 @@ from repro.service.spec import JobSpec
 
 #: Exit code of the kill-switch (mirrors SIGKILL's 128+9 convention).
 KILL_EXIT_CODE = 137
+#: Exit code of a worker that fenced itself after a lost lease.
+FENCED_EXIT_CODE = 143
 
 
 class KillSwitch:
@@ -59,8 +73,77 @@ class KillSwitch:
         return payload
 
 
-def attempt_checkpoint_dir(scratch: Path, attempt: int) -> Path:
-    return Path(scratch) / "checkpoints" / f"attempt-{attempt:03d}"
+class Heartbeat:
+    """Daemon thread renewing the job's lease; self-fences when lost.
+
+    ``lease_info`` carries everything the child process needs to renew:
+    the lease directory, ttl, job id, fencing epoch, owner string, and
+    the journal directory. Transient IO errors during a renewal (the
+    storage chaos layer is allowed to fault lease files) are retried on
+    the next beat; only an *authoritative* "no longer yours" answer
+    triggers the fence.
+    """
+
+    def __init__(self, lease_info: dict) -> None:
+        from repro.service.lease import LeaseStore
+
+        self.store = LeaseStore(lease_info["root"], ttl=lease_info["ttl"])
+        self.job_id = lease_info["job_id"]
+        self.epoch = int(lease_info["epoch"])
+        self.owner = lease_info["owner"]
+        self.journal_root = lease_info.get("journal")
+        self.interval = max(0.05, self.store.ttl / 4.0)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="lease-heartbeat", daemon=True
+        )
+
+    def start(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                ok = self.store.renew(self.job_id, self.epoch, self.owner)
+            except OSError:
+                continue  # injected/transient IO fault: retry next beat
+            if not ok:
+                self._fence()
+                return
+            self._journal("heartbeat")
+
+    def _fence(self) -> None:
+        """The lease is someone else's now: stop producing side effects."""
+        self._journal("fenced", by="worker", pid=os.getpid())
+        os._exit(FENCED_EXIT_CODE)
+
+    def _journal(self, event: str, **fields) -> None:
+        if self.journal_root is None:
+            return
+        from repro.service.journal import Journal
+
+        try:
+            Journal(self.journal_root).append(
+                event, self.job_id, epoch=self.epoch, **fields
+            )
+        except OSError:
+            pass  # journaling is evidence, never a reason to crash
+
+
+def attempt_checkpoint_dir(
+    scratch: Path, attempt: int, epoch: int | None = None
+) -> Path:
+    """Checkpoint directory for one attempt (epoch-stamped when leased)."""
+    if epoch is None:
+        name = f"attempt-{attempt:03d}"
+    else:
+        name = f"attempt-e{epoch:04d}-{attempt:03d}"
+    return Path(scratch) / "checkpoints" / name
 
 
 def find_resume_point(scratch: str | Path):
@@ -90,7 +173,12 @@ def find_resume_point(scratch: str | Path):
 
 
 def run_job(
-    spec: JobSpec, scratch: str | Path, attempt: int, *, trace: bool = False
+    spec: JobSpec,
+    scratch: str | Path,
+    attempt: int,
+    *,
+    trace: bool = False,
+    epoch: int | None = None,
 ) -> dict:
     """Execute one attempt of a job; returns the outcome dict.
 
@@ -113,11 +201,14 @@ def run_job(
             resume_cp, resume_offset = found
     cp_dir = None
     if spec.checkpoint_every > 0:
-        cp_dir = attempt_checkpoint_dir(scratch, attempt)
+        cp_dir = attempt_checkpoint_dir(scratch, attempt, epoch)
         cp_dir.mkdir(parents=True, exist_ok=True)
         write_json_atomic(cp_dir / "offset.json", {"offset": resume_offset})
     injector = make_fault_injector(spec)
-    if spec.kill_at_step is not None:
+    arm_kill = spec.kill_at_step is not None and not (
+        spec.kill_once and attempt > 0
+    )
+    if arm_kill:
         injector = KillSwitch(spec.kill_at_step, resume_offset, inner=injector)
     from repro.engine.resilience import SimulationError
 
@@ -152,7 +243,11 @@ def run_job(
         }
     from repro.io.model_io import save_system
 
-    state_stem = scratch / f"final-attempt-{attempt:03d}"
+    stem = (
+        f"final-attempt-{attempt:03d}" if epoch is None
+        else f"final-e{epoch:04d}-attempt-{attempt:03d}"
+    )
+    state_stem = scratch / stem
     save_system(engine.system, state_stem)
     summary["status"] = "succeeded"
     summary["attempt"] = attempt
@@ -166,14 +261,29 @@ def run_job(
 
 def worker_entry(
     spec_dict: dict, scratch: str, attempt: int, outcome_path: str,
-    trace: bool = False,
+    trace: bool = False, lease_info: dict | None = None,
 ) -> None:
     """``multiprocessing`` target: run one attempt, write the outcome.
 
     The outcome lands atomically; a crash at any earlier point leaves
-    no file, which is the scheduler's crash signal.
+    no file, which is the scheduler's crash signal. The storage chaos
+    layer is re-armed explicitly: a forked child inherits the parent's
+    already-checked injector state, and every worker must run its own
+    seeded stream, fork or spawn alike.
     """
+    from repro.service import chaosio
+
+    chaosio.install_from_env()
+    epoch = None
+    heartbeat = None
+    if lease_info is not None:
+        epoch = int(lease_info["epoch"])
+        heartbeat = Heartbeat(lease_info).start()
     spec = JobSpec.from_dict(spec_dict)
-    outcome = run_job(spec, scratch, attempt, trace=trace)
+    outcome = run_job(spec, scratch, attempt, trace=trace, epoch=epoch)
+    if heartbeat is not None:
+        heartbeat.stop()
     outcome["pid"] = os.getpid()
+    if epoch is not None:
+        outcome["epoch"] = epoch
     write_json_atomic(outcome_path, outcome)

@@ -1,0 +1,139 @@
+"""batch_io durability primitives: atomic writes, locks, stale takeover."""
+
+import json
+import os
+import stat
+import threading
+import time
+
+from repro.io import batch_io
+from repro.io.batch_io import locked_fd, read_json, write_json_atomic
+
+
+class TestAtomicWrite:
+    def test_write_then_read_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "obj.json"
+        write_json_atomic(path, {"a": 1, "b": [1, 2]})
+        assert read_json(path) == {"a": 1, "b": [1, 2]}
+
+    def test_no_tmp_litter_on_success(self, tmp_path):
+        path = tmp_path / "obj.json"
+        write_json_atomic(path, {"a": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["obj.json"]
+
+    def test_parent_directory_is_fsynced(self, tmp_path, monkeypatch):
+        """The rename is only durable once the parent dir entry is synced."""
+        synced_dirs = []
+        real_fsync = os.fsync
+
+        def spy_fsync(fd):
+            try:
+                if stat.S_ISDIR(os.fstat(fd).st_mode):
+                    synced_dirs.append(fd)
+            except OSError:
+                pass
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        write_json_atomic(tmp_path / "obj.json", {"a": 1})
+        assert synced_dirs, "write_json_atomic never fsynced the parent dir"
+
+    def test_read_json_missing_and_corrupt_return_none(self, tmp_path):
+        assert read_json(tmp_path / "absent.json") is None
+        torn = tmp_path / "torn.json"
+        torn.write_text(json.dumps({"a": 1})[:-4])
+        assert read_json(torn) is None
+
+
+class TestLockedFd:
+    def test_serialises_read_modify_write(self, tmp_path):
+        counter = tmp_path / "seq"
+        n_threads, n_incr = 8, 25
+
+        def bump():
+            for _ in range(n_incr):
+                with locked_fd(counter) as fd:
+                    raw = os.read(fd, 32)
+                    value = int(raw) + 1 if raw.strip() else 1
+                    os.lseek(fd, 0, os.SEEK_SET)
+                    os.ftruncate(fd, 0)
+                    os.write(fd, str(value).encode())
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert int(counter.read_text()) == n_threads * n_incr
+
+
+class TestSidecarStaleTakeover:
+    """Regression: a crashed holder's sidecar must not wedge the queue."""
+
+    def setup_method(self):
+        batch_io.set_force_sidecar(True)
+
+    def teardown_method(self):
+        batch_io.set_force_sidecar(False)
+
+    def test_fresh_sidecar_blocks_until_released(self, tmp_path):
+        target = tmp_path / "seq"
+        sidecar = str(target) + ".lock"
+        os.close(os.open(sidecar, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        acquired = threading.Event()
+
+        def contend():
+            with locked_fd(target, stale_after=10.0):
+                acquired.set()
+
+        t = threading.Thread(target=contend, daemon=True)
+        t.start()
+        assert not acquired.wait(0.15)  # a live holder is respected
+        os.unlink(sidecar)  # the holder releases
+        assert acquired.wait(2.0)
+        t.join()
+
+    def test_stale_sidecar_is_taken_over(self, tmp_path):
+        target = tmp_path / "seq"
+        sidecar = str(target) + ".lock"
+        os.close(os.open(sidecar, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        ancient = time.time() - 3600.0
+        os.utime(sidecar, (ancient, ancient))
+        start = time.monotonic()
+        with locked_fd(target, stale_after=1.0) as fd:
+            assert fd >= 0
+        assert time.monotonic() - start < 5.0  # no spin-until-timeout
+        # the takeover left no .stale litter and released the sidecar
+        litter = [p.name for p in tmp_path.iterdir() if ".stale." in p.name]
+        assert litter == []
+        assert not os.path.exists(sidecar)
+
+    def test_concurrent_takeovers_yield_exactly_one_holder_at_a_time(
+        self, tmp_path
+    ):
+        """N contenders racing a stale sidecar: mutual exclusion holds."""
+        target = tmp_path / "seq"
+        sidecar = str(target) + ".lock"
+        os.close(os.open(sidecar, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        ancient = time.time() - 3600.0
+        os.utime(sidecar, (ancient, ancient))
+        in_section = []
+        overlaps = []
+        gate = threading.Lock()
+
+        def contend():
+            with locked_fd(target, stale_after=0.5):
+                with gate:
+                    if in_section:
+                        overlaps.append(True)
+                    in_section.append(1)
+                time.sleep(0.01)
+                with gate:
+                    in_section.pop()
+
+        threads = [threading.Thread(target=contend) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert overlaps == []

@@ -3,13 +3,15 @@
 This is the acceptance scenario of the batch service: a batch of four
 jobs on a two-worker pool, one job rigged to hard-kill its worker
 process. The kill must not disturb the three siblings; the rigged job
-is retried (resuming from its newest checkpoint) and finally reported
-failed; resubmitting the identical batch completes the successful jobs
-straight from the result cache with zero steps executed.
+is retried (resuming from its newest checkpoint) and — because every
+attempt dies identically, the poison-job signature — finally
+quarantined; resubmitting the identical batch completes the successful
+jobs straight from the result cache with zero steps executed.
 """
 
 import json
 import os
+import time
 
 import pytest
 
@@ -53,12 +55,14 @@ class TestCrashIsolation:
             assert outcome["steps_executed"] == 4
             assert outcome["failure"] is None
 
-    def test_killed_job_retried_then_failed(self, batch):
+    def test_killed_job_retried_then_quarantined(self, batch):
         client, killer, _healthy, tallies = batch
-        assert tallies["failed"] == 1
+        assert tallies["failed"] == 0
+        assert tallies["quarantined"] == 1
         assert tallies["retried"] == 1
         reloaded = client.queue.load_record(killer.job_id)
-        assert reloaded.state == JobState.FAILED
+        # both attempts died with the identical error: poison signature
+        assert reloaded.state == JobState.QUARANTINED
         assert reloaded.attempts == 2  # first run + one retry
         assert "WorkerCrashed" in reloaded.error
         # every attempt was logged as a crash (exit code, no outcome)
@@ -68,19 +72,26 @@ class TestCrashIsolation:
     def test_retry_resumed_from_newest_checkpoint(self, batch):
         client, killer, _healthy, _tallies = batch
         checkpoints = client.scratch_root / killer.job_id / "checkpoints"
+
+        # checkpoint dirs are stamped with the attempt's fencing epoch
+        def attempt_dir(n):
+            matches = sorted(checkpoints.glob(f"attempt-e*-{n:03d}"))
+            assert matches, f"no checkpoint dir for attempt {n}"
+            return matches[-1]
+
         # attempt 0 started from scratch and checkpointed up to step 4
-        offset0 = read_json(checkpoints / "attempt-000" / "offset.json")
+        offset0 = read_json(attempt_dir(0) / "offset.json")
         assert offset0 == {"offset": 0}
-        saved = sorted(p.name for p in (checkpoints / "attempt-000").glob("*.npz"))
+        saved = sorted(p.name for p in attempt_dir(0).glob("*.npz"))
         assert "checkpoint_00000004.npz" in saved
         # attempt 1 resumed from global step 4, not from zero
-        offset1 = read_json(checkpoints / "attempt-001" / "offset.json")
+        offset1 = read_json(attempt_dir(1) / "offset.json")
         assert offset1 == {"offset": 4}
 
     def test_failure_report_written(self, batch):
         client, killer, _healthy, _tallies = batch
         outcome = client.result(killer.job_id)
-        assert outcome["status"] == "failed"
+        assert outcome["status"] == "quarantined"
         assert outcome["attempts"] == 2
         assert "WorkerCrashed" in outcome["error"]
 
@@ -96,6 +107,7 @@ class TestResubmissionHitsCache:
         assert tallies == {
             "dispatched": 0, "cache_hits": 3,
             "succeeded": 3, "failed": 0, "retried": 0, "cancelled": 0,
+            "quarantined": 0, "fenced": 0,
         }
         # the ResultStore hit counter is the proof of zero execution
         assert resubmit.store.stats()["hits"] == hits_before + 3
@@ -114,7 +126,8 @@ class TestEngineFailureRetry:
     def test_fault_injected_job_fails_without_crashing(self, tmp_path):
         """A NaN-injecting chaos fault fails the job through the typed
         SimulationError path: the worker exits cleanly with a failure
-        outcome (no crash), is retried, and ends up failed."""
+        outcome (no crash), is retried, and — failing identically both
+        times — ends up quarantined."""
         client = BatchClient(tmp_path / "b")
         faulty = JobSpec(
             model="wall", engine="serial", steps=6, dynamic=True,
@@ -124,10 +137,10 @@ class TestEngineFailureRetry:
         )
         record = client.submit(faulty, max_retries=1)
         tallies = client.run(n_workers=1)
-        assert tallies["failed"] == 1
+        assert tallies["quarantined"] == 1
         assert tallies["retried"] == 1
         reloaded = client.queue.load_record(record.job_id)
-        assert reloaded.state == JobState.FAILED
+        assert reloaded.state == JobState.QUARANTINED
         assert reloaded.attempts == 2
         # both attempts reported a structured failure, not a crash
         for attempt in reloaded.attempt_log:
@@ -166,13 +179,16 @@ class TestConcurrentClientSafety:
         assert client.queue.load_record(record.job_id).state == JobState.RUNNING
 
     def test_pool_run_recovers_dead_claimants(self, tmp_path):
-        """WorkerPool.run() reclaims tickets whose claimant pid is gone."""
+        """WorkerPool.run() reclaims tickets whose lease has expired."""
         client = BatchClient(tmp_path / "b")
         record = client.submit(healthy_spec(0))
-        claimed, _ticket = client.queue.claim()
+        claimed, ticket = client.queue.claim()
         claimed.state = JobState.RUNNING
-        claimed.worker_pid = 999_999_999  # a pid that is certainly gone
         client.queue.save_record(claimed)
+        # simulate a dead scheduler: lease expired, ticket past grace
+        client.queue.leases.expire(record.job_id)
+        old = time.time() - 5.0
+        os.utime(client.queue.claimed_dir / ticket, (old, old))
         tallies = client.run(n_workers=1)
         assert tallies["succeeded"] == 1
         assert client.queue.load_record(record.job_id).state == JobState.SUCCEEDED
@@ -238,7 +254,10 @@ class TestCacheAuthority:
 
         from repro.service.pool import _Slot
         claimed.attempts = 2
-        pool._finish(_Slot(_DoneProcess(), claimed, ticket, outcome_path, 0.0))
+        pool._finish(_Slot(
+            _DoneProcess(), claimed, ticket, outcome_path, 0.0,
+            claimed.lease_epoch, None,
+        ))
         entry = client.store.peek(spec.spec_hash())
         assert entry["steps_executed"] == 6
         assert entry["total_steps"] == 6
@@ -249,9 +268,9 @@ class TestStatusSurface:
     def test_status_reflects_terminal_states(self, batch):
         client, _killer, _healthy, _tallies = batch
         status = client.status()
-        assert status["counts"]["failed"] == 1
+        assert status["counts"]["quarantined"] == 1
         assert status["counts"]["succeeded"] >= 3
         assert status["counts"]["queued"] == 0
         states = {row["job_id"]: row["state"] for row in status["jobs"]}
-        assert JobState.FAILED in states.values()
+        assert JobState.QUARANTINED in states.values()
         assert json.dumps(status)  # JSON-serialisable for --json

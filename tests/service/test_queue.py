@@ -1,7 +1,8 @@
-"""JobQueue: ordering, atomic claim/ack, dead-worker recovery."""
+"""JobQueue: ordering, atomic claim/ack, lease-based orphan recovery."""
 
 import os
 import threading
+import time
 
 import pytest
 
@@ -95,12 +96,16 @@ class TestRecovery:
         root = tmp_path / "q"
         q1 = JobQueue(root)
         record = q1.submit(spec("orphan"))
-        claimed, _ticket = q1.claim()
+        claimed, ticket = q1.claim()
         claimed.state = JobState.RUNNING
-        claimed.worker_pid = 999_999_999  # a pid that is certainly gone
         q1.save_record(claimed)
         assert q1.pending() == 0
-        del q1  # the scheduler dies without acking
+        # the scheduler dies without acking: its lease stops renewing
+        # and its claimed ticket ages past the claim grace window
+        q1.leases.expire(record.job_id)
+        old = time.time() - 5.0
+        os.utime(q1.claimed_dir / ticket, (old, old))
+        del q1
 
         q2 = JobQueue(root)  # recover() runs on open
         assert q2.pending() == 1
@@ -109,6 +114,8 @@ class TestRecovery:
         assert got[0].job_id == record.job_id
         assert got[0].state == JobState.QUEUED
         assert got[0].worker_pid is None
+        # the re-claim superseded the dead scheduler's fencing epoch
+        assert got[0].lease_epoch == claimed.lease_epoch + 1
 
     def test_recover_drops_terminal_orphans(self, tmp_path):
         root = tmp_path / "q"
@@ -123,19 +130,22 @@ class TestRecovery:
         assert q2.claim() is None
 
     def test_recover_leaves_live_claimants_alone(self, tmp_path):
-        """A running record with a live worker pid is not an orphan."""
+        """A running record with a live (unexpired) lease is not an orphan."""
         root = tmp_path / "q"
         q1 = JobQueue(root)
         record = q1.submit(spec("live"))
-        claimed, _ticket = q1.claim()
+        claimed, ticket = q1.claim()
         claimed.state = JobState.RUNNING
-        claimed.worker_pid = os.getpid()  # certainly alive
         q1.save_record(claimed)
+        # age the ticket past the grace window: only the lease protects it
+        old = time.time() - 5.0
+        os.utime(q1.claimed_dir / ticket, (old, old))
+        assert q1.leases.alive(record.job_id)
         q2 = JobQueue(root)  # recover() runs on open
         assert q2.pending() == 0  # the ticket was not stolen
         reloaded = q2.load_record(record.job_id)
         assert reloaded.state == JobState.RUNNING
-        assert reloaded.worker_pid == os.getpid()
+        assert reloaded.lease_epoch == claimed.lease_epoch
 
     def test_counts_by_state(self, queue):
         queue.submit(spec("a"))
@@ -145,6 +155,89 @@ class TestRecovery:
         counts = queue.counts()
         assert counts["queued"] == 1
         assert counts["failed"] == 1
+
+
+class TestBackoffDeferral:
+    def test_backoff_ticket_is_deferred_not_spun(self, queue):
+        """claim() must return None promptly (bounded re-list) when the
+        only queued ticket is still inside its retry backoff."""
+        record = queue.submit(spec("later"))
+        rec = queue.load_record(record.job_id)
+        rec.not_before = time.time() + 30.0
+        queue.save_record(rec)
+        start = time.monotonic()
+        assert queue.claim() is None
+        assert time.monotonic() - start < 2.0  # no spin until not_before
+        assert queue.pending() == 1  # the ticket was put back, not eaten
+        rec = queue.load_record(record.job_id)
+        assert rec.lease_epoch == 0  # a deferral is not a claim
+        rec.not_before = 0.0
+        queue.save_record(rec)
+        got = queue.claim()
+        assert got is not None and got[0].job_id == record.job_id
+
+    def test_backoff_does_not_block_other_jobs(self, queue):
+        deferred = queue.submit(spec("deferred"))
+        rec = queue.load_record(deferred.job_id)
+        rec.not_before = time.time() + 30.0
+        queue.save_record(rec)
+        ready = queue.submit(spec("ready"))
+        got = queue.claim()
+        assert got is not None and got[0].job_id == ready.job_id
+
+
+class TestTornRecords:
+    """A torn record write must never silently lose the job."""
+
+    def test_save_record_heals_a_torn_write(self, queue):
+        from repro.service import chaosio
+
+        record = queue.submit(spec("healed"))
+        plan = chaosio.IOFaultPlan(
+            seed=0, rate=1.0, faults=("torn_write",), max_faults=1
+        )
+        chaosio.install(plan)
+        try:
+            record.state = JobState.RUNNING
+            queue.save_record(record)  # first write torn, retry verified
+        finally:
+            chaosio.install(None)
+        reloaded = queue.load_record(record.job_id)
+        assert reloaded is not None
+        assert reloaded.state == JobState.RUNNING
+
+    def test_claim_defers_a_torn_record_ticket(self, queue):
+        record = queue.submit(spec("torn"))
+        path = queue.jobs_dir / f"{record.job_id}.json"
+        good = path.read_bytes()
+        path.write_bytes(good[: len(good) // 2])  # torn mid-write
+        assert queue.record_unreadable(record.job_id)
+        assert queue.claim() is None  # deferred, not consumed
+        assert queue.pending() == 1
+        path.write_bytes(good)  # the owner's verified save heals it
+        got = queue.claim()
+        assert got is not None and got[0].job_id == record.job_id
+
+    def test_recover_requeues_torn_record_orphans(self, tmp_path):
+        root = tmp_path / "q"
+        q1 = JobQueue(root)
+        record = q1.submit(spec("torn-orphan"))
+        claimed, ticket = q1.claim()
+        q1.leases.expire(record.job_id)
+        old = time.time() - 5.0
+        os.utime(q1.claimed_dir / ticket, (old, old))
+        path = q1.jobs_dir / f"{record.job_id}.json"
+        good = path.read_bytes()
+        path.write_bytes(good[: len(good) // 2])
+        del q1
+
+        q2 = JobQueue(root)  # recover() must keep the job visible
+        assert q2.pending() == 1
+        assert path.exists()
+        assert q2.counts().get("unreadable") == 1
+        path.write_bytes(good)
+        got = q2.claim()
+        assert got is not None and got[0].job_id == record.job_id
 
 
 class TestCancellation:

@@ -34,6 +34,7 @@ VARIATIONS = {
     "fault_names": ("solution_nan",),
     "fault_step": 2,
     "kill_at_step": 4,
+    "kill_once": True,
     "tag": "other",
 }
 
