@@ -12,12 +12,17 @@ the engine's metrics snapshot after the run.
 
 ``batch`` is the batch simulation service (:mod:`repro.service`):
 submit jobs to a persistent queue, drain it with a crash-isolated
-worker pool, and inspect cached results. ``batch soak`` runs a chaos
-campaign (storage faults + scheduler kills) and ``batch audit``
-replays the job-event journal to prove exactly-once completion.
+worker pool, and inspect cached results. ``batch serve`` exposes the
+directory over HTTP/JSON (idempotent submits, deadlines, backpressure;
+docs/service-api.md). ``batch soak`` runs a chaos campaign (storage
+faults + scheduler kills; ``--api`` drives it through the HTTP server
+with network faults armed too) and ``batch audit`` replays the
+job-event journal to prove exactly-once completion.
 
 ``report`` renders a paper-style per-module table (measured vs
-modelled seconds, speedup) from a trace file written by ``--trace``.
+modelled seconds, speedup) from a trace file written by ``--trace``,
+or — given a batch directory — the service operator view (queue
+depths, journal tallies, merged ``batch.*``/``http.*`` counters).
 
 ``lint`` runs the device-path static analyzer (:mod:`repro.lint`):
 rules DDA001-DDA005 over the kernel-path modules, with ``--json``
@@ -36,8 +41,11 @@ Examples
     python -m repro report results/run.json
     python -m repro batch submit --dir results/batch --model slope
     python -m repro batch run --dir results/batch --workers 2
+    python -m repro batch serve --dir results/batch --port 8080
     python -m repro batch soak --dir results/soak --jobs 24 --seed 0
+    python -m repro batch soak --dir results/netsoak --api --schedulers 2
     python -m repro batch audit --dir results/soak --final
+    python -m repro report results/soak
     python -m repro lint --json
     python -m repro run --model slope --steps 5 --sanitize
 """

@@ -1,21 +1,32 @@
-"""``python -m repro report`` — a paper-style table from a trace file.
+"""``python -m repro report`` — paper-style tables from traces and dirs.
 
-Reads a trace written by ``--trace`` (either format) and renders the
+Given a trace file written by ``--trace`` (either format), renders the
 Table-II/III-style per-module report: measured wall seconds, modelled
 device seconds, and the measured/modelled speedup column, plus the
 step-level aggregates (steps, CG iterations, open–close iterations,
 contacts) carried on the ``"step"`` summary spans.
 
+Given a *batch directory* (the root a :class:`BatchClient` manages),
+renders the service operator view instead: queue depths and per-state
+job counts, journal event tallies, cache hit rates, and the merged
+counters of every scheduler and HTTP-server process that persisted a
+metrics snapshot under ``<dir>/metrics/`` — storage faults injected
+and absorbed (``batch.io_faults.*``), lease expiries and fenced zombie
+writes, HTTP request/shed/rate-limit/drain tallies and injected
+network faults (``http.*``).
+
 ::
 
     python -m repro --model slope --steps 25 --trace trace.json
     python -m repro report trace.json [--json]
+    python -m repro report results/soak [--json]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+from pathlib import Path
 
 from repro.obs.tracer import Tracer
 from repro.util.tables import Table
@@ -102,17 +113,118 @@ def render_report(report: dict) -> str:
     return "\n".join(lines)
 
 
+def build_service_report(root: str | Path) -> dict:
+    """Aggregate a batch directory into the operator view (JSON-safe).
+
+    Merges the metrics snapshots every scheduler (``sched-<pid>.json``)
+    and HTTP server (``http-<pid>.json``) persisted under
+    ``<root>/metrics/`` — the processes are gone, their counters
+    remain — and pairs them with the live queue/journal/cache state.
+    """
+    from repro.io.batch_io import read_json
+    from repro.obs.metrics import merge_snapshots
+    from repro.service.queue import JobQueue
+    from repro.service.store import ResultStore
+
+    root = Path(root)
+    queue = JobQueue(root / "queue", recover=False)
+    store = ResultStore(root / "store")
+    snap_paths = sorted((root / "metrics").glob("*.json"))
+    snaps = [read_json(p) or {} for p in snap_paths]
+    merged = merge_snapshots(*snaps) if snaps else {}
+    events, torn = queue.journal.events()
+    event_counts: dict[str, int] = {}
+    for event in events:
+        name = event.get("event", "?")
+        event_counts[name] = event_counts.get(name, 0) + 1
+    return {
+        "root": str(root),
+        "counts": queue.counts(),
+        "queue": queue.depths(),
+        "cache": store.stats(),
+        "journal": {
+            "events": len(events),
+            "torn_lines": torn,
+            "event_counts": dict(sorted(event_counts.items())),
+        },
+        "metrics_files": [p.name for p in snap_paths],
+        "counters": merged.get("counters", {}),
+        "gauges": merged.get("gauges", {}),
+    }
+
+
+def render_service_report(report: dict) -> str:
+    """Text-render a :func:`build_service_report` payload."""
+    lines = [f"batch service report: {report['root']}"]
+    counts = ", ".join(
+        f"{state}={n}" for state, n in report["counts"].items() if n
+    ) or "empty"
+    depths = report["queue"]
+    cache = report["cache"]
+    lines.append(f"jobs   : {counts}")
+    age = depths.get("oldest_queued_age_s")
+    lines.append(
+        f"queue  : {depths['queued']} queued "
+        f"({depths['deferred']} in backoff), "
+        f"{depths['claimed']} claimed, {depths['unreadable']} unreadable"
+        + (f", oldest waiting {age:.1f}s" if age is not None else "")
+    )
+    lines.append(
+        f"cache  : {cache.get('hits', 0)} hits, "
+        f"{cache.get('misses', 0)} misses"
+    )
+    journal = report["journal"]
+    lines.append(
+        f"journal: {journal['events']} events"
+        + (f" ({journal['torn_lines']} torn line(s))"
+           if journal["torn_lines"] else "")
+    )
+    for name, count in journal["event_counts"].items():
+        lines.append(f"  {name:<16}: {count}")
+    counters = report["counters"]
+    if counters:
+        table = Table(
+            f"service counters (merged from {len(report['metrics_files'])} "
+            "process snapshot(s))",
+            ["counter", "value"],
+        )
+        for prefix in ("batch.", "http."):
+            for name in sorted(c for c in counters if c.startswith(prefix)):
+                table.add_row([name, counters[name]])
+        for name in sorted(
+            c for c in counters
+            if not c.startswith(("batch.", "http."))
+        ):
+            table.add_row([name, counters[name]])
+        lines.append(table.render())
+    else:
+        lines.append(
+            "no metrics snapshots under <dir>/metrics/ — run a scheduler "
+            "or HTTP server against this directory first"
+        )
+    return "\n".join(lines)
+
+
 def report_main(argv: list[str] | None = None) -> int:
     """The ``report`` subcommand entry point."""
     p = argparse.ArgumentParser(
         prog="python -m repro report",
-        description="Render a per-module table from a --trace file.",
+        description="Render a per-module table from a --trace file, or "
+                    "the service operator view from a batch directory.",
     )
-    p.add_argument("trace", metavar="TRACE",
-                   help="trace file written by --trace (.json or .jsonl)")
+    p.add_argument("trace", metavar="TRACE_OR_DIR",
+                   help="trace file written by --trace (.json or .jsonl), "
+                        "or a batch directory (queue + store + metrics)")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="emit the report as JSON instead of a table")
     args = p.parse_args(argv)
+    if Path(args.trace).is_dir():
+        report = build_service_report(args.trace)
+        if args.as_json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_service_report(report))
+        return 0
     try:
         tracer = Tracer.load(args.trace)
     except (OSError, ValueError, KeyError) as err:

@@ -30,20 +30,37 @@ orchestrates them on top of the per-run survival primitives from
   fault injector (torn writes, crashed renames, ``ENOSPC``, stale
   locks) the durability claims are tested under;
 * :class:`~repro.service.client.BatchClient` — the programmatic facade
-  behind the ``python -m repro batch`` CLI.
+  behind the ``python -m repro batch`` CLI;
+* :class:`~repro.service.http.HttpJobService` — the asyncio HTTP/JSON
+  front-end (``python -m repro batch serve``): idempotent submission by
+  spec hash, admission control with ``Retry-After`` backpressure,
+  per-tenant rate limits, deadline propagation, and SIGTERM graceful
+  drain (docs/service-api.md);
+* :class:`~repro.service.netclient.ServiceClient` — the retrying HTTP
+  client that absorbs transport faults with seeded backoff;
+* :class:`~repro.service.chaosnet.NetFaultPlan` — the seeded network
+  fault injector (connection resets, slow-loris, truncated responses,
+  latency) the service claims are tested under, via
+  ``python -m repro batch soak --api``.
 """
 
 from repro.service.chaosio import IOFaultInjector, IOFaultPlan
+from repro.service.chaosnet import NetFaultInjector, NetFaultPlan
 from repro.service.client import BatchClient
+from repro.service.http import BackgroundServer, HttpJobService, ServiceConfig
 from repro.service.journal import Journal
 from repro.service.lease import Lease, LeaseStore
+from repro.service.netclient import ClientRetry, ServiceClient
 from repro.service.pool import WorkerPool
 from repro.service.queue import JobQueue
 from repro.service.spec import JobRecord, JobSpec, JobState, RetryPolicy
 from repro.service.store import ResultStore
 
 __all__ = [
+    "BackgroundServer",
     "BatchClient",
+    "ClientRetry",
+    "HttpJobService",
     "IOFaultInjector",
     "IOFaultPlan",
     "JobQueue",
@@ -53,7 +70,11 @@ __all__ = [
     "Journal",
     "Lease",
     "LeaseStore",
+    "NetFaultInjector",
+    "NetFaultPlan",
     "ResultStore",
     "RetryPolicy",
+    "ServiceClient",
+    "ServiceConfig",
     "WorkerPool",
 ]

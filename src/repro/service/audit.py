@@ -97,6 +97,10 @@ def audit_journal(root: str | Path, *, final: bool = False) -> dict:
     }
 
     for job_id, evs in sorted(by_job.items()):
+        if job_id == "-":
+            # service-level events (HTTP server start/drain) use the
+            # infrastructure job id "-": counted, never job-audited
+            continue
         record = records.get(job_id)
         if job_id not in submitted and record is None:
             violation(

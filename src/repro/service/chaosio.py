@@ -110,8 +110,9 @@ _OP_FAULTS = {
 }
 
 #: Path substrings never perturbed: the job-event journal is the audit
-#: ground truth, and fault-plan files must stay loadable.
-PROTECTED_PATHS = ("journal", "chaos-plan",)
+#: ground truth, fault-plan files must stay loadable, and the metrics
+#: snapshots are the operator's eyes on the chaos itself.
+PROTECTED_PATHS = ("journal", "chaos-plan", "/metrics/")
 
 
 class ChaosIOError(OSError):

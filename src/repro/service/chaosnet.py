@@ -1,0 +1,252 @@
+"""Seeded network fault injector — the service-layer chaos twin of
+:mod:`repro.service.chaosio`.
+
+The moment the batch core is driven remotely (:mod:`repro.service.http`)
+a whole family of failures appears that storage chaos cannot model:
+connections reset mid-response, clients that read (or servers that
+write) one byte at a time, responses truncated at the TCP layer, and
+plain added latency. A :class:`NetFaultPlan` names which of those to
+inject at what rate; an armed :class:`NetFaultInjector` is consulted by
+the HTTP server on every request. The service's robustness claims —
+idempotent resubmission, retrying clients, exactly-once completion under
+``python -m repro batch audit`` — must hold with this layer armed.
+
+Fault classes (:data:`NET_FAULT_REGISTRY`):
+
+``conn_reset``
+    The connection is aborted without a response. A seeded coin decides
+    whether the abort lands *before* the request is processed (the
+    request is lost) or *after* (the request took effect but the
+    response is lost — the case idempotent resubmission exists for).
+``slow_loris``
+    The response is dribbled out a few bytes at a time with seeded
+    delays between chunks — models a pathologically slow peer. A client
+    with a sane socket timeout gives up and retries; a patient one
+    eventually gets the full payload.
+``truncated_response``
+    The status line and headers land but the body is cut at the half-way
+    point and the connection closed — models a mid-transfer failure.
+    Clients must treat the partial body as no response at all.
+``net_latency``
+    A short seeded sleep before the request is handled; surfaces
+    deadline/timeout assumptions that only hold when the network is
+    instant.
+
+Arming mirrors ``chaosio``: call :func:`install` programmatically, or
+set ``REPRO_NET_FAULT_PLAN`` to a plan file path (written with
+:meth:`NetFaultPlan.save`) and the server process arms itself lazily on
+startup via :func:`install_from_env`. Decisions are drawn from a private
+RNG seeded via :func:`repro.engine.chaos.derive_seed`, so a plan is
+deterministic per request sequence. Health endpoints are never faulted —
+an operator probing a chaos-soaked server must still be able to tell it
+is alive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.chaos import FaultSpec, derive_seed
+
+#: Environment variable naming a JSON net-fault-plan file.
+NET_PLAN_ENV = "REPRO_NET_FAULT_PLAN"
+
+#: Every injectable network fault, in the chaos registry idiom.
+#: ``stage`` names the request phase the fault lands in; ``detector``
+#: names the client/server mechanism that must absorb it.
+NET_FAULT_REGISTRY: dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in (
+        FaultSpec(
+            "conn_reset", "response",
+            "abort the connection without a response (before or after "
+            "the request was processed, seeded coin)",
+            "client retry + content-hash idempotent resubmission",
+        ),
+        FaultSpec(
+            "slow_loris", "response",
+            "dribble the response out a few bytes at a time with "
+            "seeded inter-chunk delays",
+            "client socket timeout + retry budget",
+        ),
+        FaultSpec(
+            "truncated_response", "response",
+            "send the headers and half the body, then close",
+            "client treats a short read as no response and retries",
+        ),
+        FaultSpec(
+            "net_latency", "request",
+            "sleep a seeded few milliseconds before handling",
+            "per-request deadlines / Retry-After backoff",
+        ),
+    )
+}
+
+#: Request paths never perturbed: liveness probes must stay truthful.
+PROTECTED_ROUTES = ("/healthz", "/readyz")
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """Declarative description of a network fault campaign.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; the injector's RNG stream derives from it.
+    rate:
+        Per-request injection probability in [0, 1].
+    faults:
+        Registry names to arm; ``None`` arms every fault.
+    max_faults:
+        Total injection budget (0 = unlimited).
+    latency_s:
+        Upper bound of the seeded ``net_latency`` sleep.
+    slow_chunk:
+        Bytes per write while acting out ``slow_loris``.
+    slow_delay_s:
+        Upper bound of the seeded sleep between slow-loris chunks.
+    """
+
+    seed: int = 0
+    rate: float = 0.1
+    faults: tuple[str, ...] | None = None
+    max_faults: int = 0
+    latency_s: float = 0.05
+    slow_chunk: int = 64
+    slow_delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.slow_chunk < 1:
+            raise ValueError(f"slow_chunk must be >= 1, got {self.slow_chunk}")
+        names = self.faults if self.faults is not None else ()
+        unknown = [n for n in names if n not in NET_FAULT_REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown net fault(s) {unknown}; "
+                f"known: {sorted(NET_FAULT_REGISTRY)}"
+            )
+        if self.faults is not None and not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    def armed_faults(self) -> tuple[str, ...]:
+        return (
+            self.faults if self.faults is not None
+            else tuple(NET_FAULT_REGISTRY)
+        )
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        if d["faults"] is not None:
+            d["faults"] = list(d["faults"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "NetFaultPlan":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown NetFaultPlan field(s): {sorted(unknown)}")
+        return cls(**d)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the plan as JSON (plain write — plans are never faulted)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "NetFaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class NetFaultInjector:
+    """Seeded per-process decision engine the HTTP server consults."""
+
+    plan: NetFaultPlan
+    counts: dict[str, int] = field(default_factory=dict)
+    #: Optional MetricsRegistry; when bound, every injection bumps
+    #: ``http.net_faults`` (and ``http.net_faults.<name>``).
+    metrics = None
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(
+            derive_seed(self.plan.seed, "chaosnet")
+        )
+        self._armed = self.plan.armed_faults()
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def bind_metrics(self, registry) -> None:
+        self.metrics = registry
+
+    def decide(self, path: str) -> str | None:
+        """Pick a fault for one request, or ``None`` (the usual case)."""
+        if self.plan.max_faults and self.total >= self.plan.max_faults:
+            return None
+        if any(path.startswith(route) for route in PROTECTED_ROUTES):
+            return None
+        if not self._armed:
+            return None
+        if self._rng.random() >= self.plan.rate:
+            return None
+        fault = str(self._rng.choice(list(self._armed)))
+        self.counts[fault] = self.counts.get(fault, 0) + 1
+        if self.metrics is not None:
+            self.metrics.inc("http.net_faults")
+            self.metrics.inc(f"http.net_faults.{fault}")
+        return fault
+
+    def reset_before_handling(self) -> bool:
+        """Seeded coin for ``conn_reset``: abort before (request lost)
+        or after (request processed, response lost) handling."""
+        return bool(self._rng.random() < 0.5)
+
+    def latency(self) -> float:
+        """Seeded sleep duration for ``net_latency``."""
+        return float(self._rng.uniform(0.0, self.plan.latency_s))
+
+    def slow_delay(self) -> float:
+        """Seeded inter-chunk sleep for ``slow_loris``."""
+        return float(self._rng.uniform(0.0, self.plan.slow_delay_s))
+
+
+#: Process-wide injector (None = clean path), mirroring chaosio's
+#: per-process arming model.
+_net_chaos: NetFaultInjector | None = None
+
+
+def get_net_chaos() -> NetFaultInjector | None:
+    """The armed injector, or ``None`` when the process is clean."""
+    return _net_chaos
+
+
+def install(plan: NetFaultPlan | None) -> NetFaultInjector | None:
+    """Arm (or, with ``None``, disarm) the process network injector."""
+    global _net_chaos
+    if plan is None:
+        _net_chaos = None
+        return None
+    _net_chaos = NetFaultInjector(plan)
+    return _net_chaos
+
+
+def install_from_env() -> NetFaultInjector | None:
+    """Arm from the ``REPRO_NET_FAULT_PLAN`` env var (no-op when unset)."""
+    plan_path = os.environ.get(NET_PLAN_ENV)
+    if not plan_path:
+        return install(None)
+    return install(NetFaultPlan.load(plan_path))

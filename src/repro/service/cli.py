@@ -7,13 +7,18 @@ Verbs over a shared batch directory::
     python -m repro batch status --dir results/batch [--json]
     python -m repro batch results --dir results/batch [--json] [JOB_ID ...]
     python -m repro batch soak   --dir results/soak --jobs 24 --seed 0
+    python -m repro batch soak   --dir results/soak --api --schedulers 2
     python -m repro batch audit  --dir results/soak [--final] [--json]
+    python -m repro batch serve  --dir results/batch --port 8080
 
 Every verb is a separate process invocation: submit from one shell, run
 from another, kill the runner and run again — the on-disk queue and
 result cache carry the state across. ``soak`` runs a full chaos
-campaign (storage faults + scheduler kills) and ``audit`` replays the
-job-event journal to prove the exactly-once invariants held.
+campaign (storage faults + scheduler kills; with ``--api`` the whole
+campaign is driven through the HTTP front-end with network faults
+injected too) and ``audit`` replays the job-event journal to prove the
+exactly-once invariants held. ``serve`` exposes the directory over
+HTTP/JSON (see :mod:`repro.service.http` and docs/service-api.md).
 """
 
 from __future__ import annotations
@@ -130,11 +135,13 @@ def build_batch_parser() -> argparse.ArgumentParser:
         help="chaos campaign: storage faults + scheduler kills + audit",
     )
     add_dir(k)
-    k.add_argument("--jobs", type=int, default=24)
+    k.add_argument("--jobs", type=int, default=None,
+                   help="campaign size (default 24; 120 with --api)")
     k.add_argument("--seed", type=int, default=0)
     k.add_argument("--workers", type=int, default=2)
-    k.add_argument("--steps", type=int, default=3,
-                   help="simulation steps per soak job")
+    k.add_argument("--steps", type=int, default=None,
+                   help="simulation steps per soak job "
+                        "(default 3; 2 with --api)")
     k.add_argument("--fault-rate", type=float, default=0.03,
                    help="storage fault probability per IO operation "
                         "(0 disables the chaos layer)")
@@ -142,8 +149,45 @@ def build_batch_parser() -> argparse.ArgumentParser:
                    help="how many scheduler rounds to SIGKILL mid-drain")
     k.add_argument("--lease-ttl", type=float, default=2.0,
                    help="lease time-to-live for the campaign's schedulers")
+    api = k.add_argument_group(
+        "network soak (--api)",
+        "drive the campaign through the HTTP front-end: N independent "
+        "scheduler processes share the queue while network faults "
+        "(chaosnet) are injected alongside the storage ones",
+    )
+    api.add_argument("--api", action="store_true",
+                     help="submit/cancel/poll through the HTTP server "
+                          "instead of the in-process queue")
+    api.add_argument("--schedulers", type=int, default=2,
+                     help="independent scheduler processes on the queue")
+    api.add_argument("--net-fault-rate", type=float, default=0.08,
+                     help="network fault probability per HTTP request "
+                          "(0 disables chaosnet)")
+    api.add_argument("--sigterm-drains", type=int, default=1,
+                     help="mid-campaign graceful server drains+restarts")
     k.add_argument("--json", action="store_true", dest="as_json")
     k.add_argument("--quiet", action="store_true")
+
+    v = sub.add_parser(
+        "serve",
+        help="HTTP/JSON front-end over the batch directory "
+             "(submit/status/results/cancel/events over the network)",
+    )
+    add_dir(v)
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument("--port", type=int, default=0,
+                   help="0 picks an ephemeral port (written to "
+                        "<dir>/http.json)")
+    v.add_argument("--max-inflight", type=int, default=64,
+                   help="concurrent requests before fail-fast 429s")
+    v.add_argument("--max-queue-depth", type=int, default=512,
+                   help="submits are rejected (429) past this backlog")
+    v.add_argument("--rate-capacity", type=float, default=50.0,
+                   help="per-tenant token-bucket burst capacity")
+    v.add_argument("--rate-refill", type=float, default=25.0,
+                   help="per-tenant token refill per second")
+    v.add_argument("--drain-grace", type=float, default=10.0, metavar="SEC",
+                   help="SIGTERM drain budget for in-flight requests")
     return p
 
 
@@ -229,7 +273,16 @@ def batch_main(argv: list[str] | None = None) -> int:
             f"{state}={n}" for state, n in status["counts"].items() if n
         ) or "empty"
         cache = status["cache"]
+        depths = status["queue"]
         print(f"jobs: {counts}")
+        age = depths.get("oldest_queued_age_s")
+        print(
+            f"queue: {depths['queued']} queued "
+            f"({depths['deferred']} in backoff), "
+            f"{depths['claimed']} claimed, "
+            f"{depths['unreadable']} unreadable"
+            + (f", oldest waiting {age:.1f}s" if age is not None else "")
+        )
         print(f"cache: {cache['hits']} hits, {cache['misses']} misses")
         table = Table("batch jobs", ["job", "state", "model", "engine",
                                      "steps", "attempts", "note"])
@@ -290,17 +343,37 @@ def batch_main(argv: list[str] | None = None) -> int:
         return 0 if report["ok"] else 1
 
     if args.command == "soak":
-        from repro.service.soak import run_soak
+        from repro.service.soak import run_api_soak, run_soak
 
         log = (lambda msg: None) if args.quiet else (
             lambda msg: print(msg, file=sys.stderr)
         )
-        summary = run_soak(
-            args.batch_dir,
-            jobs=args.jobs, seed=args.seed, workers=args.workers,
-            fault_rate=args.fault_rate,
-            scheduler_kills=args.scheduler_kills,
-            lease_ttl=args.lease_ttl, steps=args.steps, log=log,
+        jobs = args.jobs if args.jobs is not None else (
+            120 if args.api else 24
+        )
+        steps = args.steps if args.steps is not None else (
+            2 if args.api else 3
+        )
+        if args.api:
+            summary = run_api_soak(
+                args.batch_dir,
+                jobs=jobs, seed=args.seed, schedulers=args.schedulers,
+                workers=args.workers, fault_rate=args.fault_rate,
+                net_fault_rate=args.net_fault_rate,
+                scheduler_kills=args.scheduler_kills,
+                sigterm_drains=args.sigterm_drains,
+                lease_ttl=args.lease_ttl, steps=steps, log=log,
+            )
+        else:
+            summary = run_soak(
+                args.batch_dir,
+                jobs=jobs, seed=args.seed, workers=args.workers,
+                fault_rate=args.fault_rate,
+                scheduler_kills=args.scheduler_kills,
+                lease_ttl=args.lease_ttl, steps=steps, log=log,
+            )
+        clean_drains = all(
+            d["exit_code"] == 0 for d in summary.get("drains", [])
         )
         if args.as_json:
             print(json.dumps(summary, indent=2, sort_keys=True))
@@ -310,15 +383,48 @@ def batch_main(argv: list[str] | None = None) -> int:
             counts = ", ".join(
                 f"{s}={n}" for s, n in summary["counts"].items() if n
             )
-            print(
-                f"soak: {summary['jobs']} jobs, {summary['rounds']} "
-                f"round(s), {summary['scheduler_kills']} scheduler "
-                f"kill(s), drained={summary['drained']} "
-                f"in {summary['duration_s']:.1f}s"
-            )
+            if args.api:
+                drains = ", ".join(
+                    f"exit {d['exit_code']} in {d['drain_s']:.2f}s"
+                    for d in summary["drains"]
+                ) or "none"
+                print(
+                    f"api soak: {summary['jobs']} jobs "
+                    f"({summary['distinct_jobs']} distinct, "
+                    f"{summary['dedup_hits']} dedup hits) over "
+                    f"{summary['schedulers']} scheduler(s), "
+                    f"{summary['scheduler_kills']} scheduler kill(s), "
+                    f"drained={summary['drained']} "
+                    f"in {summary['duration_s']:.1f}s"
+                )
+                print(f"server drains: {drains}")
+                print(f"client transport: {summary['client_stats']}")
+            else:
+                print(
+                    f"soak: {summary['jobs']} jobs, {summary['rounds']} "
+                    f"round(s), {summary['scheduler_kills']} scheduler "
+                    f"kill(s), drained={summary['drained']} "
+                    f"in {summary['duration_s']:.1f}s"
+                )
             print(f"final states: {counts}")
             print(format_report(summary["audit"]))
-        ok = summary["drained"] and summary["audit"]["ok"]
+        ok = summary["drained"] and summary["audit"]["ok"] and clean_drains
         return 0 if ok else 1
+
+    if args.command == "serve":
+        from repro.service.http import ServiceConfig, run_server
+
+        config = ServiceConfig(
+            host=args.host, port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue_depth=args.max_queue_depth,
+            rate_capacity=args.rate_capacity,
+            rate_refill_per_s=args.rate_refill,
+            drain_grace_s=args.drain_grace,
+        )
+        return run_server(
+            args.batch_dir, config,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
 
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -19,6 +19,7 @@ scheduler restarts.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 from repro.io.batch_io import read_json
@@ -56,6 +57,7 @@ class BatchClient:
         priority: int = 0,
         max_retries: int = 1,
         retry=None,
+        tenant: str = "",
     ) -> JobRecord:
         """Enqueue one job; returns its record (state ``queued``).
 
@@ -66,7 +68,8 @@ class BatchClient:
         legacy ``max_retries`` knob applies.
         """
         return self.queue.submit(
-            spec, priority=priority, max_retries=max_retries, retry=retry
+            spec, priority=priority, max_retries=max_retries, retry=retry,
+            tenant=tenant,
         )
 
     def run(
@@ -116,26 +119,57 @@ class BatchClient:
 
     # ------------------------------------------------------------------
     def status(self) -> dict:
-        """Batch overview: per-state counts, cache stats, per-job rows."""
+        """Batch overview: per-state counts, queue-depth buckets, cache
+        stats, and per-job rows carrying lease/epoch detail.
+
+        Torn records (a storage fault landed mid-save) are re-read once
+        before being reported: transiently torn files usually heal
+        within milliseconds, and the ones that do not appear both in
+        ``counts["unreadable"]`` and as explicit ``state="unreadable"``
+        job rows rather than vanishing or raising.
+        """
         records = self.queue.records()
+        now = time.time()
+        jobs = []
+        for r in records:
+            lease = self.queue.leases.peek(r.job_id)
+            jobs.append({
+                "job_id": r.job_id,
+                "state": r.state,
+                "model": r.spec.load or r.spec.model,
+                "engine": r.spec.engine,
+                "steps": r.spec.steps,
+                "priority": r.priority,
+                "tenant": r.tenant,
+                "attempts": r.attempts,
+                "cached": r.cached,
+                "error": r.error,
+                "spec_hash": r.spec.spec_hash()[:12],
+                "lease_epoch": r.lease_epoch,
+                "not_before": r.not_before,
+                "lease": None if lease is None else {
+                    "owner": lease.owner,
+                    "epoch": lease.epoch,
+                    "age_s": max(0.0, now - lease.renewed_at),
+                    "expired": lease.expired(now),
+                },
+            })
+        for job_id in self.queue.unreadable_ids():
+            jobs.append({
+                "job_id": job_id,
+                "state": "unreadable",
+                "model": None, "engine": None, "steps": None,
+                "priority": None, "tenant": None, "attempts": None,
+                "cached": False,
+                "error": "record file torn (unreadable after retry)",
+                "spec_hash": None, "lease_epoch": None,
+                "not_before": None, "lease": None,
+            })
         return {
             "counts": self.queue.counts(),
+            "queue": self.queue.depths(),
             "cache": self.store.stats(),
-            "jobs": [
-                {
-                    "job_id": r.job_id,
-                    "state": r.state,
-                    "model": r.spec.load or r.spec.model,
-                    "engine": r.spec.engine,
-                    "steps": r.spec.steps,
-                    "priority": r.priority,
-                    "attempts": r.attempts,
-                    "cached": r.cached,
-                    "error": r.error,
-                    "spec_hash": r.spec.spec_hash()[:12],
-                }
-                for r in records
-            ],
+            "jobs": jobs,
         }
 
     def result(self, job: str | JobRecord) -> dict | None:

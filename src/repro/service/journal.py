@@ -40,6 +40,12 @@ EVENTS = (
     "fenced",
     "quarantined",
     "completed",
+    # service-level events appended by the HTTP front-end; ``dedup_hit``
+    # is per-job, the ``server_*`` pair uses the infrastructure job id
+    # ``"-"`` (see repro.service.http.SERVICE_JOB_ID)
+    "dedup_hit",
+    "server_started",
+    "server_drained",
 )
 
 

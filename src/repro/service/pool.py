@@ -137,15 +137,26 @@ class WorkerPool:
         return merge_snapshots(*self.job_metrics.values())
 
     # ------------------------------------------------------------------
-    def run(self) -> dict[str, int]:
+    def run(self, *, stop=None) -> dict[str, int]:
         """Drain the queue; returns this run's tallies.
 
         Blocks until no ticket is queued and no worker is in flight.
         Jobs requeued for retry during the run are picked back up before
         the pool returns (a retry backoff shows up as idle polling until
         its ``not_before`` elapses).
+
+        ``stop`` is the graceful-drain hook: a zero-argument callable
+        polled every scheduling round. Once it returns true the pool
+        stops claiming new tickets, lets the in-flight attempts finish
+        (their outcomes are recorded normally — nothing is killed), and
+        returns even though tickets may remain queued. Unclaimed
+        tickets keep their leaseless queued state, so the next pool (or
+        a restarted scheduler) picks them up with no recovery needed.
+        This is what a SIGTERM'd scheduler process runs through, so a
+        rolling restart never turns into crash recovery.
         """
         self.stats = self._zero_stats()
+        stop = stop or (lambda: False)
         # Reclaim tickets orphaned by a dead scheduler before draining.
         # This is the one safe recovery point: JobQueue.recover gates on
         # lease liveness, so a concurrently live pool keeps its work.
@@ -153,8 +164,16 @@ class WorkerPool:
         if recovered:
             self._log(f"recovered {recovered} orphaned ticket(s)")
         active: list[_Slot] = []
+        stopping = False
         while True:
-            while len(active) < self.n_workers:
+            if not stopping and stop():
+                stopping = True
+                self.metrics.inc("batch.drain_requested")
+                self._log(
+                    f"drain requested: finishing {len(active)} in-flight "
+                    "attempt(s), claiming nothing new"
+                )
+            while not stopping and len(active) < self.n_workers:
                 try:
                     claimed = self.queue.claim()
                     if claimed is None:
@@ -169,7 +188,7 @@ class WorkerPool:
                 if slot is not None:
                     active.append(slot)
             if not active:
-                if self.queue.pending() == 0:
+                if stopping or self.queue.pending() == 0:
                     break
                 time.sleep(self.poll_interval)
                 continue  # cache hits or pending backoffs; refill
@@ -190,7 +209,25 @@ class WorkerPool:
                     slot.process.join()
                     self._finish_guarded(slot)
             active = still_active
+        self._persist_metrics()
         return dict(self.stats)
+
+    def _persist_metrics(self) -> None:
+        """Drop this scheduler's metrics snapshot into ``<root>/metrics``.
+
+        One file per scheduler identity (``sched-<pid>``), overwritten
+        with the accumulated registry each run, so ``python -m repro
+        report <batch-dir>`` can merge every process's counters into one
+        operator view. Metrics are observability, never load-bearing:
+        any IO failure here is swallowed.
+        """
+        root = self.scratch_root.parent / "metrics"
+        try:
+            write_json_atomic(
+                root / f"{self.queue.owner}.json", self.metrics.snapshot()
+            )
+        except OSError:
+            pass
 
     def _finish_guarded(self, slot: _Slot, *, timed_out: bool = False) -> None:
         try:

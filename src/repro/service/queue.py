@@ -126,12 +126,15 @@ class JobQueue:
         priority: int = 0,
         max_retries: int = 1,
         retry: RetryPolicy | None = None,
+        tenant: str = "",
     ) -> JobRecord:
         """Enqueue a :class:`JobSpec`; returns the new record.
 
         ``retry`` attaches a full :class:`RetryPolicy`; when omitted the
         legacy ``max_retries`` knob maps to
-        ``RetryPolicy(max_attempts=max_retries + 1)``.
+        ``RetryPolicy(max_attempts=max_retries + 1)``. ``tenant`` is a
+        free-form quota label recorded on the record (the HTTP layer's
+        rate-limit bucket key); it never affects the spec hash.
         """
         if not (0 <= priority <= MAX_PRIORITY):
             raise ValueError(f"priority must be in [0, {MAX_PRIORITY}], got {priority}")
@@ -141,7 +144,7 @@ class JobQueue:
         job_id = f"j{seq:06d}-{spec.spec_hash()[:8]}"
         record = JobRecord(
             job_id=job_id, spec=spec, priority=priority,
-            max_retries=max_retries, retry=retry,
+            max_retries=max_retries, retry=retry, tenant=tenant,
         )
         self.save_record(record)
         ticket = self.queued_dir / self._ticket_name(priority, seq, job_id)
@@ -436,6 +439,26 @@ class JobQueue:
         d = read_json(self.jobs_dir / f"{job_id}.json")
         return None if d is None else JobRecord.from_dict(d)
 
+    def load_record_retry(
+        self, job_id: str, *, retries: int = 1, delay: float = 0.05
+    ) -> JobRecord | None:
+        """Load a record, retrying briefly when it reads as torn.
+
+        A record that is mid-verified-save (another process between the
+        torn first write and its read-back-repair retry) is *transiently*
+        unreadable; observer paths (``batch status``, the HTTP status
+        endpoint) re-read once after a short pause before reporting the
+        torn-record bucket, instead of surfacing a scary error for a
+        window that usually heals itself within milliseconds.
+        """
+        record = self.load_record(job_id)
+        for _ in range(retries):
+            if record is not None or not self.record_unreadable(job_id):
+                break
+            time.sleep(delay)
+            record = self.load_record(job_id)
+        return record
+
     def record_unreadable(self, job_id: str) -> bool:
         """True when the record file exists but cannot be parsed.
 
@@ -448,32 +471,88 @@ class JobQueue:
         return path.exists() and read_json(path) is None
 
     def records(self) -> list[JobRecord]:
-        """Every known job record, in submit order."""
+        """Every readable job record, in submit order.
+
+        A record that reads as torn is re-read once
+        (:meth:`load_record_retry`) before being skipped, so a
+        concurrent verified save does not make the job flicker out of
+        observer listings.
+        """
         out = []
         for path in sorted(self.jobs_dir.glob("*.json")):
-            d = read_json(path)
-            if d is not None:
-                out.append(JobRecord.from_dict(d))
+            record = self.load_record_retry(path.stem)
+            if record is not None:
+                out.append(record)
+        return out
+
+    def unreadable_ids(self) -> list[str]:
+        """Job ids whose record file is torn even after a retry read."""
+        out = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            if self.load_record_retry(path.stem) is None and path.exists():
+                out.append(path.stem)
         return out
 
     def counts(self) -> dict[str, int]:
         """Job count per lifecycle state.
 
-        A record file that exists but cannot be parsed (torn by a
-        storage fault) is counted under ``"unreadable"`` — a
-        non-terminal bucket, so drain checks keep waiting for it
-        instead of declaring the job gone.
+        A record file that exists but cannot be parsed even after one
+        retry read (torn by a storage fault) is counted under
+        ``"unreadable"`` — a non-terminal bucket, so drain checks keep
+        waiting for it instead of declaring the job gone.
         """
         out = {state: 0 for state in JobState.ALL}
         for path in sorted(self.jobs_dir.glob("*.json")):
-            d = read_json(path)
-            if d is None:
-                out["unreadable"] = out.get("unreadable", 0) + 1
+            record = self.load_record_retry(path.stem)
+            if record is None:
+                if path.exists():
+                    out["unreadable"] = out.get("unreadable", 0) + 1
             else:
-                record = JobRecord.from_dict(d)
                 out[record.state] = out.get(record.state, 0) + 1
         return out
 
     def pending(self) -> int:
         """Tickets currently claimable."""
         return sum(1 for _ in self.queued_dir.iterdir())
+
+    def depths(self) -> dict:
+        """Queue-depth view: ticket counts by lane and priority band.
+
+        ``queued``/``claimed`` count tickets in each lane;
+        ``by_priority`` buckets the queued tickets by their priority
+        (decoded from the ticket name, so no record reads are needed);
+        ``deferred`` counts queued tickets whose record carries a
+        future ``not_before`` (retry backoff pending); ``unreadable``
+        is the torn-record bucket; ``oldest_queued_age_s`` is the age
+        of the longest-waiting ticket (backlog latency signal).
+        """
+        by_priority: dict[str, int] = {}
+        deferred = 0
+        oldest: float | None = None
+        now = time.time()
+        for ticket in self.queued_dir.iterdir():
+            prio_part, _, rest = ticket.name.partition("-")
+            try:
+                priority = MAX_PRIORITY - int(prio_part)
+            except ValueError:
+                priority = -1
+            key = str(priority)
+            by_priority[key] = by_priority.get(key, 0) + 1
+            try:
+                age = now - ticket.stat().st_mtime
+            except OSError:
+                continue  # claimed under us
+            if oldest is None or age > oldest:
+                oldest = age
+            job_id = rest.split("-", 1)[1] if "-" in rest else rest
+            record = self.load_record(job_id)
+            if record is not None and record.not_before > now:
+                deferred += 1
+        return {
+            "queued": sum(by_priority.values()),
+            "claimed": sum(1 for _ in self.claimed_dir.iterdir()),
+            "by_priority": dict(sorted(by_priority.items())),
+            "deferred": deferred,
+            "unreadable": len(self.unreadable_ids()),
+            "oldest_queued_age_s": oldest,
+        }

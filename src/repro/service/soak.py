@@ -17,6 +17,16 @@ the kill schedule all derive from one ``--seed`` via
 audit violations) passes reproducibly. The *timings* of kills vary
 with machine load, which is the point — the invariants must hold for
 every interleaving, and the auditor checks invariants, not traces.
+
+The network variant (``python -m repro batch soak --api``) layers the
+HTTP front-end on top: jobs are submitted, cancelled, and polled
+through :mod:`repro.service.http` by a retrying
+:class:`~repro.service.netclient.ServiceClient` while *both* chaos
+layers are armed — storage faults in the scheduler processes, network
+faults in the server — plus one mid-campaign SIGTERM graceful drain and
+restart of the server and a SIGKILL of a scheduler. The same final
+audit gates it: the network may lie, the disks may tear, processes may
+die, and the journal must still show exactly-once completion.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import threading
 import time
 from pathlib import Path
 
@@ -210,5 +221,281 @@ def run_soak(
         "duration_s": time.time() - t0,
         "counts": client.queue.counts(),
         "fault_plan": None if plan is None else plan.to_dict(),
+        "audit": report,
+    }
+
+
+# ----------------------------------------------------------------------
+# network soak: the same campaign driven through the HTTP front-end
+# ----------------------------------------------------------------------
+def _server_process(root: str, config_dict: dict) -> None:
+    """HTTP server child: storage-clean, network-chaotic.
+
+    The server must never tear the batch directory itself — its writes
+    (dedup index, info file, metrics) ride the same atomic helpers the
+    queue uses, and keeping it storage-clean pins the blame: any torn
+    record in an API soak came from a scheduler under ``chaosio``, any
+    lost response from the server under ``chaosnet``.
+    """
+    from repro.service import chaosio, chaosnet
+    from repro.service.http import ServiceConfig, run_server
+
+    chaosio.install(None)
+    chaosnet.install_from_env()
+    raise SystemExit(run_server(root, ServiceConfig.from_dict(config_dict)))
+
+
+def _scheduler_service(
+    root: str, workers: int, lease_ttl: float, job_timeout: float
+) -> None:
+    """Long-lived scheduler child: drain, linger, drain — until SIGTERM.
+
+    Unlike :func:`_scheduler_round` (which exits when the queue is
+    momentarily empty) this keeps polling, because in an API campaign
+    jobs arrive *while* schedulers run. SIGTERM flips the pool's
+    graceful-drain hook: in-flight attempts finish, nothing new is
+    claimed, and the process exits 0 with its tickets either done or
+    still cleanly queued for the survivors.
+    """
+    from repro.service import chaosio
+    from repro.service.pool import WorkerPool
+    from repro.service.queue import JobQueue
+    from repro.service.store import ResultStore
+
+    chaosio.install_from_env()
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    base = Path(root)
+    queue = JobQueue(base / "queue", lease_ttl=lease_ttl)
+    store = ResultStore(base / "store")
+    pool = WorkerPool(
+        queue, store, base / "scratch",
+        n_workers=workers, job_timeout=job_timeout,
+    )
+    while not stop.is_set():
+        pool.run(stop=stop.is_set)
+        stop.wait(0.25)
+
+
+def run_api_soak(
+    root: str | Path,
+    *,
+    jobs: int = 120,
+    seed: int = 0,
+    schedulers: int = 2,
+    workers: int = 2,
+    fault_rate: float = 0.03,
+    net_fault_rate: float = 0.08,
+    scheduler_kills: int = 1,
+    sigterm_drains: int = 1,
+    lease_ttl: float = 2.0,
+    steps: int = 2,
+    job_timeout: float = 120.0,
+    max_wait_s: float = 900.0,
+    log=None,
+) -> dict:
+    """Drive a mixed campaign through the HTTP API under double chaos.
+
+    ``schedulers`` independent scheduler processes share the queue via
+    lease fencing while one HTTP server process fields a retrying
+    client's submits/cancels/polls. Mid-campaign the server takes
+    ``sigterm_drains`` SIGTERM graceful drains (it must exit 0 and come
+    back without losing a job) and ``scheduler_kills`` schedulers are
+    SIGKILLed (replacements are spawned). Returns the summary; the
+    embedded final audit is the pass criterion.
+    """
+    from repro.service import chaosio, chaosnet
+    from repro.service.http import ServiceConfig, wait_for_server
+    from repro.service.netclient import ClientRetry, ServiceClient
+
+    log = log or (lambda msg: None)
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    # The driver submits over HTTP and audits at the end; it must stay
+    # chaos-clean even though it sets the env plans for its children —
+    # and unlike the classic soak it may not touch batch_io before the
+    # env is set, so disarm explicitly rather than relying on the lazy
+    # one-shot env check.
+    chaosio.install(None)
+    chaosnet.install(None)
+    client_side = BatchClient(root)  # observer for fallback/final counts
+    t0 = time.time()
+
+    if fault_rate > 0:
+        io_plan = IOFaultPlan(seed=seed, rate=fault_rate)
+        os.environ[CHAOS_PLAN_ENV] = str(
+            io_plan.save(root / "chaos-plan.json")
+        )
+    else:
+        io_plan = None
+    if net_fault_rate > 0:
+        net_plan = chaosnet.NetFaultPlan(
+            seed=seed, rate=net_fault_rate,
+            latency_s=0.02, slow_delay_s=0.005,
+        )
+        os.environ[chaosnet.NET_PLAN_ENV] = str(
+            net_plan.save(root / "net-chaos-plan.json")
+        )
+    else:
+        net_plan = None
+    log(
+        f"armed chaos: storage rate {fault_rate}, network rate "
+        f"{net_fault_rate}"
+    )
+
+    config = ServiceConfig(
+        # headroom over the defaults: a soak hammers one tenant
+        rate_capacity=200.0, rate_refill_per_s=500.0,
+        max_queue_depth=max(512, jobs * 4),
+        shed_queue_depth=max(1024, jobs * 8),
+        shed_lease_expired_rate=1e9,  # scheduler kills are the *point*
+        drain_grace_s=10.0,
+    )
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn"
+    )
+
+    def spawn_server():
+        proc = ctx.Process(
+            target=_server_process, args=(str(root), config.to_dict())
+        )
+        proc.start()
+        info = wait_for_server(root, timeout=30.0)
+        log(f"server up: pid {proc.pid} on {info['host']}:{info['port']}")
+        return proc
+
+    def spawn_scheduler():
+        proc = ctx.Process(
+            target=_scheduler_service,
+            args=(str(root), workers, lease_ttl, job_timeout),
+        )
+        proc.start()
+        return proc
+
+    def new_client():
+        return ServiceClient.from_root(
+            root, tenant="soak",
+            timeout=5.0,
+            retry=ClientRetry(attempts=12, backoff_s=0.05, seed=seed),
+        )
+
+    rng = np.random.default_rng(derive_seed(seed, "api-soak-driver"))
+    mix = build_job_mix(jobs, seed, steps=steps)
+    server = spawn_server()
+    scheds = [spawn_scheduler() for _ in range(schedulers)]
+    log(f"{schedulers} scheduler(s) up: {[p.pid for p in scheds]}")
+    client = new_client()
+
+    drains: list[dict] = []
+    kills = 0
+    drained = False
+    try:
+        job_ids: list[str] = []
+        dedup_hits = 0
+        for spec, priority, retry in mix:
+            resp = client.submit(spec, priority=priority, retry=retry)
+            job_ids.append(resp["job_id"])
+            if resp.get("deduplicated"):
+                dedup_hits += 1
+        distinct = sorted(set(job_ids))
+        log(
+            f"submitted {len(job_ids)} jobs over HTTP "
+            f"({len(distinct)} distinct, {dedup_hits} dedup hits, "
+            f"{client.stats['retries']} transport retries)"
+        )
+
+        cancelled: list[str] = []
+        if jobs >= 10:
+            for i in rng.choice(len(distinct), size=2, replace=False):
+                resp = client.cancel(distinct[int(i)])
+                if resp.get("cancelled"):
+                    cancelled.append(distinct[int(i)])
+            log(f"cancelled via API: {cancelled or 'none (already claimed)'}")
+
+        for n in range(sigterm_drains):
+            time.sleep(float(rng.uniform(0.5, 1.5)))
+            td = time.monotonic()
+            os.kill(server.pid, signal.SIGTERM)
+            server.join(timeout=config.drain_grace_s + 15.0)
+            drain = {
+                "drain_s": time.monotonic() - td,
+                "exit_code": server.exitcode,
+            }
+            drains.append(drain)
+            log(
+                f"server drain {n + 1}: exit {drain['exit_code']} "
+                f"in {drain['drain_s']:.2f}s"
+            )
+            server = spawn_server()
+            client = new_client()
+
+        for _ in range(scheduler_kills):
+            victim = int(rng.integers(0, len(scheds)))
+            proc = scheds[victim]
+            if proc.is_alive():
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join()
+                kills += 1
+                log(f"scheduler SIGKILLed (pid {proc.pid}); spawning "
+                    "replacement")
+            scheds[victim] = spawn_scheduler()
+
+        deadline = time.monotonic() + max_wait_s
+        while time.monotonic() < deadline:
+            try:
+                counts = client.jobs()["counts"]
+            except Exception:  # noqa: BLE001 - restart window / giveup
+                counts = client_side.queue.counts()
+            open_jobs = sum(
+                n for state, n in counts.items()
+                if state not in JobState.TERMINAL
+            )
+            if open_jobs == 0:
+                drained = True
+                break
+            time.sleep(1.0)
+        log(f"campaign drained={drained} "
+            f"(client stats: {client.stats})")
+    finally:
+        for proc in scheds:
+            if proc.is_alive():
+                os.kill(proc.pid, signal.SIGTERM)
+        for proc in scheds:
+            proc.join(timeout=30.0)
+            if proc.is_alive():  # pragma: no cover - stuck attempt
+                proc.terminate()
+                proc.join()
+        final_drain = None
+        if server.is_alive():
+            td = time.monotonic()
+            os.kill(server.pid, signal.SIGTERM)
+            server.join(timeout=config.drain_grace_s + 15.0)
+            final_drain = {
+                "drain_s": time.monotonic() - td,
+                "exit_code": server.exitcode,
+            }
+        if final_drain is not None:
+            drains.append(final_drain)
+        os.environ.pop(CHAOS_PLAN_ENV, None)
+        os.environ.pop(chaosnet.NET_PLAN_ENV, None)
+
+    report = audit_journal(root, final=True)
+    return {
+        "mode": "api",
+        "jobs": jobs,
+        "seed": seed,
+        "schedulers": schedulers,
+        "distinct_jobs": len(distinct),
+        "dedup_hits": dedup_hits,
+        "cancelled": cancelled,
+        "scheduler_kills": kills,
+        "drains": drains,
+        "drained": drained,
+        "duration_s": time.time() - t0,
+        "counts": client_side.queue.counts(),
+        "client_stats": client.stats,
+        "io_fault_plan": None if io_plan is None else io_plan.to_dict(),
+        "net_fault_plan": None if net_plan is None else net_plan.to_dict(),
         "audit": report,
     }

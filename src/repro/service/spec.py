@@ -242,6 +242,9 @@ class JobRecord:
     spec: JobSpec
     state: str = JobState.QUEUED
     priority: int = 0
+    #: Free-form tenant label (HTTP rate-limit bucket / quota key).
+    #: Scheduling metadata, not workload — deliberately *not* hashed.
+    tenant: str = ""
     max_retries: int = 1
     retry: RetryPolicy | None = None
     attempts: int = 0

@@ -1,0 +1,223 @@
+"""HTTP front-end: idempotent submits, admission control, drain."""
+
+import dataclasses
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.service.client import BatchClient
+from repro.service.http import (
+    BackgroundServer,
+    ServiceConfig,
+    TokenBucket,
+    read_server_info,
+)
+from repro.service.netclient import ServiceClient, ServiceError
+from repro.service.spec import JobSpec, JobState
+
+
+def spec(tag: str, **kw) -> JobSpec:
+    kw.setdefault("model", "wall")
+    kw.setdefault("engine", "serial")
+    kw.setdefault("steps", 2)
+    return JobSpec(tag=tag, **kw)
+
+
+@pytest.fixture
+def served(tmp_path):
+    server = BackgroundServer(tmp_path / "batch").start()
+    client = ServiceClient(server.host, server.port, tenant="test")
+    yield server, client, tmp_path / "batch"
+    server.stop()
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(capacity=2.0, refill_per_s=10.0)
+        now = time.monotonic()
+        assert bucket.take(now) == 0.0
+        assert bucket.take(now) == 0.0
+        wait = bucket.take(now)
+        assert wait > 0.0
+        assert bucket.take(now + wait + 0.01) == 0.0
+
+    def test_zero_refill_never_recovers(self):
+        bucket = TokenBucket(capacity=1.0, refill_per_s=0.0)
+        now = time.monotonic()
+        assert bucket.take(now) == 0.0
+        assert bucket.take(now) > 0.0
+
+
+class TestLifecycle:
+    def test_healthz_and_info_file(self, served):
+        server, client, root = served
+        assert client.healthz()["ok"] is True
+        assert client.readyz() is True
+        info = read_server_info(root)
+        assert info["port"] == server.port
+
+    def test_submit_status_result_roundtrip(self, served):
+        _server, client, root = served
+        resp = client.submit(spec("roundtrip"))
+        assert resp["deduplicated"] is False
+        job_id = resp["job_id"]
+        row = client.job(job_id)
+        assert row["state"] == JobState.QUEUED
+        assert row["tenant"] == "test"
+        envelope = client.result(job_id)
+        assert envelope["result"] is None  # 202 while queued
+        BatchClient(root).run(n_workers=1)
+        row = client.wait(job_id, timeout_s=60.0)
+        assert row["state"] == JobState.SUCCEEDED
+        envelope = client.result(job_id)
+        assert envelope["result"]["status"] == "succeeded"
+
+    def test_submit_is_idempotent_by_spec_hash(self, served):
+        _server, client, _root = served
+        first = client.submit(spec("dup"))
+        second = client.submit(spec("dup"))
+        assert second["job_id"] == first["job_id"]
+        assert second["deduplicated"] is True
+        # dedup=False forces a fresh job for the same spec
+        third = client.submit(spec("dup"), dedup=False)
+        assert third["job_id"] != first["job_id"]
+
+    def test_failed_job_releases_its_dedup_entry(self, served):
+        _server, client, root = served
+        poison = spec("poison", kill_at_step=1, checkpoint_every=1,
+                      kill_once=False)
+        first = client.submit(poison, retry={"max_attempts": 1})
+        BatchClient(root).run(n_workers=1)
+        assert client.wait(first["job_id"], timeout_s=60.0)["state"] == \
+            JobState.FAILED
+        # a failed job must not absorb an explicit re-request: the
+        # dedup entry is released and a fresh job is forked
+        again = client.submit(poison, retry={"max_attempts": 1})
+        assert again["deduplicated"] is False
+        assert again["job_id"] != first["job_id"]
+
+    def test_cancel_via_api(self, served):
+        _server, client, _root = served
+        job_id = client.submit(spec("doomed"))["job_id"]
+        resp = client.cancel(job_id)
+        assert resp["cancelled"] is True
+        assert resp["state"] == JobState.CANCELLED
+
+    def test_unknown_job_404s(self, served):
+        _server, client, _root = served
+        with pytest.raises(ServiceError) as err:
+            client.job("j999999-deadbeef")
+        assert err.value.status == 404
+
+    def test_bad_spec_400s_without_retry_burn(self, served):
+        _server, client, _root = served
+        before = client.stats["requests"]
+        with pytest.raises(ServiceError) as err:
+            client.submit({"model": "nope"})
+        assert err.value.status == 400
+        assert client.stats["requests"] == before + 1  # not retried
+
+    def test_long_poll_events(self, served):
+        _server, client, _root = served
+        job_id = client.submit(spec("events"))["job_id"]
+        resp = client.events(job_id, since=0, timeout_s=0.2)
+        names = [e["event"] for e in resp["events"]]
+        assert "submitted" in names
+        # the cursor advances; polling past the tail returns empty
+        tail = client.events(job_id, since=resp["next"], timeout_s=0.1)
+        assert tail["events"] == []
+
+    def test_metrics_endpoint_counts_requests(self, served):
+        _server, client, _root = served
+        client.submit(spec("metered"))
+        snap = client.metrics()
+        assert snap["counters"]["http.requests"] >= 1
+        assert snap["counters"]["http.submitted"] == 1
+
+
+class TestAdmissionControl:
+    def test_tenant_rate_limit_429_with_retry_after(self, tmp_path):
+        config = ServiceConfig(rate_capacity=2.0, rate_refill_per_s=0.1)
+        server = BackgroundServer(tmp_path / "b", config).start()
+        try:
+            url = f"http://{server.host}:{server.port}/v1/jobs"
+            seen = None
+            for _ in range(4):
+                req = urllib.request.Request(
+                    url, headers={"X-Tenant": "greedy"}
+                )
+                try:
+                    urllib.request.urlopen(req).read()
+                except urllib.error.HTTPError as err:
+                    seen = err
+                    break
+            assert seen is not None and seen.code == 429
+            assert float(seen.headers["Retry-After"]) > 0.0
+            # another tenant's bucket is untouched
+            req = urllib.request.Request(url, headers={"X-Tenant": "calm"})
+            assert urllib.request.urlopen(req).status == 200
+        finally:
+            server.stop()
+
+    def test_queue_depth_rejects_submit(self, tmp_path):
+        config = ServiceConfig(max_queue_depth=2, rate_capacity=100.0)
+        server = BackgroundServer(tmp_path / "b", config).start()
+        client = ServiceClient(
+            server.host, server.port,
+            retry=dataclasses.replace(client_retry_fast(), attempts=2),
+        )
+        try:
+            client.submit(spec("one"))
+            client.submit(spec("two"))
+            with pytest.raises(Exception) as err:
+                client.submit(spec("three"))
+            # budget-exhausted retriable 429, surfaced as unavailability
+            assert "429" in str(err.value.last)
+        finally:
+            server.stop()
+
+    def test_deadline_header_propagates_into_retry_policy(self, served):
+        _server, client, root = served
+        job_id = client.submit(spec("deadline"), deadline_s=7.5)["job_id"]
+        record = BatchClient(root).queue.load_record(job_id)
+        assert record.retry.attempt_deadline_s == 7.5
+        # a tighter job-level deadline wins over the request's
+        job_id = client.submit(
+            spec("tighter"), deadline_s=7.5,
+            retry={"max_attempts": 2, "attempt_deadline_s": 3.0},
+        )["job_id"]
+        record = BatchClient(root).queue.load_record(job_id)
+        assert record.retry.attempt_deadline_s == 3.0
+
+
+class TestDrain:
+    def test_sigterm_style_drain_flips_readyz(self, tmp_path):
+        root = tmp_path / "batch"
+        server = BackgroundServer(root).start()
+        client = ServiceClient(server.host, server.port)
+        job_id = client.submit(spec("survivor"))["job_id"]
+        assert client.readyz() is True
+        server.stop()  # graceful drain, not a kill
+        assert client.readyz() is False
+        assert read_server_info(root) is None  # info file removed
+        # the queued job survived the server: a pool can still run it
+        bc = BatchClient(root)
+        assert bc.queue.load_record(job_id).state == JobState.QUEUED
+        bc.run(n_workers=1)
+        assert bc.queue.load_record(job_id).state == JobState.SUCCEEDED
+        # drain journalled + metrics persisted for the operator report
+        events, _ = bc.queue.journal.events()
+        names = [e["event"] for e in events]
+        assert "server_started" in names and "server_drained" in names
+        snaps = list((root / "metrics").glob("http-*.json"))
+        assert snaps, "drain must persist the metrics snapshot"
+        snap = json.loads(snaps[0].read_text())
+        assert snap["counters"]["http.drains"] == 1
+
+
+def client_retry_fast():
+    from repro.service.netclient import ClientRetry
+
+    return ClientRetry(attempts=4, backoff_s=0.01, backoff_max_s=0.05)

@@ -1,0 +1,80 @@
+"""Retrying client: seeded backoff, Retry-After, error taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.engine.chaos import derive_seed
+from repro.service.http import BackgroundServer, ServiceConfig
+from repro.service.netclient import (
+    ClientRetry,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+
+
+class TestClientRetry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientRetry(attempts=0)
+        with pytest.raises(ValueError):
+            ClientRetry(backoff_factor=0.5)
+
+    def test_delays_are_seeded_and_bounded(self):
+        retry = ClientRetry(backoff_s=0.1, backoff_factor=2.0,
+                            backoff_max_s=0.5, jitter=0.5, seed=7)
+        rng_a = np.random.default_rng(derive_seed(7, "netclient", "h", 1))
+        rng_b = np.random.default_rng(derive_seed(7, "netclient", "h", 1))
+        delays_a = [retry.delay(n, rng_a) for n in range(1, 8)]
+        delays_b = [retry.delay(n, rng_b) for n in range(1, 8)]
+        assert delays_a == delays_b  # same seed, same schedule
+        # exponential up to the cap, jitter never exceeding 1+jitter
+        assert all(d <= 0.5 * 1.5 for d in delays_a)
+        assert delays_a[0] < delays_a[-1]
+
+
+class TestErrorTaxonomy:
+    def test_connection_refused_exhausts_into_unavailable(self):
+        client = ServiceClient(
+            "127.0.0.1", 1,  # nothing listens on port 1
+            retry=ClientRetry(attempts=3, backoff_s=0.001),
+        )
+        with pytest.raises(ServiceUnavailable) as err:
+            client.healthz()
+        assert client.stats["requests"] == 3
+        assert client.stats["giveups"] == 1
+        assert isinstance(err.value.last, OSError)
+
+    def test_4xx_is_not_retried(self, tmp_path):
+        server = BackgroundServer(tmp_path / "b").start()
+        client = ServiceClient(server.host, server.port)
+        try:
+            before = client.stats["requests"]
+            with pytest.raises(ServiceError) as err:
+                client.request("GET", "/no/such/route")
+            assert err.value.status == 404
+            assert client.stats["requests"] == before + 1
+        finally:
+            server.stop()
+
+    def test_retry_after_hint_is_honoured(self, tmp_path):
+        # an empty token bucket returns 429 + Retry-After; the client
+        # must wait at least that long before its next attempt succeeds
+        config = ServiceConfig(rate_capacity=1.0, rate_refill_per_s=5.0)
+        server = BackgroundServer(tmp_path / "b", config).start()
+        client = ServiceClient(
+            server.host, server.port, tenant="burst",
+            retry=ClientRetry(attempts=6, backoff_s=0.001,
+                              backoff_max_s=0.002),
+        )
+        try:
+            client.jobs()  # drains the single token
+            client.jobs()  # 429 first, then retried past the refill
+            assert client.stats["retries"] >= 1
+            assert client.stats["giveups"] == 0
+        finally:
+            server.stop()
+
+    def test_from_root_times_out_without_server(self, tmp_path):
+        with pytest.raises(TimeoutError):
+            ServiceClient.from_root(tmp_path, wait_s=0.2)

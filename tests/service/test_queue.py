@@ -3,6 +3,7 @@
 import os
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
@@ -264,3 +265,85 @@ class TestCancellation:
         queue.requeue(ticket)  # the pool pushes it back (retry path)
         assert queue.claim() is None  # tombstoned: consumed, never returned
         assert queue.load_record(record.job_id).state == JobState.CANCELLED
+
+
+def _fairness_scheduler(root: str, done_dir: str, wid: int) -> None:
+    """One competing scheduler process: claim, finalize, ack — to empty."""
+    queue = JobQueue(root, recover=False)
+    queue.owner = f"sched-fair-{wid}"
+    claimed = 0
+    while True:
+        got = queue.claim()
+        if got is None:
+            break
+        record, ticket = got
+        time.sleep(0.002)  # hold the claim long enough for real overlap
+        queue.finalize(
+            record.job_id, JobState.SUCCEEDED, epoch=record.lease_epoch
+        )
+        queue.ack(ticket)
+        claimed += 1
+    (Path(done_dir) / str(wid)).write_text(str(claimed))
+
+
+class TestMultiSchedulerFairness:
+    """Several scheduler *processes* on one queue: exactly-once claims,
+    every job terminal, and no scheduler starved out entirely."""
+
+    def test_three_schedulers_share_one_queue(self, tmp_path):
+        import multiprocessing
+
+        from repro.service.audit import audit_journal
+
+        root = tmp_path / "batch"
+        queue = JobQueue(root / "queue")
+        n_jobs, n_scheds = 30, 3
+        for i in range(n_jobs):
+            queue.submit(spec(f"fair-{i}"))
+        done_dir = tmp_path / "done"
+        done_dir.mkdir()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        procs = [
+            ctx.Process(
+                target=_fairness_scheduler,
+                args=(str(root / "queue"), str(done_dir), wid),
+            )
+            for wid in range(n_scheds)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+
+        assert queue.pending() == 0
+        counts = queue.counts()
+        assert counts[JobState.SUCCEEDED] == n_jobs
+
+        # exactly-once: the auditor sees one claim epoch and one
+        # completion per job, across all three claimants
+        report = audit_journal(root, final=True)
+        assert report["ok"], report["violations"]
+        assert report["event_counts"]["claimed"] == n_jobs
+        assert report["event_counts"]["completed"] == n_jobs
+
+        # bounded starvation: every scheduler won at least one claim,
+        # none monopolised the queue
+        per_sched = {
+            int(p.name): int(p.read_text())
+            for p in done_dir.iterdir()
+        }
+        assert len(per_sched) == n_scheds
+        assert sum(per_sched.values()) == n_jobs
+        assert min(per_sched.values()) >= 1, per_sched
+        assert max(per_sched.values()) <= n_jobs - (n_scheds - 1), per_sched
+
+        # the journal agrees: distinct owners on the claimed events
+        events, _ = queue.journal.events()
+        owners = {
+            e["owner"] for e in events if e.get("event") == "claimed"
+        }
+        assert owners == {f"sched-fair-{w}" for w in range(n_scheds)}

@@ -43,3 +43,33 @@ class TestSoakCampaign:
         # the kill actually happened and the journal recorded real events
         assert summary["scheduler_kills"] == 1
         assert audit["event_counts"]["completed"] == audit["jobs"]
+
+
+@pytest.mark.slow
+class TestApiSoakCampaign:
+    def test_small_api_campaign_survives_both_fault_planes(self, tmp_path):
+        from repro.service.soak import run_api_soak
+
+        summary = run_api_soak(
+            tmp_path / "apisoak",
+            jobs=8, seed=0, schedulers=2, workers=1, steps=1,
+            fault_rate=0.02, net_fault_rate=0.05,
+            scheduler_kills=1, sigterm_drains=1,
+            lease_ttl=1.5, max_wait_s=300.0,
+        )
+        assert summary["mode"] == "api"
+        assert summary["drained"], summary["counts"]
+        audit = summary["audit"]
+        assert audit["ok"], audit["violations"]
+        # every distinct spec reached a terminal state through the API
+        counts = summary["counts"]
+        terminal = sum(counts[s] for s in JobState.TERMINAL)
+        assert terminal == summary["distinct_jobs"]
+        # the mid-campaign SIGTERM drain and the final shutdown were
+        # both graceful (exit 0), and the replacement server finished
+        # the campaign
+        drains = summary["drains"]
+        assert len(drains) == 2
+        assert all(d["exit_code"] == 0 for d in drains)
+        # the retrying client never gave up on a request
+        assert summary["client_stats"]["giveups"] == 0
