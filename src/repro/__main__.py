@@ -77,10 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     src.add_argument("--load", metavar="STEM",
                      help="load a model saved with repro.io.save_system")
-    p.add_argument("--engine", choices=("gpu", "serial", "hybrid"),
+    p.add_argument("--engine", choices=("gpu", "serial", "hybrid", "domain"),
                    default="gpu")
     p.add_argument("--profile", choices=("k40", "k20"), default="k40",
                    help="GPU device profile (gpu engine only)")
+    p.add_argument("--n-domains", type=int, default=2, metavar="N",
+                   help="domain count for --engine domain (the "
+                        "decomposed path is bit-identical to serial "
+                        "at every N)")
     p.add_argument("--steps", type=int, default=20)
     p.add_argument("--dt", type=float, default=1e-3, help="time step [s]")
     p.add_argument("--dynamic", action="store_true",
@@ -217,6 +221,13 @@ def run_main(argv: list[str] | None = None) -> int:
     if args.engine == "serial":
         engine = SerialEngine(
             system, controls, fault_injector=injector, tracer=tracer
+        )
+    elif args.engine == "domain":
+        from repro.engine.domain_engine import DomainEngine
+
+        engine = DomainEngine(
+            system, controls, n_domains=args.n_domains,
+            fault_injector=injector, tracer=tracer,
         )
     elif args.engine == "hybrid":
         engine = HybridEngine(

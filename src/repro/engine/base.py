@@ -102,6 +102,7 @@ class EngineBase:
         #: accumulated simulated physical time [s] (drives seismic input)
         self.sim_time = 0.0
         self._prev_solution = np.zeros(system.n_dof)
+        self._current_step = 0
         self._contacts = ContactSet.empty()
         bbox = np.array(
             [
@@ -190,6 +191,7 @@ class EngineBase:
         t0 = time.perf_counter()
         if self.sanitizer is not None:
             self.sanitizer.stage = _SANITIZER_STAGE.get(module, module)
+        self._current_step = step
         device._region_stack.append(module)
         try:
             yield
@@ -426,18 +428,11 @@ class EngineBase:
         rung = 0
         for rung, (name, warm) in enumerate(ladder):
             try:
-                pre = make_preconditioner(name, matrix, self.device)
+                pre = self._make_rung_preconditioner(name, matrix)
             except Exception:
                 continue  # rung unbuildable (e.g. ILU on a zero pivot)
-            res = pcg(
-                matrix,
-                rhs,
-                x0=self._prev_solution if warm else None,
-                preconditioner=pre,
-                tol=controls.cg_tolerance,
-                max_iterations=controls.cg_max_iterations,
-                device=self.device,
-                metrics=self.metrics,
+            res = self._pcg(
+                matrix, rhs, self._prev_solution if warm else None, pre
             )
             total_iters += res.iterations
             if res.converged:
@@ -451,6 +446,35 @@ class EngineBase:
             )
         self.metrics.inc("solver.ladder_exhausted")
         return res, rung, total_iters
+
+    def _make_rung_preconditioner(self, name: str, matrix: BlockMatrix):
+        """Build one fallback-ladder rung's preconditioner (solver hook).
+
+        Subclasses substituting a distributed solve override this
+        together with :meth:`_pcg`; only construction failures here are
+        treated as "rung unbuildable" by the ladder walk.
+        """
+        return make_preconditioner(name, matrix, self.device)
+
+    def _pcg(
+        self,
+        matrix: BlockMatrix,
+        rhs: np.ndarray,
+        x0: np.ndarray | None,
+        preconditioner,
+    ) -> CGResult:
+        """Run one ladder rung's CG solve (solver hook)."""
+        controls = self.controls
+        return pcg(
+            matrix,
+            rhs,
+            x0=x0,
+            preconditioner=preconditioner,
+            tol=controls.cg_tolerance,
+            max_iterations=controls.cg_max_iterations,
+            device=self.device,
+            metrics=self.metrics,
+        )
 
     def _run_one_step(
         self,

@@ -115,6 +115,12 @@ FAULT_REGISTRY: dict[str, FaultSpec] = {
             "contracts.finite_solution (cheap) / guard_finite",
         ),
         FaultSpec(
+            "halo_corrupt", "halo_exchange",
+            "corrupt one entry of the gathered-solution halo transfer "
+            "buffer (domain-decomposed engine only)",
+            "contracts.residual_mismatch (full)",
+        ),
+        FaultSpec(
             "scatter_duplicate_index", "scatter_write",
             "duplicate one destination index in a scatter kernel's "
             "shadow view (the sanitizer's copy; downstream data stays "
@@ -264,6 +270,19 @@ class FaultInjector:
         victim = int(self._rng.integers(res.x.size))
         res.x[victim] = np.inf
         return res, f"set solution entry {victim} to +inf"
+
+    # ------------------------------------------------------------------
+    # halo-exchange faults (payload: the gathered solution DOF buffer
+    # of the domain-decomposed solve)
+    # ------------------------------------------------------------------
+    def _apply_halo_corrupt(self, buffer, engine):
+        if buffer.size == 0:
+            return buffer, None
+        victim = int(self._rng.integers(buffer.size))
+        # large but finite: slips past the cheap finiteness contract and
+        # is caught by the full-level true-residual check
+        buffer[victim] += 1e6 * (1.0 + float(np.abs(buffer).max()))  # lint: host-ok[DDA002]
+        return buffer, f"corrupted halo-gather buffer entry {victim}"
 
     # ------------------------------------------------------------------
     # scatter-write faults (payload: the sanitizer's shadow copy of a

@@ -80,6 +80,14 @@ def make_engine(spec, system, controls, fault_injector=None,
             system, controls, profile=profile,
             fault_injector=fault_injector, **obs,
         )
+    if spec.engine == "domain":
+        from repro.engine.domain_engine import DomainEngine
+
+        return DomainEngine(
+            system, controls,
+            n_domains=getattr(spec, "n_domains", 2) or 2,
+            fault_injector=fault_injector, **obs,
+        )
     from repro.engine.gpu_engine import GpuEngine
 
     return GpuEngine(

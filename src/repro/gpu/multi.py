@@ -7,8 +7,11 @@ multi-device model that predicts how the pipeline scales across GPUs.
 
 Model
 -----
-Blocks are partitioned into ``n_devices`` spatial stripes (1-D domain
-decomposition along x, the natural choice for slopes). Per time step:
+Blocks are partitioned into ``n_devices`` domains by
+:mod:`repro.domain.partition` (graph partition over the contact
+topology, spatial x-stripes as the fallback — the same partition the
+executable :class:`~repro.engine.domain_engine.DomainEngine` runs on).
+Per time step:
 
 * perfectly parallel work (contact detection within a stripe, matrix
   building, interpenetration checking, data updating) divides by the
@@ -26,12 +29,15 @@ curves reflect the actual measured workload, not an abstract law.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.core.blocks import BlockSystem
-from repro.gpu.device import DeviceProfile
+
+# The partition itself lives in repro.domain.partition — the single
+# source of truth shared with the executable path, so the projection
+# and the execution can never disagree on the decomposition. The names
+# are re-exported here for the historic import surface.
+from repro.domain.partition import PartitionStats, partition_blocks as _partition_blocks
 from repro.gpu.kernel import VirtualDevice
 from repro.util.validation import check_positive
 
@@ -41,54 +47,29 @@ PCIE_BANDWIDTH = 12e9
 #: One-way PCIe/NVLink-free transfer latency, seconds.
 PCIE_LATENCY = 8e-6
 
-
-@dataclass(frozen=True)
-class PartitionStats:
-    """Spatial stripe partition of a block system.
-
-    Attributes
-    ----------
-    counts:
-        Blocks per stripe.
-    cut_fraction:
-        Fraction of broad-phase-adjacent block pairs that cross a stripe
-        boundary (ghost-contact overhead).
-    imbalance:
-        ``max(counts) / mean(counts)``.
-    """
-
-    counts: np.ndarray
-    cut_fraction: float
-    imbalance: float
+__all__ = [
+    "PCIE_BANDWIDTH",
+    "PCIE_LATENCY",
+    "PartitionStats",
+    "partition_blocks",
+    "predict_multi_gpu_time",
+]
 
 
 def partition_blocks(
-    system: BlockSystem, n_devices: int, *, margin: float = 0.0
+    system: BlockSystem,
+    n_devices: int,
+    *,
+    margin: float = 0.0,
+    method: str = "auto",
 ) -> tuple[np.ndarray, PartitionStats]:
-    """Stripe-partition blocks along x.
+    """Partition blocks across devices: ``(n_blocks,)`` labels + stats.
 
-    Returns the ``(n_blocks,)`` device labels and partition statistics.
+    Delegates to :func:`repro.domain.partition.partition_blocks`
+    (graph partition over the contact topology, spatial-stripe
+    fallback; ``method="stripe"`` forces the historic x-stripes).
     """
-    if n_devices < 1:
-        raise ValueError(f"n_devices must be >= 1, got {n_devices}")
-    x = system.centroids[:, 0]
-    # equal-count stripes (balanced by construction up to ties)
-    order = np.argsort(x, kind="stable")
-    labels = np.empty(system.n_blocks, dtype=np.int64)
-    for d, chunk in enumerate(np.array_split(order, n_devices)):
-        labels[chunk] = d
-    counts = np.bincount(labels, minlength=n_devices)
-
-    from repro.contact.broad_phase import broad_phase_pairs
-
-    i, j = broad_phase_pairs(system.aabbs, margin or 0.0)
-    # host-side partition-planning statistics, computed once per run
-    if i.size:
-        cut = float(np.count_nonzero(labels[i] != labels[j])) / i.size  # lint: host-ok[DDA002]
-    else:
-        cut = 0.0
-    imbalance = float(counts.max()) / max(1.0, float(counts.mean()))  # lint: host-ok[DDA002]
-    return labels, PartitionStats(counts, cut, imbalance)
+    return _partition_blocks(system, n_devices, margin=margin, method=method)
 
 
 def predict_multi_gpu_time(

@@ -39,6 +39,7 @@ KERNEL_PATH = (
     "spmv/",
     "primitives/",
     "gpu/",
+    "domain/",
     "solvers/cg.py",
 )
 

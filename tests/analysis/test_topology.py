@@ -107,6 +107,51 @@ class TestClustersAndMetrics:
         depth = load_path_depth(system, contacts)
         assert depth[3] == -1
 
+class TestPartitionAdjacent:
+    """The topology queries the domain partitioner builds on."""
+
+    def test_contact_graph_keeps_floating_blocks_as_nodes(self):
+        # a block with no contacts must still be a (degree-0) node, so
+        # the partitioner sees the full block set, not just the coupled
+        _, contacts = chain_system(3)
+        blocks = [Block(SQ + np.array([1.05 * k, 0.0])) for k in range(3)]
+        blocks.append(Block(SQ + np.array([50.0, 0.0])))
+        system_iso = BlockSystem(blocks)
+        system_iso.fix_block(0)
+        g = contact_graph(system_iso, contacts)
+        assert g.number_of_nodes() == 4
+        assert g.degree[3] == 0
+
+    def test_fixed_and_floating_blocks_both_mapped(self):
+        system, contacts = chain_system(4)
+        g = contact_graph(system, contacts)
+        fixed = [n for n, d in g.nodes(data=True) if d["fixed"]]
+        free = [n for n, d in g.nodes(data=True) if not d["fixed"]]
+        assert fixed == [0]
+        assert free == [1, 2, 3]
+
+    def test_disconnected_components_force_stripe_fallback(self):
+        from repro.domain.partition import partition_blocks
+
+        system, contacts = chain_system(6)
+        contacts.state[2] = OPEN  # split the chain in two components
+        auto, _ = partition_blocks(
+            system, 2, method="auto",
+            contacts=contacts.select(np.flatnonzero(contacts.state != OPEN)),
+        )
+        stripe, _ = partition_blocks(system, 2, method="stripe")
+        np.testing.assert_array_equal(auto, stripe)
+
+    def test_connected_chain_uses_the_contact_graph(self):
+        from repro.domain.partition import adjacency_pairs
+
+        system, contacts = chain_system(5)
+        i, j = adjacency_pairs(system, contacts=contacts)
+        g = contact_graph(system, contacts)
+        assert set(zip(i.tolist(), j.tolist())) == set(g.edges)
+
+
+class TestRealEngine:
     def test_real_engine_contacts(self):
         from repro.core.state import SimulationControls
         from repro.engine.gpu_engine import GpuEngine

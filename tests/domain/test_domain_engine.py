@@ -1,0 +1,98 @@
+"""DomainEngine: the executable multi-device path.
+
+The acceptance pin: a seeded, dtype-pinned run is **bit-identical** to
+the single-device serial engine at every domain count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.state import SimulationControls
+from repro.engine.domain_engine import DomainEngine
+from repro.engine.serial_engine import SerialEngine
+from repro.meshing.slope_models import build_brick_wall
+
+STEPS = 3
+
+
+def controls() -> SimulationControls:
+    return SimulationControls(time_step=1e-3, dynamic=True)
+
+
+def run(engine_cls, **kw):
+    system = build_brick_wall(3, 4)
+    eng = engine_cls(system, controls(), **kw)
+    result = eng.run(steps=STEPS)
+    return eng, result
+
+
+class TestBitIdenticalPin:
+    @pytest.mark.parametrize("n_domains", [1, 2, 4])
+    def test_identical_to_serial_engine(self, n_domains):
+        serial, ref = run(SerialEngine)
+        domain, res = run(DomainEngine, n_domains=n_domains)
+        np.testing.assert_array_equal(
+            domain.system.vertices, serial.system.vertices
+        )
+        np.testing.assert_array_equal(
+            domain.system.velocities, serial.system.velocities
+        )
+        np.testing.assert_array_equal(
+            domain.system.centroids, serial.system.centroids
+        )
+        assert res.total_cg_iterations == ref.total_cg_iterations
+        assert res.n_steps == ref.n_steps == STEPS
+
+    def test_stripe_partition_also_identical(self):
+        serial, _ = run(SerialEngine)
+        domain, _ = run(
+            DomainEngine, n_domains=2, partition_method="stripe"
+        )
+        np.testing.assert_array_equal(
+            domain.system.vertices, serial.system.vertices
+        )
+
+    def test_domain_runs_deterministic_across_calls(self):
+        a, res_a = run(DomainEngine, n_domains=2)
+        b, res_b = run(DomainEngine, n_domains=2)
+        np.testing.assert_array_equal(a.system.vertices, b.system.vertices)
+        assert res_a.total_cg_iterations == res_b.total_cg_iterations
+        assert a.halo_bytes == b.halo_bytes
+
+
+class TestObservability:
+    def test_halo_bytes_metered(self):
+        eng, _ = run(DomainEngine, n_domains=2)
+        assert eng.halo_bytes > 0
+        single, _ = run(DomainEngine, n_domains=1)
+        assert single.halo_bytes == 0.0
+
+    def test_partition_gauges_published(self):
+        eng, _ = run(DomainEngine, n_domains=2)
+        assert eng.metrics.gauge("domain.imbalance").value >= 1.0
+        assert 0.0 <= eng.metrics.gauge("domain.cut_fraction").value <= 1.0
+        assert eng.metrics.gauge("domain.cut_contacts").value >= 1.0
+
+    def test_domain_device_times(self):
+        eng, _ = run(DomainEngine, n_domains=3)
+        times = eng.domain_device_times()
+        assert len(times) == 3
+        assert all(t > 0.0 for t in times)
+
+    def test_partition_stats_exposed(self):
+        eng, _ = run(DomainEngine, n_domains=2)
+        assert eng.partition_stats.counts.sum() == eng.system.n_blocks
+        assert eng.labels.shape == (eng.system.n_blocks,)
+
+
+class TestRunnerIntegration:
+    def test_make_engine_builds_domain_engine(self):
+        from types import SimpleNamespace
+
+        from repro.engine.runner import make_engine
+
+        spec = SimpleNamespace(engine="domain", profile="k40", n_domains=3)
+        system = build_brick_wall(2, 3)
+        eng = make_engine(spec, system, controls())
+        assert isinstance(eng, DomainEngine)
+        assert eng.n_domains == 3

@@ -1,0 +1,160 @@
+"""Ownership maps, exchange plans, and the metered halo exchange."""
+
+import numpy as np
+import pytest
+
+from repro.assembly.global_matrix import BS
+from repro.domain.halo import (
+    DomainMap,
+    HaloExchanger,
+    build_exchange_plan,
+    ghost_contacts,
+    make_domain_devices,
+)
+from repro.gpu.device import K40
+from repro.obs.metrics import MetricsRegistry
+from repro.spmv.synthetic import synthetic_block_matrix
+
+N, M = 12, 20
+
+
+@pytest.fixture
+def matrix():
+    return synthetic_block_matrix(N, M, seed=7)
+
+
+def setup(matrix, n_domains, labels=None, metrics=None, inject=None):
+    if labels is None:
+        labels = np.arange(N, dtype=np.int64) * n_domains // N
+    dmap = DomainMap.from_labels(labels, n_domains)
+    plan = build_exchange_plan(dmap, matrix.rows, matrix.cols)
+    exchanger = HaloExchanger(
+        dmap, plan, make_domain_devices(n_domains, K40),
+        metrics=metrics, inject=inject,
+    )
+    return dmap, plan, exchanger
+
+
+class TestDomainMap:
+    def test_owned_partitions_all_blocks(self, matrix):
+        dmap, _, _ = setup(matrix, 3)
+        all_owned = np.concatenate(dmap.owned)
+        np.testing.assert_array_equal(np.sort(all_owned), np.arange(N))
+
+    def test_local_indexes_into_owner(self, matrix):
+        dmap, _, _ = setup(matrix, 3)
+        for d in range(3):
+            np.testing.assert_array_equal(
+                dmap.local[dmap.owned[d]], np.arange(dmap.owned[d].size)
+            )
+
+
+class TestExchangePlan:
+    def test_ghosts_are_cross_domain(self, matrix):
+        dmap, plan, _ = setup(matrix, 3)
+        for d in range(3):
+            assert np.all(dmap.labels[plan.ghosts[d]] != d)
+
+    def test_ghosts_cover_every_cut_entry(self, matrix):
+        dmap, plan, _ = setup(matrix, 3)
+        rows, cols = matrix.rows, matrix.cols
+        for d in range(3):
+            ghost = set(plan.ghosts[d].tolist())
+            lab = dmap.labels
+            for r, c in zip(rows.tolist(), cols.tolist()):
+                if lab[r] == d and lab[c] != d:
+                    assert c in ghost
+                if lab[c] == d and lab[r] != d:
+                    assert r in ghost
+
+    def test_slots_owned_first_then_ghosts(self, matrix):
+        dmap, plan, _ = setup(matrix, 2)
+        for d in range(2):
+            own = dmap.owned[d]
+            slot = plan.slots[d]
+            np.testing.assert_array_equal(slot[own], np.arange(own.size))
+            np.testing.assert_array_equal(
+                slot[plan.ghosts[d]],
+                own.size + np.arange(plan.ghosts[d].size),
+            )
+
+    def test_sends_ship_exactly_the_ghosts(self, matrix):
+        dmap, plan, _ = setup(matrix, 3)
+        for d in range(3):
+            shipped = [ids for src, dst, ids in plan.sends if dst == d]
+            got = np.sort(np.concatenate(shipped)) if shipped else \
+                np.empty(0, dtype=np.int64)
+            np.testing.assert_array_equal(got, plan.ghosts[d])
+        for src, dst, ids in plan.sends:
+            assert src != dst
+            assert np.all(dmap.labels[ids] == src)
+
+
+class TestGhostContacts:
+    def test_cut_contacts_duplicated_on_both_owners(self):
+        labels = np.array([0, 0, 1, 1], dtype=np.int64)
+        dmap = DomainMap.from_labels(labels, 2)
+        block_i = np.array([0, 1, 2], dtype=np.int64)
+        block_j = np.array([1, 2, 3], dtype=np.int64)
+        per_domain, n_cut = ghost_contacts(dmap, block_i, block_j)
+        assert n_cut == 1  # only contact 1-2 crosses
+        np.testing.assert_array_equal(per_domain[0], [0, 1])
+        np.testing.assert_array_equal(per_domain[1], [1, 2])
+
+
+class TestHaloExchanger:
+    def test_scatter_gather_round_trip_bitwise(self, matrix):
+        _, _, ex = setup(matrix, 3)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=N * BS)
+        segments = ex.scatter(x)
+        np.testing.assert_array_equal(ex.gather(segments), x)
+
+    def test_exchange_refreshes_ghost_values(self, matrix):
+        dmap, plan, ex = setup(matrix, 2)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=N * BS)
+        extended = ex.exchange(ex.scatter(x))
+        xb = x.reshape(N, BS)
+        for d in range(2):
+            ext = extended[d].reshape(-1, BS)
+            np.testing.assert_array_equal(ext[: dmap.owned[d].size],
+                                          xb[dmap.owned[d]])
+            np.testing.assert_array_equal(
+                ext[plan.slots[d][plan.ghosts[d]]], xb[plan.ghosts[d]]
+            )
+
+    def test_halo_bytes_metered(self, matrix):
+        metrics = MetricsRegistry()
+        dmap, plan, ex = setup(matrix, 2, metrics=metrics)
+        x = np.ones(N * BS)
+        ex.exchange(ex.scatter(x))
+        expected = sum(
+            ids.size * BS * 8 for _, _, ids in plan.sends
+        )
+        assert metrics.counter("domain.halo_bytes").value == expected
+        assert expected > 0
+
+    def test_transfers_priced_on_every_device(self, matrix):
+        _, _, ex = setup(matrix, 2)
+        ex.allreduce()
+        for dev in ex.devices:
+            times = dev.time_by_module()
+            assert times.get("halo_exchange", 0.0) > 0.0
+
+    def test_gather_solution_applies_chaos_hook(self, matrix):
+        seen = []
+
+        def inject(buf):
+            seen.append(buf.copy())
+            buf[0] = 42.0
+            return buf
+
+        _, _, ex = setup(matrix, 2, inject=inject)
+        x = np.zeros(N * BS)
+        out = ex.gather(ex.scatter(x), solution=True)
+        assert len(seen) == 1
+        assert out[0] == 42.0
+        # the plain (non-solution) gather never invokes the hook
+        ex.gather(ex.scatter(x))
+        assert len(seen) == 1

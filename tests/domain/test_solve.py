@@ -1,0 +1,171 @@
+"""Distributed SpMV and PCG: bit-identity and the domain preconditioners."""
+
+import numpy as np
+import pytest
+
+from repro.assembly.global_matrix import BS
+from repro.domain.assembly import domain_spmv, split_matrix
+from repro.domain.halo import (
+    DomainMap,
+    HaloExchanger,
+    build_exchange_plan,
+    make_domain_devices,
+)
+from repro.domain.solve import (
+    distributed_pcg,
+    make_domain_preconditioner,
+)
+from repro.gpu.device import K40
+from repro.obs.metrics import MetricsRegistry
+from repro.solvers.cg import pcg
+from repro.solvers.preconditioners import make_preconditioner
+from repro.spmv.hsbcsr import HSBCSRMatrix, hsbcsr_spmv
+from repro.spmv.synthetic import synthetic_block_matrix
+
+N, M = 14, 24
+
+
+def setup(matrix, n_domains, metrics=None):
+    labels = np.arange(matrix.n, dtype=np.int64) * n_domains // matrix.n
+    dmap = DomainMap.from_labels(labels, n_domains)
+    plan = build_exchange_plan(dmap, matrix.rows, matrix.cols)
+    exchanger = HaloExchanger(
+        dmap, plan, make_domain_devices(n_domains, K40), metrics=metrics
+    )
+    domains = split_matrix(matrix, dmap, plan)
+    return domains, exchanger
+
+
+class TestDomainSpmv:
+    @pytest.mark.parametrize("n_domains", [1, 2, 3, 4])
+    def test_bitwise_equal_to_global_spmv(self, n_domains):
+        matrix = synthetic_block_matrix(N, M, seed=3)
+        domains, ex = setup(matrix, n_domains)
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=N * BS)
+        ref = hsbcsr_spmv(HSBCSRMatrix.from_block_matrix(matrix), x)
+        extended = ex.exchange(ex.scatter(x))
+        y = np.empty_like(x)
+        for dm in domains:
+            y[ex._dof[dm.domain]] = domain_spmv(dm, extended[dm.domain])
+        np.testing.assert_array_equal(y, ref)
+
+    def test_empty_offdiag(self):
+        matrix = synthetic_block_matrix(4, 0, seed=0)
+        domains, ex = setup(matrix, 2)
+        x = np.arange(4.0 * BS)
+        ref = hsbcsr_spmv(HSBCSRMatrix.from_block_matrix(matrix), x)
+        extended = ex.exchange(ex.scatter(x))
+        y = np.empty_like(x)
+        for dm in domains:
+            y[ex._dof[dm.domain]] = domain_spmv(dm, extended[dm.domain])
+        np.testing.assert_array_equal(y, ref)
+
+    def test_cost_recorded_on_device(self):
+        matrix = synthetic_block_matrix(N, M, seed=3)
+        domains, ex = setup(matrix, 2)
+        x = np.ones(N * BS)
+        extended = ex.exchange(ex.scatter(x))
+        domain_spmv(domains[0], extended[0], ex.devices[0])
+        times = ex.devices[0].time_by_module()
+        assert times.get("equation_solving", 0.0) > 0.0
+
+
+class TestDistributedPcg:
+    @pytest.mark.parametrize("n_domains", [1, 2, 4])
+    def test_identity_bit_identical_to_serial(self, n_domains):
+        matrix = synthetic_block_matrix(N, M, seed=11)
+        domains, ex = setup(matrix, n_domains)
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=N * BS)
+        ref = pcg(HSBCSRMatrix.from_block_matrix(matrix), b, tol=1e-10)
+        res = distributed_pcg(domains, ex, b, tol=1e-10)
+        assert res.iterations == ref.iterations
+        assert res.converged and ref.converged
+        np.testing.assert_array_equal(res.x, ref.x)
+        assert res.residuals == ref.residuals
+
+    @pytest.mark.parametrize("name", ["jacobi", "bj", "ssor"])
+    def test_wrapped_preconditioners_bit_identical(self, name):
+        matrix = synthetic_block_matrix(N, M, seed=11)
+        domains, ex = setup(matrix, 3)
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=N * BS)
+        ref = pcg(
+            HSBCSRMatrix.from_block_matrix(matrix), b,
+            preconditioner=make_preconditioner(name, matrix), tol=1e-10,
+        )
+        pre = make_domain_preconditioner(name, matrix, domains, ex)
+        res = distributed_pcg(domains, ex, b, preconditioner=pre, tol=1e-10)
+        assert res.iterations == ref.iterations
+        np.testing.assert_array_equal(res.x, ref.x)
+        assert res.residuals == ref.residuals
+
+    def test_warm_start_bit_identical(self):
+        matrix = synthetic_block_matrix(N, M, seed=11)
+        domains, ex = setup(matrix, 2)
+        rng = np.random.default_rng(4)
+        b = rng.normal(size=N * BS)
+        x0 = rng.normal(size=N * BS)
+        ref = pcg(HSBCSRMatrix.from_block_matrix(matrix), b, x0=x0, tol=1e-10)
+        res = distributed_pcg(domains, ex, b, x0=x0, tol=1e-10)
+        assert res.iterations == ref.iterations
+        np.testing.assert_array_equal(res.x, ref.x)
+
+    def test_zero_rhs_short_circuits(self):
+        matrix = synthetic_block_matrix(N, M, seed=1)
+        domains, ex = setup(matrix, 2)
+        res = distributed_pcg(domains, ex, np.zeros(N * BS))
+        assert res.converged
+        assert res.iterations == 0
+        np.testing.assert_array_equal(res.x, 0.0)
+
+    def test_validation(self):
+        matrix = synthetic_block_matrix(N, M, seed=1)
+        domains, ex = setup(matrix, 2)
+        with pytest.raises(ValueError):
+            distributed_pcg(domains, ex, np.zeros(3))
+        with pytest.raises(ValueError, match="tol"):
+            distributed_pcg(domains, ex, np.ones(N * BS), tol=0.0)
+        with pytest.raises(ValueError, match="max_iterations"):
+            distributed_pcg(domains, ex, np.ones(N * BS), max_iterations=0)
+
+    def test_observes_metrics(self):
+        metrics = MetricsRegistry()
+        matrix = synthetic_block_matrix(N, M, seed=1)
+        domains, ex = setup(matrix, 2, metrics=metrics)
+        rng = np.random.default_rng(0)
+        distributed_pcg(domains, ex, rng.normal(size=N * BS), metrics=metrics)
+        assert metrics.counter("domain.halo_bytes").value > 0
+
+
+class TestDomainPreconditioners:
+    def solve_with(self, name, n_domains=3):
+        matrix = synthetic_block_matrix(N, M, seed=11, coupling=0.4)
+        domains, ex = setup(matrix, n_domains)
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=N * BS)
+        pre = (
+            make_domain_preconditioner(name, matrix, domains, ex)
+            if name is not None else None
+        )
+        return distributed_pcg(domains, ex, b, preconditioner=pre, tol=1e-10)
+
+    def test_domain_bj_converges_and_accelerates(self):
+        plain = self.solve_with(None)
+        bj = self.solve_with("domain_bj")
+        assert bj.converged
+        assert bj.iterations <= plain.iterations
+
+    def test_schwarz_converges_no_slower_than_domain_bj(self):
+        bj = self.solve_with("domain_bj")
+        schwarz = self.solve_with("schwarz")
+        assert schwarz.converged
+        # overlap can only add coupling information
+        assert schwarz.iterations <= bj.iterations
+
+    def test_single_domain_exact_solve_in_one_iteration(self):
+        # with one domain, domain_bj is an exact inverse: 1 iteration
+        res = self.solve_with("domain_bj", n_domains=1)
+        assert res.converged
+        assert res.iterations == 1

@@ -19,6 +19,7 @@ from repro.engine.chaos import (
     corrupt_checkpoint_file,
 )
 from repro.engine.contracts import STAGES
+from repro.engine.domain_engine import DomainEngine
 from repro.engine.gpu_engine import GpuEngine
 from repro.engine.resilience import CheckpointCorrupt
 from repro.engine.serial_engine import SerialEngine
@@ -68,8 +69,31 @@ def test_unknown_fault_rejected():
 # the fault matrix
 # ----------------------------------------------------------------------
 
-@pytest.mark.parametrize("engine_cls", [SerialEngine, GpuEngine])
-@pytest.mark.parametrize("fault", sorted(FAULT_REGISTRY))
+def _domain2(system, controls, fault_injector=None):
+    """Two-domain decomposed engine (the only engine with a halo)."""
+    return DomainEngine(
+        system, controls, n_domains=2, fault_injector=fault_injector
+    )
+
+
+def _fault_matrix():
+    """(fault, engine factory) pairs: halo faults need a DomainEngine."""
+    params = []
+    for fault in sorted(FAULT_REGISTRY):
+        if FAULT_REGISTRY[fault].stage == "halo_exchange":
+            engines = [("DomainEngine2", _domain2)]
+        else:
+            engines = [
+                ("SerialEngine", SerialEngine), ("GpuEngine", GpuEngine)
+            ]
+        params.extend(
+            pytest.param(fault, factory, id=f"{fault}-{label}")
+            for label, factory in engines
+        )
+    return params
+
+
+@pytest.mark.parametrize("fault, engine_cls", _fault_matrix())
 def test_fault_detected_and_recovered(fault, engine_cls):
     injector = FaultInjector([fault], seed=3, start_step=1)
     eng = engine_cls(stacked(), chaos_controls(), fault_injector=injector)
@@ -91,8 +115,10 @@ def test_fault_detected_and_recovered(fault, engine_cls):
 
 
 def test_multi_fault_schedule_drains_sequentially():
+    # the DomainEngine runs every stage — including halo_exchange — so
+    # it is the one engine on which the full registry can drain
     injector = FaultInjector(seed=11, start_step=1)  # all faults
-    eng = GpuEngine(
+    eng = _domain2(
         stacked(),
         chaos_controls(resilience=dict(max_rollbacks=30)),
         fault_injector=injector,
@@ -101,8 +127,11 @@ def test_multi_fault_schedule_drains_sequentially():
     assert injector.exhausted, f"still pending: {injector.pending}"
     names = [f.name for f in injector.injected]
     assert sorted(names) == sorted(FAULT_REGISTRY)
-    assert sum(result.contract_violations.values()) >= len(FAULT_REGISTRY)
-    assert result.rollbacks >= len(FAULT_REGISTRY)
+    # halo_corrupt fires *inside* the solve whose CGResult the next
+    # pending solution fault perturbs at the equation_solving boundary,
+    # so those two injections share one detected violation — hence -1.
+    assert sum(result.contract_violations.values()) >= len(FAULT_REGISTRY) - 1
+    assert result.rollbacks >= len(FAULT_REGISTRY) - 1
     assert result.failure is None
     assert result.n_steps == 5
 
