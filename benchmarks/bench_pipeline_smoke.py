@@ -65,10 +65,23 @@ def main(argv=None) -> int:
         "joint_spacing": SPACING,
         "engines": {name: run_engine(name) for name in ENGINES},
     }
-    path = write_bench_json("pipeline", payload, path=args.json_path)
-    n_blocks = payload["engines"]["serial"]["n_blocks"]
+    # headline trajectory point: how close the serial pipeline's wall
+    # time tracks the sum of its modelled per-module device seconds
+    # (the host-overhead ratio the optimisation PRs drive down)
+    serial = payload["engines"]["serial"]
+    wall = serial["wall_seconds_total"]
+    modelled = sum(serial["modeled_seconds_per_module"].values())
+    payload["serial_wall_modelled_ratio"] = (
+        wall / modelled if modelled > 0.0 else None
+    )
+    path = write_bench_json(
+        "pipeline", payload, path=args.json_path,
+        trajectory={"wall": wall, "modelled": modelled},
+    )
+    n_blocks = serial["n_blocks"]
     print(f"wrote {path} ({n_blocks} blocks, {STEPS} steps, "
-          f"{len(ENGINES)} engines)")
+          f"{len(ENGINES)} engines, serial wall/modelled "
+          f"{payload['serial_wall_modelled_ratio']:.2f}x)")
     return 0
 
 

@@ -34,7 +34,8 @@ def bench_arg_parser(description: str) -> argparse.ArgumentParser:
     return p
 
 
-def write_bench_json(name: str, payload: dict, path=None) -> Path:
+def write_bench_json(name: str, payload: dict, path=None,
+                     trajectory: dict | None = None) -> Path:
     """Write a machine-readable benchmark report.
 
     The envelope carries the bench name and the environment (python,
@@ -42,9 +43,17 @@ def write_bench_json(name: str, payload: dict, path=None) -> Path:
     comparable; ``payload`` is the bench-specific measurement dict. The
     write is atomic (tmp + rename) so a crashing bench never leaves a
     half-written report.
+
+    ``trajectory``, when given, is one headline measurement (e.g.
+    ``{"wall": ..., "modelled": ...}``) appended to the report's
+    ``trajectory`` list instead of overwriting it: the prior report at
+    ``path`` is re-read, its trajectory carried over, and the new entry
+    gets ``pr`` = last entry's ``pr`` + 1. The committed report thereby
+    accumulates one point per optimisation PR — the perf history the
+    docs plot — while ``payload`` remains the latest full measurement.
     """
     from repro import __version__
-    from repro.io.batch_io import write_json_atomic
+    from repro.io.batch_io import read_json, write_json_atomic
 
     path = Path(path) if path else RESULTS_DIR / f"BENCH_{name}.json"
     report = {
@@ -55,6 +64,12 @@ def write_bench_json(name: str, payload: dict, path=None) -> Path:
         "machine": platform.machine(),
         "payload": payload,
     }
+    if trajectory is not None:
+        prior_report = read_json(path) if path.exists() else None
+        prior = (prior_report or {}).get("trajectory", [])
+        prior = [dict(entry) for entry in prior if isinstance(entry, dict)]
+        last_pr = prior[-1].get("pr", 0) if prior else 0
+        report["trajectory"] = [*prior, {"pr": int(last_pr) + 1, **trajectory}]
     return write_json_atomic(path, report)
 
 

@@ -1,0 +1,251 @@
+"""Symbolic assembly reuse: sparsity pattern cached across sweeps.
+
+Both assemblers (:func:`~repro.assembly.global_matrix.assemble_serial`
+and :func:`~repro.assembly.global_matrix.assemble_gpu`) split naturally
+into a *symbolic* phase — canonicalise orientations, sort contribution
+keys, find segment boundaries, derive the output (row, col) pattern —
+and a *numeric* phase that only moves and sums block payloads. The
+symbolic phase depends exclusively on the contribution index pattern
+``(diag_idx, off_rows, off_cols)``, which is constant across the
+open–close sweeps of a step (contact states change the block *values*,
+never the pattern) and usually across consecutive steps too.
+
+:class:`AssemblyPlan` captures the symbolic phase once and replays the
+numeric phase per sweep:
+
+* the stable sort permutation, segment starts and output coordinates
+  are computed once per topology;
+* :meth:`AssemblyPlan.assemble` is bit-identical to the assembler it
+  mirrors. The off-diagonal path (stable sort + left-to-right segment
+  reduction) is shared by both assemblers, but their *diagonal*
+  accumulation orders differ at the ulp level when indices repeat:
+  ``assemble_serial`` scatter-adds (``np.add.at``) while
+  ``assemble_gpu`` sorts and segment-reduces. ``diag_mode`` selects
+  which one the plan replays (``"scatter"`` / ``"segment"``), so each
+  engine's cached path reproduces its own assembler bit-for-bit;
+* the virtual-GPU launches the building assembler recorded are
+  *replayed* on every reuse, so the modelled device seconds are
+  bit-identical whether the plan hit or missed — the ledger stays an
+  honest model of the paper's per-sweep assembly pipeline;
+* the scatter sanitizer still sees the segment-write targets on every
+  sweep (the plan calls :func:`~repro.lint.sanitize.scatter_check`
+  itself), so planted ``scatter_duplicate_index`` faults are detected
+  on the reuse path too.
+
+Invalidation is belt and braces: the engine proactively drops its plan
+when the contact transfer layer reports a topology change
+(:func:`repro.contact.transfer.topology_changed`), and
+:meth:`AssemblyPlan.matches` exactly compares the incoming index
+pattern before any reuse, so a stale plan can never produce a wrong
+matrix — only a rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.assembly.global_matrix import BS, BlockMatrix
+from repro.gpu.counters import KernelCounters
+from repro.gpu.kernel import VirtualDevice
+from repro.lint.sanitize import scatter_check
+from repro.primitives.reduce import segment_boundaries, segmented_reduce
+
+
+@dataclass
+class AssemblyPlan:
+    """One cached symbolic assembly: pattern, permutation, replay ledger.
+
+    Attributes
+    ----------
+    n:
+        Number of block rows/columns.
+    diag_idx:
+        ``(q,)`` diagonal contribution pattern the plan was built for.
+    off_rows, off_cols:
+        ``(m,)`` off-diagonal contribution pattern (either orientation).
+    swap:
+        ``(m,)`` bool — contributions needing the upper-triangle
+        transpose.
+    perm:
+        ``(m,)`` stable sort permutation of the canonical pair keys.
+    starts:
+        ``(s,)`` segment start positions into the sorted stream.
+    ukey:
+        ``(s,)`` unique canonical pair keys (the segment identities).
+    out_rows, out_cols:
+        ``(s,)`` output block coordinates, sorted and unique.
+    diag_mode:
+        ``"scatter"`` replays :func:`assemble_serial`'s diagonal
+        (``np.add.at``); ``"segment"`` replays :func:`assemble_gpu`'s
+        (stable sort + segment reduction). The two accumulation orders
+        differ by ulps when diagonal indices repeat, so each engine
+        picks the mode matching its own assembler.
+    diag_perm, diag_starts, diag_out:
+        Diagonal sort permutation, segment starts and output indices
+        (``"segment"`` mode only; empty otherwise).
+    launches:
+        The ``(name, counters)`` kernel-launch sequence the building
+        assembler recorded, replayed verbatim on each reuse.
+    """
+
+    n: int
+    diag_idx: np.ndarray
+    off_rows: np.ndarray
+    off_cols: np.ndarray
+    swap: np.ndarray
+    perm: np.ndarray
+    starts: np.ndarray
+    ukey: np.ndarray
+    out_rows: np.ndarray
+    out_cols: np.ndarray
+    diag_mode: str = "scatter"
+    diag_perm: np.ndarray | None = None
+    diag_starts: np.ndarray | None = None
+    diag_out: np.ndarray | None = None
+    launches: tuple[tuple[str, KernelCounters], ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        diag_idx: np.ndarray,
+        off_rows: np.ndarray,
+        off_cols: np.ndarray,
+        launches: tuple[tuple[str, KernelCounters], ...] = (),
+        diag_mode: str = "scatter",
+    ) -> "AssemblyPlan":
+        """Run the symbolic phase for one contribution pattern.
+
+        ``diag_idx`` is ``(q,)``, ``off_rows`` / ``off_cols`` are
+        ``(m,)`` in either orientation; ``launches`` is the kernel
+        ledger slice recorded while the full assembler built this
+        pattern (replayed on reuse); ``diag_mode`` selects the diagonal
+        accumulation order (see class docstring).
+        """
+        if diag_mode not in ("scatter", "segment"):
+            raise ValueError(
+                f"diag_mode must be 'scatter' or 'segment', got {diag_mode!r}"
+            )
+        diag_perm = diag_starts = diag_out = None
+        if diag_mode == "segment" and diag_idx.size:
+            diag_perm = np.argsort(diag_idx, kind="stable")
+            sdiag = diag_idx[diag_perm]
+            diag_starts = segment_boundaries(sdiag)
+            diag_out = sdiag[diag_starts]
+        m = off_rows.shape[0]
+        if m == 0:
+            z = np.zeros(0, dtype=np.int64)
+            return cls(
+                n=n, diag_idx=diag_idx.copy(),
+                off_rows=z, off_cols=z.copy(),
+                swap=np.zeros(0, dtype=bool), perm=z.copy(),
+                starts=z.copy(), ukey=z.copy(),
+                out_rows=z.copy(), out_cols=z.copy(),
+                diag_mode=diag_mode, diag_perm=diag_perm,
+                diag_starts=diag_starts, diag_out=diag_out,
+                launches=launches,
+            )
+        swap = off_rows > off_cols
+        r = np.where(swap, off_cols, off_rows)
+        c = np.where(swap, off_rows, off_cols)
+        key = r * n + c
+        perm = np.argsort(key, kind="stable")
+        skey = key[perm]
+        starts = segment_boundaries(skey)
+        ukey = skey[starts]
+        return cls(
+            n=n,
+            diag_idx=diag_idx.copy(),
+            off_rows=off_rows.copy(),
+            off_cols=off_cols.copy(),
+            swap=swap,
+            perm=perm,
+            starts=starts,
+            ukey=ukey,
+            out_rows=(ukey // n).astype(np.int64),
+            out_cols=(ukey % n).astype(np.int64),
+            diag_mode=diag_mode, diag_perm=diag_perm,
+            diag_starts=diag_starts, diag_out=diag_out,
+            launches=launches,
+        )
+
+    # ------------------------------------------------------------------
+    def matches(
+        self,
+        diag_idx: np.ndarray,
+        off_rows: np.ndarray,
+        off_cols: np.ndarray,
+    ) -> bool:
+        """Exact pattern equality gate (``(q,)`` + ``(m,)`` compares).
+
+        Cheap — three integer array comparisons — and *total*: reuse is
+        only ever allowed on a bit-for-bit identical contribution
+        pattern, so correctness never depends on the proactive
+        transfer-layer invalidation.
+        """
+        return bool(
+            diag_idx.shape == self.diag_idx.shape
+            and off_rows.shape == self.off_rows.shape
+            and np.array_equal(diag_idx, self.diag_idx)
+            and np.array_equal(off_rows, self.off_rows)
+            and np.array_equal(off_cols, self.off_cols)
+        )
+
+    def assemble(
+        self,
+        diag_blocks: np.ndarray,
+        off_blocks: np.ndarray,
+    ) -> BlockMatrix:
+        """Numeric-only assembly under the cached symbolic phase.
+
+        ``diag_blocks`` is ``(q, 6, 6)``, ``off_blocks`` is
+        ``(m, 6, 6)`` in the orientation of the plan's input pattern.
+        Produces a :class:`BlockMatrix` bit-identical to running the
+        full assembler the plan's ``diag_mode`` mirrors on the same
+        contributions.
+        """
+        m = self.off_rows.shape[0]
+        q = self.diag_idx.shape[0]
+        diag = np.zeros((self.n, BS, BS))
+        if self.diag_mode == "segment" and q:
+            sums = segmented_reduce(
+                diag_blocks[self.diag_perm].reshape(q, BS * BS),
+                self.diag_starts,
+            )
+            scatter_check("assembly_plan.diag_segment_write", self.diag_out)
+            diag[self.diag_out] = sums.reshape(-1, BS, BS)
+        else:
+            scatter_check(
+                "assembly_plan.diag_scatter_add", self.diag_idx,
+                reduction="sum",
+            )
+            np.add.at(diag, self.diag_idx, diag_blocks)
+        if m == 0:
+            z = np.zeros(0, dtype=np.int64)
+            return BlockMatrix(
+                self.n, diag, z, z.copy(), np.zeros((0, BS, BS))
+            )
+        b = np.where(
+            self.swap[:, None, None],
+            off_blocks.transpose(0, 2, 1),
+            off_blocks,
+        )
+        summed = segmented_reduce(
+            b[self.perm].reshape(m, BS * BS), self.starts
+        )
+        scatter_check("assembly_plan.offdiag_segment_write", self.ukey)
+        return BlockMatrix(
+            self.n,
+            diag,
+            self.out_rows,
+            self.out_cols,
+            summed.reshape(-1, BS, BS),
+        )
+
+    def replay(self, device: VirtualDevice) -> None:
+        """Re-record the captured launch ledger (scalar count) on
+        ``device`` so modelled seconds match a from-scratch assembly."""
+        for name, counters in self.launches:
+            device.launch(name, counters)

@@ -20,7 +20,10 @@ from contextlib import contextmanager
 import numpy as np
 
 from repro.assembly.global_matrix import BlockMatrix
+from repro.assembly.symbolic import AssemblyPlan
 from repro.contact.contact_set import KIND_NAMES, ContactSet
+from repro.contact.open_close import OpenCloseDriver, StateUpdate
+from repro.contact.transfer import topology_changed
 from repro.core.blocks import DOF, BlockSystem
 from repro.core.displacement import displacement_matrix, update_geometry
 from repro.core.state import SimulationControls
@@ -46,6 +49,7 @@ from repro.gpu.kernel import VirtualDevice
 from repro.lint.sanitize import ScatterSanitizer, sanitized
 from repro.solvers.cg import CGResult, pcg
 from repro.solvers.preconditioners import make_preconditioner
+from repro.spmv.hsbcsr import HSBCSRMatrix
 from repro.util.timing import ModuleTimes
 
 #: Maximum times a step is retried with a halved time step (loop 2).
@@ -65,6 +69,13 @@ class EngineBase:
 
     #: Device profile subclasses charge their kernels to.
     default_profile: DeviceProfile = K40
+
+    #: Diagonal accumulation order of this engine's assembler, mirrored
+    #: by the cached :class:`AssemblyPlan` so symbolic reuse stays
+    #: bit-identical per engine: ``"scatter"`` (``assemble_serial``'s
+    #: ``np.add.at``) or ``"segment"`` (``assemble_gpu``'s stable sort +
+    #: segment reduction).
+    _assembly_diag_mode: str = "scatter"
 
     def __init__(
         self,
@@ -94,6 +105,7 @@ class EngineBase:
             "contact_transfer.hits", "contact_transfer.misses",
             "solver.rung_escalations", "engine.rollbacks",
             "contracts.violations", "engine.steps",
+            "open_close.sweeps", "assembly.symbolic_reuse",
         ):
             self.metrics.counter(name)
         self.metrics.histogram("cg.iterations")
@@ -104,6 +116,13 @@ class EngineBase:
         self._prev_solution = np.zeros(system.n_dof)
         self._current_step = 0
         self._contacts = ContactSet.empty()
+        #: vectorised open–close driver, rebuilt per contact table
+        self._oc_driver: OpenCloseDriver | None = None
+        #: cached symbolic assembly and the contact table it served
+        self._assembly_plan: AssemblyPlan | None = None
+        self._plan_contacts: ContactSet | None = None
+        #: cached HSBCSR sparsity structure shared across solves
+        self._solver_structure: HSBCSRMatrix | None = None
         bbox = np.array(
             [
                 system.vertices[:, 0].min(), system.vertices[:, 1].min(),
@@ -423,6 +442,10 @@ class EngineBase:
         ladder = solver_ladder(
             controls.preconditioner, controls.resilience.solver_fallback
         )
+        # the SpMV operand is prepared once, outside the ladder walk —
+        # every rung solves the same system, only the preconditioner
+        # changes
+        operand = self._solver_operand(matrix)
         total_iters = 0
         res: CGResult | None = None
         rung = 0
@@ -432,7 +455,7 @@ class EngineBase:
             except Exception:
                 continue  # rung unbuildable (e.g. ILU on a zero pivot)
             res = self._pcg(
-                matrix, rhs, self._prev_solution if warm else None, pre
+                operand, rhs, self._prev_solution if warm else None, pre
             )
             total_iters += res.iterations
             if res.converged:
@@ -456,14 +479,42 @@ class EngineBase:
         """
         return make_preconditioner(name, matrix, self.device)
 
+    def _solver_operand(
+        self, matrix: BlockMatrix
+    ) -> BlockMatrix | HSBCSRMatrix:
+        """Prepare the SpMV operand handed to :meth:`_pcg` (solver hook).
+
+        The base engines solve through the HSBCSR kernel, so the
+        :class:`BlockMatrix` is converted here — once per solve, outside
+        the fallback-ladder walk — *reusing the cached sparsity
+        structure* (index arrays, stage-2 reduction indices, launch-cost
+        counters) whenever the pattern matches the previous solve's,
+        which is every open–close sweep after the first and usually
+        every consecutive step too. The reuse gate is an exact pattern
+        comparison inside :meth:`HSBCSRMatrix.from_block_matrix`, so a
+        stale cache can only cost a rebuild, never a wrong product.
+        :class:`~repro.engine.domain_engine.DomainEngine` overrides this
+        to pass the BlockMatrix through unchanged (its distributed
+        solve splits the matrix itself).
+        """
+        h = HSBCSRMatrix.from_block_matrix(
+            matrix, structure=self._solver_structure
+        )
+        self._solver_structure = h
+        return h
+
     def _pcg(
         self,
-        matrix: BlockMatrix,
+        matrix: BlockMatrix | HSBCSRMatrix,
         rhs: np.ndarray,
         x0: np.ndarray | None,
         preconditioner,
     ) -> CGResult:
-        """Run one ladder rung's CG solve (solver hook)."""
+        """Run one ladder rung's CG solve (solver hook).
+
+        ``matrix`` is whatever :meth:`_solver_operand` prepared — the
+        prebuilt :class:`HSBCSRMatrix` for the base engines.
+        """
         controls = self.controls
         return pcg(
             matrix,
@@ -475,6 +526,84 @@ class EngineBase:
             device=self.device,
             metrics=self.metrics,
         )
+
+    # ------------------------------------------------------------------
+    # open–close driver + symbolic assembly reuse
+    # ------------------------------------------------------------------
+    def _make_open_close_driver(
+        self, contacts: ContactSet
+    ) -> OpenCloseDriver:
+        """Build the vectorised open–close driver (per-step hook)."""
+        return OpenCloseDriver.build(
+            self.system, contacts, force_tolerance=self._force_tol
+        )
+
+    def _oc_sweep(
+        self,
+        contacts: ContactSet,
+        d: np.ndarray,
+        prev_normal_force: np.ndarray | None,
+    ) -> StateUpdate:
+        """One open–close sweep over all contacts simultaneously.
+
+        The driver's displacement-independent geometry precomputation is
+        amortised across the sweeps of a step: it is rebuilt only when
+        the engine hands over a *new* contact table (each step's
+        detection, and each loop-2 retry, produces one; vertices never
+        move between the sweeps of a single step). Every sweep bumps the
+        ``open_close.sweeps`` counter.
+        """
+        driver = self._oc_driver
+        if driver is None or driver.contacts is not contacts:
+            driver = self._make_open_close_driver(contacts)
+            self._oc_driver = driver
+        self.metrics.inc("open_close.sweeps")
+        return driver.sweep(d, prev_normal_force)
+
+    def _assemble_cached(
+        self,
+        diag_idx: np.ndarray,
+        diag_blocks: np.ndarray,
+        off_rows: np.ndarray,
+        off_cols: np.ndarray,
+        off_blocks: np.ndarray,
+    ) -> BlockMatrix:
+        """Assemble, reusing the symbolic phase when the pattern repeats.
+
+        On a cache hit (exact :meth:`AssemblyPlan.matches` comparison of
+        the contribution pattern) only the numeric phase runs; the
+        plan's captured kernel-launch ledger is replayed on the virtual
+        device so the modelled seconds are bit-identical to a full
+        assembly, and the ``assembly.symbolic_reuse`` counter is bumped.
+        On a miss the subclass assembler runs normally while its
+        launches are captured into a fresh plan. ``controls.
+        symbolic_reuse = False`` bypasses the cache entirely.
+        """
+        if not self.controls.symbolic_reuse:
+            return self._assemble(
+                diag_idx, diag_blocks, off_rows, off_cols, off_blocks
+            )
+        plan = self._assembly_plan
+        if (
+            plan is not None
+            and plan.n == self.system.n_blocks
+            and plan.matches(diag_idx, off_rows, off_cols)
+        ):
+            self.metrics.inc("assembly.symbolic_reuse")
+            plan.replay(self.device)
+            return plan.assemble(diag_blocks, off_blocks)
+        n0 = len(self.device.records)
+        matrix = self._assemble(
+            diag_idx, diag_blocks, off_rows, off_cols, off_blocks
+        )
+        self._assembly_plan = AssemblyPlan.build(
+            self.system.n_blocks, diag_idx, off_rows, off_cols,
+            launches=tuple(
+                (r.name, r.counters) for r in self.device.records[n0:]
+            ),
+            diag_mode=self._assembly_diag_mode,
+        )
+        return matrix
 
     def _run_one_step(
         self,
@@ -513,6 +642,17 @@ class EngineBase:
             self.contracts.check_contacts(
                 self.system, contacts, previous=self._contacts, context=ctx
             )
+            # proactive symbolic-assembly invalidation: the transfer
+            # layer knows whether the contact-set topology moved; if it
+            # did, the cached plan cannot match and is dropped up front
+            # (the exact pattern compare in _assemble_cached remains the
+            # correctness gate either way)
+            if self._plan_contacts is None or topology_changed(
+                self._plan_contacts, contacts,
+                self.system.vertices.shape[0],
+            ):
+                self._assembly_plan = None
+            self._plan_contacts = contacts
 
             # ---- diagonal building (contact-independent) ------------
             with self._stage(times, "diagonal_matrix_building", step):
@@ -536,7 +676,7 @@ class EngineBase:
                      f_contact) = self._build_nondiagonal(
                         contacts, normal_force
                     )
-                    matrix = self._assemble(
+                    matrix = self._assemble_cached(
                         np.concatenate([diag_idx, c_diag_idx]),
                         np.concatenate([diag_blocks, c_diag_blocks]),
                         rows, cols, blocks,

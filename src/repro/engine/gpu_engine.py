@@ -31,11 +31,7 @@ from repro.contact.transfer import transfer_contacts
 from repro.core.blocks import BlockSystem
 from repro.core.state import SimulationControls
 from repro.engine.base import EngineBase
-from repro.engine.physics import (
-    contact_system,
-    diagonal_system,
-    update_contact_states,
-)
+from repro.engine.physics import contact_system, diagonal_system
 from repro.gpu.counters import KernelCounters
 from repro.gpu.device import DeviceProfile, K40
 from repro.gpu.memory import coalesced_transactions
@@ -47,6 +43,10 @@ class GpuEngine(EngineBase):
     """GPU pipeline with the data-classification framework (paper Fig. 2)."""
 
     default_profile: DeviceProfile = K40
+
+    # assemble_gpu sums diagonal duplicates in stable-sorted segment
+    # order; the cached AssemblyPlan must replay the same order
+    _assembly_diag_mode: str = "segment"
 
     def __init__(
         self,
@@ -141,11 +141,10 @@ class GpuEngine(EngineBase):
         )
 
     def _check_interpenetration(self, contacts: ContactSet, d, prev_normal_force):
-        update = update_contact_states(
-            self.system, contacts, d,
-            prev_normal_force=prev_normal_force,
-            force_tolerance=self._force_tol,
-        )
+        # the vectorised open–close driver IS the restructured kernel's
+        # formulation; the sweep amortises the spring-geometry
+        # precomputation across the open–close iterations of the step
+        update = self._oc_sweep(contacts, d, prev_normal_force)
         m = contacts.m
         if m:
             # restructured-branch kernel (Section III.D): computation is

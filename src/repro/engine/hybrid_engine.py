@@ -60,6 +60,10 @@ def _transfer(device, name: str, nbytes: float) -> None:
 class HybridEngine(GpuEngine):
     """Hybrid pipeline: GPU detection/solve/check, CPU build/update."""
 
+    # the hybrid build stage runs assemble_serial on the CPU, so the
+    # cached plan replays the scatter-add diagonal order
+    _assembly_diag_mode: str = "scatter"
+
     def __init__(
         self,
         system: BlockSystem,

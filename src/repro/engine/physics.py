@@ -7,8 +7,6 @@ computed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.assembly.contact_springs import (
@@ -19,6 +17,7 @@ from repro.assembly.contact_springs import (
     normal_spring_vectors,
     shear_spring_vectors,
 )
+from repro.contact.open_close import OpenCloseDriver, StateUpdate
 from repro.assembly.submatrices import (
     body_force_vector,
     elastic_submatrix,
@@ -150,41 +149,6 @@ def contact_system(
     )
 
 
-@dataclass
-class StateUpdate:
-    """Result of one interpenetration-checking sweep.
-
-    Attributes
-    ----------
-    states:
-        New per-contact states.
-    shear_sign:
-        Updated sliding directions.
-    normal_force:
-        Compressive normal force per contact (>= 0) for the next sweep's
-        friction magnitude.
-    changed:
-        How many contacts switched state.
-    significant_changes:
-        State switches whose contact force (before or after) exceeds the
-        force tolerance. Redundant blocky systems churn the labels of
-        near-zero-force contacts indefinitely (the contact-force
-        indeterminacy of rigid frictional assemblies); the open–close
-        loop converges when no *significant* switch remains, which is
-        the acceptance rule classic DDA's 6-sweep cap effectively
-        implements.
-    max_penetration:
-        Deepest post-solve penetration (positive number; 0 if none).
-    """
-
-    states: np.ndarray
-    shear_sign: np.ndarray
-    normal_force: np.ndarray
-    changed: int
-    significant_changes: int
-    max_penetration: float
-
-
 def update_contact_states(
     system: BlockSystem,
     contacts: ContactSet,
@@ -202,74 +166,18 @@ def update_contact_states(
     * ``d_n`` above the tension tolerance -> OPEN;
     * otherwise closed; Mohr–Coulomb: ``|p_s d_s| > N tan(phi) + c L``
       -> SLIDE (with the shear direction's sign), else LOCK.
-    """
-    m = contacts.m
-    if m == 0:
-        return StateUpdate(
-            states=np.zeros(0, dtype=np.int64),
-            shear_sign=np.zeros(0),
-            normal_force=np.zeros(0),
-            changed=0,
-            significant_changes=0,
-            max_penetration=0.0,
-        )
-    p1, e1, e2, ci, cj = contacts.geometry(system)
-    e, g, d0, length = normal_spring_vectors(p1, e1, e2, ci, cj)
-    es, gs, _ = shear_spring_vectors(p1, e1, e2, contacts.ratio, ci, cj)
-    db = d.reshape(system.n_blocks, DOF)
-    di = db[contacts.block_i]
-    dj = db[contacts.block_j]
-    dn = d0 + np.einsum("mk,mk->m", e, di) + np.einsum("mk,mk->m", g, dj)
-    ds = np.einsum("mk,mk->m", es, di) + np.einsum("mk,mk->m", gs, dj)
 
-    jm = system.joint_material
-    normal_force = np.maximum(0.0, -contacts.pn * dn)
-    shear_force = contacts.ps * ds
-    friction_limit = (
-        normal_force * jm.tan_phi + jm.cohesion * length
+    One-shot convenience over :class:`~repro.contact.open_close.
+    OpenCloseDriver`: the engines build the driver once per step and
+    call :meth:`~repro.contact.open_close.OpenCloseDriver.sweep` per
+    open–close iteration, amortising the geometry precomputation.
+    """
+    driver = OpenCloseDriver.build(
+        system, contacts,
+        tension_tolerance=tension_tolerance,
+        force_tolerance=force_tolerance,
     )
-    # tensile strength: a previously-closed contact resists opening until
-    # its tensile capacity T0 * L is exceeded (fresh/open contacts carry
-    # no bond and open at the geometric tolerance alone)
-    tension_cap = np.where(
-        contacts.state != OPEN,
-        jm.tensile_strength * length / np.maximum(contacts.pn, 1e-300),
-        0.0,
-    )
-    open_now = dn > tension_tolerance + tension_cap
-    sliding = (~open_now) & (np.abs(shear_force) > friction_limit)
-    # anti-chatter rule: a contact that was already sliding and now wants
-    # to slide the *other* way re-locks instead (its sliding direction
-    # reversed within the step, i.e. it is actually sticking). Without
-    # this, the friction force pair flip-flops between open–close sweeps
-    # and pumps spurious tangential momentum into the blocks.
-    ds_sign = np.sign(ds, where=ds != 0, out=np.ones_like(ds))
-    reversal = (
-        sliding & (contacts.state == SLIDE) & (ds_sign != contacts.shear_sign)
-    )
-    sliding = sliding & ~reversal
-    new_states = np.where(
-        open_now, OPEN, np.where(sliding, SLIDE, LOCK)
-    ).astype(np.int64)
-    new_sign = np.where(sliding, ds_sign, contacts.shear_sign)
-    switched = new_states != contacts.state
-    changed = int(np.count_nonzero(switched))
-    prev_nf = (
-        np.zeros(m) if prev_normal_force is None else prev_normal_force
-    )
-    peak_force = np.maximum(prev_nf, normal_force)
-    significant = int(
-        np.count_nonzero(switched & (peak_force > force_tolerance))
-    )
-    max_pen = float(np.maximum(0.0, -dn).max()) if m else 0.0
-    return StateUpdate(
-        states=new_states,
-        shear_sign=new_sign,
-        normal_force=normal_force,
-        changed=changed,
-        significant_changes=significant,
-        max_penetration=max_pen,
-    )
+    return driver.sweep(d, prev_normal_force)
 
 
 def update_contact_states_serial(

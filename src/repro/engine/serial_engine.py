@@ -2,9 +2,13 @@
 
 Module implementations are deliberately the *serial* formulations:
 upper-triangular pure-Python broad phase, scatter-add assembly, and a
-per-contact Python loop for interpenetration checking. The physics is
-identical to the GPU engine's (the pipeline-equivalence tests verify it);
-the modelled cost is charged to the single-core E5620 profile.
+per-contact interpenetration check whose modelled cost is the branchy
+single-core loop (the loop itself survives as
+:func:`repro.engine.physics.update_contact_states_serial`, the reference
+implementation the equivalence tests pin the vectorised open–close
+driver against). The physics is identical to the GPU engine's (the
+pipeline-equivalence tests verify it); the modelled cost is charged to
+the single-core E5620 profile.
 """
 
 from __future__ import annotations
@@ -20,11 +24,7 @@ from repro.contact.transfer import transfer_contacts
 from repro.core.blocks import BlockSystem
 from repro.core.state import SimulationControls
 from repro.engine.base import EngineBase
-from repro.engine.physics import (
-    contact_system,
-    diagonal_system,
-    update_contact_states_serial,
-)
+from repro.engine.physics import contact_system, diagonal_system
 from repro.gpu.counters import KernelCounters
 from repro.gpu.device import DeviceProfile, E5620
 
@@ -153,11 +153,11 @@ class SerialEngine(EngineBase):
         return matrix
 
     def _check_interpenetration(self, contacts, d, prev_normal_force):
-        update = update_contact_states_serial(
-            self.system, contacts, d,
-            prev_normal_force=prev_normal_force,
-            force_tolerance=self._force_tol,
-        )
+        # the vectorised driver sweep (its per-contact scalar twin,
+        # update_contact_states_serial, survives as the independent
+        # reference the equivalence tests pin against); the modelled
+        # cost stays the single-core per-contact loop below
+        update = self._oc_sweep(contacts, d, prev_normal_force)
         self.device.launch(
             "serial_interpenetration_check",
             KernelCounters(

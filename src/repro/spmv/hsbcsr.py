@@ -73,15 +73,53 @@ class HSBCSRMatrix:
     row_up_i: np.ndarray      # (n+1,) indptr over rows of the upper storage
     row_low_i: np.ndarray     # (n+1,) indptr over rows of the implied lower
     row_low_p: np.ndarray     # (m,) upper-storage position of each lower entry
+    # structure-derived caches, computed once per sparsity pattern and
+    # shared across value-only rebuilds (the solver sparsity reuse path)
+    _reduce_index: tuple | None = None
+    _cost: tuple | None = None
 
     @classmethod
     def from_block_matrix(
-        cls, a: BlockMatrix, *, align: int = SLICE_ALIGN
+        cls,
+        a: BlockMatrix,
+        *,
+        align: int = SLICE_ALIGN,
+        structure: "HSBCSRMatrix | None" = None,
     ) -> "HSBCSRMatrix":
-        """Build the HSBCSR layout (blocks are already (row, col) sorted)."""
+        """Build the HSBCSR layout (blocks are already (row, col) sorted).
+
+        ``structure`` optionally names a previously-built matrix with
+        the same ``(n,)`` dimensions and identical ``(m,)`` sparsity
+        pattern: its index arrays (and any cached reduction indices /
+        cost counters) are shared instead of re-derived, so only the
+        slice payloads are rebuilt. The pattern is verified exactly; a
+        mismatch falls back to a full build.
+        """
         m = a.n_offdiag
         d_data = _slice_blocks(a.diag, align)
         nd_data = _slice_blocks(a.blocks, align)
+        if (
+            structure is not None
+            and structure.n == a.n
+            and structure.n_offdiag == m
+            and structure.d_data.shape == d_data.shape
+            and structure.nd_data.shape == nd_data.shape
+            and np.array_equal(structure.rows, a.rows)
+            and np.array_equal(structure.cols, a.cols)
+        ):
+            return cls(
+                n=a.n,
+                n_offdiag=m,
+                d_data=d_data,
+                nd_data=nd_data,
+                rows=structure.rows,
+                cols=structure.cols,
+                row_up_i=structure.row_up_i,
+                row_low_i=structure.row_low_i,
+                row_low_p=structure.row_low_p,
+                _reduce_index=structure._reduce_index,
+                _cost=structure._cost,
+            )
         row_up_i = np.zeros(a.n + 1, dtype=np.int64)
         np.cumsum(np.bincount(a.rows, minlength=a.n), out=row_up_i[1:])
         # lower triangle: entry (j, i) for each upper (i, j); sorted by
@@ -100,6 +138,22 @@ class HSBCSRMatrix:
             row_low_i=row_low_i,
             row_low_p=order.astype(np.int64),
         )
+
+    def reduction_index(self) -> tuple:
+        """Stage-2 reduction indices, cached per structure.
+
+        Returns ``(starts_up, nonempty_up, starts_low, nonempty_low)``
+        — all 1-D index arrays derived purely from the indptrs, so they
+        are computed once and shared by every SpMV on this pattern.
+        """
+        if self._reduce_index is None:
+            self._reduce_index = (
+                self.row_up_i[:-1],
+                np.flatnonzero(np.diff(self.row_up_i) > 0),
+                self.row_low_i[:-1],
+                np.flatnonzero(np.diff(self.row_low_i) > 0),
+            )
+        return self._reduce_index
 
     # ------------------------------------------------------------------
     @property
@@ -150,16 +204,16 @@ def hsbcsr_spmv(
         # stage 1
         up_res = np.einsum("skc,kc->ks", v, xj)   # A_k x_j
         low_res = np.einsum("skc,ks->kc", v, xi)  # A_k^T x_i
-        # stage 2: regular reduction of up_res by row_up_i
-        starts_up = a.row_up_i[:-1]
-        nonempty_up = np.flatnonzero(np.diff(a.row_up_i) > 0)
+        # stage 2: regular reduction of up_res by row_up_i (indices are
+        # structure-only, cached across the CG iterations on one matrix)
+        starts_up, nonempty_up, starts_low, nonempty_low = (
+            a.reduction_index()
+        )
         if nonempty_up.size:
             sums = np.add.reduceat(up_res, starts_up[nonempty_up], axis=0)
             y[nonempty_up] += sums
         # irregular reduction of low_res gathered through row_low_p
         gathered = low_res[a.row_low_p]
-        starts_low = a.row_low_i[:-1]
-        nonempty_low = np.flatnonzero(np.diff(a.row_low_i) > 0)
         if nonempty_low.size:
             sums = np.add.reduceat(gathered, starts_low[nonempty_low], axis=0)
             y[nonempty_low] += sums
@@ -174,12 +228,31 @@ def hsbcsr_spmv(
 
 
 def _record_cost(a: HSBCSRMatrix, device: VirtualDevice) -> None:
-    """Record the three-kernel launch sequence of the HSBCSR SpMV."""
+    """Record the three-kernel launch sequence of the HSBCSR SpMV.
+
+    The counters depend only on the matrix *structure* (shapes, nnz,
+    padded slice widths), so they are built once per structure and
+    replayed from the cache on every subsequent SpMV — the modelled
+    seconds are bit-identical to rebuilding them each call.
+    """
+    if a._cost is None:
+        a._cost = tuple(_cost_launches(a))
+    for name, counters in a._cost:
+        device.launch(name, counters)
+
+
+def _cost_launches(a: HSBCSRMatrix) -> list[tuple[str, KernelCounters]]:
+    """Build the ``(name, counters)`` ledger (scalar metadata only)."""
+    launches: list[tuple[str, KernelCounters]] = []
+
+    def launch(name: str, counters: KernelCounters) -> None:
+        launches.append((name, counters))
+
     m, n = a.n_offdiag, a.n
     if m:
         # stage 1: slice reads coalesced; x segments through texture; the
         # Fig-8 shared reduction is conflict-free by construction
-        device.launch(
+        launch(
             "hsbcsr_stage1",
             KernelCounters(
                 flops=4.0 * m * BS * BS,          # up and low multiplies
@@ -201,7 +274,7 @@ def _record_cost(a: HSBCSRMatrix, device: VirtualDevice) -> None:
             ),
         )
         # stage 2: up_res coalesced 48-thread row groups; low_res texture
-        device.launch(
+        launch(
             "hsbcsr_stage2",
             KernelCounters(
                 flops=2.0 * (2 * m * BS),
@@ -217,7 +290,7 @@ def _record_cost(a: HSBCSRMatrix, device: VirtualDevice) -> None:
             ),
         )
     # stage 3: diagonal multiply-accumulate
-    device.launch(
+    launch(
         "hsbcsr_diag",
         KernelCounters(
             flops=2.0 * n * BS * BS,
@@ -231,3 +304,4 @@ def _record_cost(a: HSBCSRMatrix, device: VirtualDevice) -> None:
             warps=max(1, n * BS // WARP_SIZE),
         ),
     )
+    return launches

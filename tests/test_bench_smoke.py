@@ -1,0 +1,97 @@
+"""Envelope pins for the pipeline smoke benchmark.
+
+The committed ``results/BENCH_pipeline.json`` is the repo's perf
+trajectory: the ``payload`` holds the latest full measurement and the
+``trajectory`` list accumulates one ``{pr, wall, modelled}`` point per
+optimisation PR. These tests pin the writer's append semantics (a
+re-run must extend, never clobber, the history) and the bench's
+envelope shape, so the CI perf-gate can key on stable fields.
+
+Wall-clock *values* are asserted only as "positive and finite" — the
+actual wall/modelled ratio gate lives in CI where the measurement
+environment is controlled.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+benchmarks_common = pytest.importorskip(
+    "benchmarks.common", reason="benchmarks package needs the repo root "
+    "on sys.path (run pytest from the checkout)",
+)
+
+
+class TestTrajectoryAppend:
+    def test_first_write_starts_at_pr_1(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        benchmarks_common.write_bench_json(
+            "x", {"k": 1}, path=path, trajectory={"wall": 2.0, "modelled": 1.0}
+        )
+        doc = json.loads(path.read_text())
+        assert doc["trajectory"] == [{"pr": 1, "wall": 2.0, "modelled": 1.0}]
+
+    def test_rerun_appends_and_keeps_history(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        for wall in (2.0, 1.5, 1.2):
+            benchmarks_common.write_bench_json(
+                "x", {"wall": wall}, path=path,
+                trajectory={"wall": wall, "modelled": 1.0},
+            )
+        doc = json.loads(path.read_text())
+        assert [e["pr"] for e in doc["trajectory"]] == [1, 2, 3]
+        assert [e["wall"] for e in doc["trajectory"]] == [2.0, 1.5, 1.2]
+        # payload is the latest measurement, not an accumulation
+        assert doc["payload"] == {"wall": 1.2}
+
+    def test_no_trajectory_means_plain_overwrite(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        benchmarks_common.write_bench_json(
+            "x", {}, path=path, trajectory={"wall": 1.0, "modelled": 1.0}
+        )
+        benchmarks_common.write_bench_json("x", {"fresh": True}, path=path)
+        doc = json.loads(path.read_text())
+        assert "trajectory" not in doc
+        assert doc["payload"] == {"fresh": True}
+
+
+class TestPipelineSmokeEnvelope:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        from benchmarks.bench_pipeline_smoke import main
+
+        path = tmp_path_factory.mktemp("bench") / "BENCH_pipeline.json"
+        assert main(["--json", str(path)]) == 0
+        return json.loads(path.read_text())
+
+    def test_engines_and_modules(self, report):
+        engines = report["payload"]["engines"]
+        assert set(engines) == {"serial", "gpu", "hybrid"}
+        for data in engines.values():
+            assert data["n_blocks"] > 0
+            assert set(data["wall_seconds_per_module"]) == set(
+                data["modeled_seconds_per_module"]
+            )
+
+    def test_ratio_and_trajectory_point(self, report):
+        ratio = report["payload"]["serial_wall_modelled_ratio"]
+        assert ratio is not None and math.isfinite(ratio) and ratio > 0
+        (point,) = report["trajectory"]
+        assert point["pr"] == 1  # fresh path: history starts here
+        assert point["wall"] > 0 and point["modelled"] > 0
+        assert ratio == pytest.approx(point["wall"] / point["modelled"])
+
+    def test_committed_report_carries_the_trajectory(self):
+        committed = (
+            benchmarks_common.RESULTS_DIR / "BENCH_pipeline.json"
+        )
+        doc = json.loads(committed.read_text())
+        assert doc["trajectory"], "committed bench report lost its history"
+        last = doc["trajectory"][-1]
+        assert {"pr", "wall", "modelled"} <= set(last)
+        assert doc["payload"]["serial_wall_modelled_ratio"] == pytest.approx(
+            last["wall"] / last["modelled"]
+        )

@@ -44,8 +44,9 @@ def test_extractor_sees_the_docs():
     """Guard against the extractor (or the docs) silently going empty."""
     names = {p.name for p in DOC_PAGES}
     assert {"architecture.md", "benchmarking.md", "usage.md",
-            "robustness.md"} <= names
-    for name in ("usage.md", "robustness.md", "benchmarking.md"):
+            "robustness.md", "performance.md"} <= names
+    for name in ("usage.md", "robustness.md", "benchmarking.md",
+                 "performance.md"):
         blocks = python_blocks(DOCS_DIR / name)
         assert any(b["run"] for b in blocks), f"no runnable blocks: {name}"
 
