@@ -35,17 +35,24 @@ def bench_linter() -> dict:
     from repro.lint.framework import run_lint
 
     runtimes = []
+    per_pass: dict[str, list[float]] = {}
     report = None
     for _ in range(REPEATS):
         report = run_lint()
         runtimes.append(report.runtime_s)
+        for code, seconds in report.pass_runtime_s.items():
+            per_pass.setdefault(code, []).append(seconds)
     return {
         "files_scanned": report.files_scanned,
         "repeats": REPEATS,
         "runtime_s_best": min(runtimes),
         "runtime_s_mean": sum(runtimes) / len(runtimes),
+        "pass_runtime_s_best": {
+            code: min(times) for code, times in sorted(per_pass.items())
+        },
         "counts_by_code": report.counts_by_code(),
         "new_findings": len(report.new_findings),
+        "sync_points": len(report.sync_points),
     }
 
 

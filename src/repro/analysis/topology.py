@@ -37,6 +37,7 @@ def contact_graph(
     """
     g = nx.Graph()
     fixed_blocks = {b for b, _, _ in system.fixed_points}
+    # lint: host-ok[DDA001] -- networkx graph build is host-side partitioning preprocessing
     for i in range(system.n_blocks):
         g.add_node(i, fixed=i in fixed_blocks)
     if contacts.m == 0:
@@ -46,6 +47,7 @@ def contact_graph(
         mask = contacts.state != 0
     bi = contacts.block_i[mask]
     bj = contacts.block_j[mask]
+    # lint: sync-ok[host-graph-build] -- networkx edge insertion is host-side partitioning preprocessing
     for i, j in zip(bi.tolist(), bj.tolist()):
         if g.has_edge(i, j):
             g[i][j]["multiplicity"] += 1

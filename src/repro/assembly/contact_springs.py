@@ -60,7 +60,7 @@ def normal_spring_vectors(
     ci = _check_batch("ci", ci, m)
     cj = _check_batch("cj", cj, m)
     length = np.hypot(e2[:, 0] - e1[:, 0], e2[:, 1] - e1[:, 1])
-    if np.any(length <= 0.0):
+    if np.any(length <= 0.0):  # lint: sync-ok[validation-gate] -- raises on degenerate input before any launch
         raise ValueError("degenerate contact edge")
     s0 = (e1[:, 0] - p1[:, 0]) * (e2[:, 1] - p1[:, 1]) - (
         e2[:, 0] - p1[:, 0]
@@ -107,7 +107,7 @@ def shear_spring_vectors(
     r = check_array("ratios", ratios, dtype=np.float64, shape=(m,))
     edge = e2 - e1
     length = np.hypot(edge[:, 0], edge[:, 1])
-    if np.any(length <= 0.0):
+    if np.any(length <= 0.0):  # lint: sync-ok[validation-gate] -- raises on degenerate input before any launch
         raise ValueError("degenerate contact edge")
     tangent = edge / length[:, None]
     t_p1 = displacement_matrix(p1, ci)
@@ -177,7 +177,7 @@ def contact_contributions(
     fj -= (w * d0)[:, None] * g
 
     locked = states == LOCK
-    if locked.any():
+    if locked.any():  # lint: sync-ok[stage-skip] -- host decides whether to launch the locked-shear kernel
         e_s, g_s, _ = shear_spring_vectors(p1, e1, e2, ratios, ci, cj)
         ws = np.where(locked, ps, 0.0)
         kii += ws[:, None, None] * np.einsum("mi,mj->mij", e_s, e_s)
@@ -185,7 +185,7 @@ def contact_contributions(
         kij += ws[:, None, None] * np.einsum("mi,mj->mij", e_s, g_s)
 
     sliding = states == SLIDE
-    if sliding.any():
+    if sliding.any():  # lint: sync-ok[stage-skip] -- host decides whether to launch the sliding-shear kernel
         e_s, g_s, _ = shear_spring_vectors(p1, e1, e2, ratios, ci, cj)
         # friction opposes sliding: force pair along -+ tangent
         mag = np.where(sliding, fric * sgn, 0.0)

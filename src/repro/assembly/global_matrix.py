@@ -26,6 +26,7 @@ from repro.gpu.memory import coalesced_transactions, gather_transactions
 from repro.gpu.warp import WARP_SIZE
 from repro.lint.sanitize import scatter_check
 from repro.primitives.radix_sort import radix_sort_pairs
+from repro.primitives.scatter import scatter_add
 from repro.primitives.reduce import segment_boundaries, segmented_reduce
 from repro.util.validation import check_array
 
@@ -65,12 +66,12 @@ class BlockMatrix:
         self.blocks = check_array("blocks", self.blocks, dtype=np.float64,
                                   shape=(m, BS, BS))
         if m:
-            if not (self.rows < self.cols).all():
+            if not (self.rows < self.cols).all():  # lint: sync-ok[validation-gate] -- structure check at construction, raises before use
                 raise ValueError("off-diagonal entries must satisfy row < col")
-            if self.rows.max() >= self.n or self.cols.max() >= self.n:
+            if self.rows.max() >= self.n or self.cols.max() >= self.n:  # lint: sync-ok[validation-gate] -- structure check at construction, raises before use
                 raise ValueError("block index out of range")
             key = self.rows * self.n + self.cols
-            if np.any(np.diff(key) <= 0):
+            if np.any(np.diff(key) <= 0):  # lint: sync-ok[validation-gate] -- structure check at construction, raises before use
                 raise ValueError("off-diagonal entries must be sorted, unique")
 
     @property
@@ -91,8 +92,8 @@ class BlockMatrix:
         if self.n_offdiag:
             upper = np.einsum("mij,mj->mi", self.blocks, xb[self.cols])
             lower = np.einsum("mji,mj->mi", self.blocks, xb[self.rows])
-            np.add.at(y, self.rows, upper)
-            np.add.at(y, self.cols, lower)
+            scatter_add(y, self.rows, upper)
+            scatter_add(y, self.cols, lower)
         return y.reshape(-1)
 
     def to_dense(self) -> np.ndarray:
@@ -167,13 +168,13 @@ def assemble_serial(
     off_cols = check_array("off_cols", off_cols, dtype=np.int64, shape=(m,))
     off_blocks = check_array("off_blocks", off_blocks, dtype=np.float64,
                              shape=(m, BS, BS))
-    if m and np.any(off_rows == off_cols):
+    if m and np.any(off_rows == off_cols):  # lint: sync-ok[validation-gate] -- rejects malformed contribution streams
         raise ValueError("off-diagonal contribution with row == col")
 
     diag = np.zeros((n, BS, BS))
     scatter_check("assemble_serial.diag_scatter_add", diag_idx,
                   reduction="sum")
-    np.add.at(diag, diag_idx, diag_blocks)
+    scatter_add(diag, diag_idx, diag_blocks)
 
     if m == 0:
         return BlockMatrix(n, diag, np.zeros(0, dtype=np.int64),
@@ -229,7 +230,7 @@ def assemble_gpu(
     off_cols = check_array("off_cols", off_cols, dtype=np.int64, shape=(m,))
     off_blocks = check_array("off_blocks", off_blocks, dtype=np.float64,
                              shape=(m, BS, BS))
-    if m and np.any(off_rows == off_cols):
+    if m and np.any(off_rows == off_cols):  # lint: sync-ok[validation-gate] -- rejects malformed contribution streams
         raise ValueError("off-diagonal contribution with row == col")
 
     # --- diagonal: sort indices, segment-reduce ---

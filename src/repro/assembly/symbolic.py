@@ -51,6 +51,7 @@ from repro.gpu.counters import KernelCounters
 from repro.gpu.kernel import VirtualDevice
 from repro.lint.sanitize import scatter_check
 from repro.primitives.reduce import segment_boundaries, segmented_reduce
+from repro.primitives.scatter import scatter_add
 
 
 @dataclass
@@ -221,7 +222,7 @@ class AssemblyPlan:
                 "assembly_plan.diag_scatter_add", self.diag_idx,
                 reduction="sum",
             )
-            np.add.at(diag, self.diag_idx, diag_blocks)
+            scatter_add(diag, self.diag_idx, diag_blocks)
         if m == 0:
             z = np.zeros(0, dtype=np.int64)
             return BlockMatrix(

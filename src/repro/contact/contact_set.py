@@ -98,7 +98,7 @@ class ContactSet:
                     name,
                     check_array(name, value, dtype=default.dtype, shape=(m,)),
                 )
-        if m and np.any(self.block_i == self.block_j):
+        if m and np.any(self.block_i == self.block_j):  # lint: sync-ok[validation-gate] -- rejects self-contacts at construction
             raise ValueError("self-contact (block_i == block_j) is not allowed")
 
     # ------------------------------------------------------------------

@@ -82,7 +82,7 @@ def initialize_contacts_classified(
         idx = np.flatnonzero(out.kind == kind)
         _refresh_ratios(system, out, idx)
         _set_penalties(system, out, idx, penalty_scale)
-        if device is not None and idx.size:
+        if device is not None and idx.size:  # lint: sync-ok[launch-config] -- modelled launch recorded only for non-empty batches
             n = idx.size
             device.launch(
                 f"contact_init_{('VE', 'VV1', 'VV2')[kind]}",

@@ -63,7 +63,7 @@ def _expand_candidates(
     eb = np.concatenate([pairs_j, pairs_i])
     rows = counts[vb] * counts[eb]
     # expansion size is a host-side allocation parameter
-    total = int(rows.sum())  # lint: host-ok[DDA002]
+    total = int(rows.sum())  # lint: sync-ok[alloc-size] -- expansion size is a host-side allocation parameter
     if total == 0:
         z = np.zeros(0, dtype=np.int64)
         return z, z.copy(), z.copy(), z.copy(), z.copy()
@@ -197,7 +197,7 @@ def narrow_phase(
             ),
         )
     keep = np.flatnonzero(near)
-    if keep.size == 0:
+    if keep.size == 0:  # lint: sync-ok[empty-batch] -- early-out when no candidate pairs survive
         return ContactSet.empty()
     vblock, eblock, v_idx = vblock[keep], eblock[keep], v_idx[keep]
     e_local, dpair = e_local[keep], dpair[keep]
@@ -227,7 +227,7 @@ def narrow_phase(
     # effective (CCW) edge endpoints; start with the VE edge
     eff_a, eff_b = a_idx.copy(), b_idx.copy()
     drop = np.zeros(m, dtype=bool)
-    if vv.size:
+    if vv.size:  # lint: sync-ok[empty-batch] -- vertex-vertex fixup only for non-empty selections
         w_idx = np.where(t[vv] < 0.5, a_idx[vv], b_idx[vv])
         w_prev, w_next = _adjacent_vertex_indices(system, w_idx, eblock[vv])
         v_prev, v_next = _adjacent_vertex_indices(system, v_idx[vv], vblock[vv])

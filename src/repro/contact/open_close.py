@@ -244,15 +244,15 @@ class OpenCloseDriver:
         switched = new_states != contacts.state
         # the convergence reduction: one scalar pair per sweep crosses
         # to the host, exactly what the restructured kernel returns
-        changed = int(np.count_nonzero(switched))  # lint: host-ok[DDA002] -- per-sweep convergence scalar
+        changed = int(np.count_nonzero(switched))  # lint: sync-ok[sweep-convergence] -- per-sweep convergence scalar
         prev_nf = (
             np.zeros(m) if prev_normal_force is None else prev_normal_force
         )
         peak_force = np.maximum(prev_nf, normal_force)
-        significant = int(  # lint: host-ok[DDA002] -- per-sweep convergence scalar
+        significant = int(  # lint: sync-ok[sweep-convergence] -- per-sweep convergence scalar
             np.count_nonzero(switched & (peak_force > self.force_tolerance))
         )
-        max_pen = float(np.maximum(0.0, -dn).max())  # lint: host-ok[DDA002] -- per-sweep health scalar
+        max_pen = float(np.maximum(0.0, -dn).max())  # lint: sync-ok[sweep-health] -- per-sweep health scalar
         return StateUpdate(
             states=new_states,
             shear_sign=new_sign,

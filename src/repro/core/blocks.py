@@ -22,6 +22,7 @@ from repro.geometry.polygon import (
     polygon_second_moments,
 )
 from repro.geometry.tolerances import Tolerances
+from repro.primitives.scatter import segment_max, segment_min, segment_sum
 from repro.util.validation import ShapeError, check_array
 
 #: Degrees of freedom per block: (u0, v0, r0, ex, ey, gxy).
@@ -132,6 +133,7 @@ class BlockSystem:
         self.materials: list[BlockMaterial] = []
         mat_index: dict[BlockMaterial, int] = {}
         self.material_id = np.zeros(len(blocks), dtype=np.int64)
+        # lint: host-ok[DDA001] -- construction-time loop over the input polygon list
         for i, b in enumerate(blocks):
             if b.material not in mat_index:
                 mat_index[b.material] = len(self.materials)
@@ -172,12 +174,12 @@ class BlockSystem:
         xn, yn = v[nxt, 0], v[nxt, 1]
         cross = x * yn - xn * y
         starts = self.offsets[:-1]
-        area = 0.5 * np.add.reduceat(cross, starts)
-        cx = np.add.reduceat((x + xn) * cross, starts) / (6.0 * area)
-        cy = np.add.reduceat((y + yn) * cross, starts) / (6.0 * area)
-        sxx_o = np.add.reduceat((x * x + x * xn + xn * xn) * cross, starts) / 12.0
-        syy_o = np.add.reduceat((y * y + y * yn + yn * yn) * cross, starts) / 12.0
-        sxy_o = np.add.reduceat(
+        area = 0.5 * segment_sum(cross, starts)
+        cx = segment_sum((x + xn) * cross, starts) / (6.0 * area)
+        cy = segment_sum((y + yn) * cross, starts) / (6.0 * area)
+        sxx_o = segment_sum((x * x + x * xn + xn * xn) * cross, starts) / 12.0
+        syy_o = segment_sum((y * y + y * yn + yn * yn) * cross, starts) / 12.0
+        sxy_o = segment_sum(
             (x * yn + 2.0 * x * y + 2.0 * xn * yn + xn * y) * cross, starts
         ) / 24.0
         self.areas = area
@@ -192,10 +194,10 @@ class BlockSystem:
         )
         self.aabbs = np.stack(
             [
-                np.minimum.reduceat(x, starts),
-                np.minimum.reduceat(y, starts),
-                np.maximum.reduceat(x, starts),
-                np.maximum.reduceat(y, starts),
+                segment_min(x, starts),
+                segment_min(y, starts),
+                segment_max(x, starts),
+                segment_max(y, starts),
             ],
             axis=1,
         )

@@ -32,6 +32,7 @@ from repro.assembly.global_matrix import BS, BlockMatrix, _canonical_offdiag
 from repro.domain.halo import DomainMap, ExchangePlan
 from repro.gpu.counters import KernelCounters
 from repro.gpu.memory import coalesced_transactions
+from repro.primitives.scatter import segment_sum
 from repro.gpu.warp import WARP_SIZE
 
 
@@ -200,12 +201,12 @@ def domain_spmv(dm: DomainMatrix, x_ext: np.ndarray, device=None) -> np.ndarray:
     if dm.up_slots.size:
         up_res = np.einsum("skc,kc->ks", dm.up_v, xb[dm.up_slots])
         if dm.up_targets.size:
-            y[dm.up_targets] += np.add.reduceat(up_res, dm.up_starts, axis=0)
+            y[dm.up_targets] += segment_sum(up_res, dm.up_starts, axis=0)
     if dm.low_slots.size:
         low_res = np.einsum("skc,ks->kc", dm.low_v, xb[dm.low_slots])
         gathered = low_res[dm.low_perm]
         if dm.low_targets.size:
-            y[dm.low_targets] += np.add.reduceat(
+            y[dm.low_targets] += segment_sum(
                 gathered, dm.low_starts, axis=0
             )
     y += np.einsum("snc,nc->ns", dm.diag_v, xb[: dm.n_local])

@@ -140,7 +140,7 @@ def build_exchange_plan(
         slots.append(slot)
         ghost_lab = labels[ghost]
         for src in range(dmap.n_domains):
-            ids = ghost[ghost_lab == src] if ghost.size else ghost
+            ids = ghost[ghost_lab == src] if ghost.size else ghost  # lint: sync-ok[empty-batch] -- per-source ghost selection, empty exchange skipped
             if ids.size:
                 sends.append((src, d, ids))
     return ExchangePlan(tuple(ghosts), tuple(slots), tuple(sends))
@@ -164,7 +164,7 @@ def ghost_contacts(
         np.flatnonzero((lab_i == d) | (lab_j == d))
         for d in range(dmap.n_domains)
     )
-    n_cut = int(np.count_nonzero(lab_i != lab_j))  # lint: host-ok[DDA002] -- scalar partition statistic
+    n_cut = int(np.count_nonzero(lab_i != lab_j))  # lint: sync-ok[partition-stats] -- scalar partition statistic
     return per_domain, n_cut
 
 

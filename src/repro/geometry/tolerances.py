@@ -89,12 +89,12 @@ class Tolerances:
             return cls(1.0, rel)
         coords = coords.reshape(-1, coords.shape[-1])
         good = coords[np.isfinite(coords).all(axis=1)]
-        if good.shape[0] == 0:
+        if good.shape[0] == 0:  # lint: sync-ok[setup] -- one-time host-side tolerance derivation
             return cls(1.0, rel)
         span = good.max(axis=0) - good.min(axis=0)
         diag = float(np.sqrt(np.sum(span * span)))
         if not (np.isfinite(diag) and diag > 0.0):
-            diag = float(np.max(np.abs(good)))
+            diag = float(np.max(np.abs(good)))  # lint: sync-ok[setup] -- one-time host-side tolerance derivation
         if not (np.isfinite(diag) and diag > 0.0):
             diag = 1.0
         return cls(diag, rel)

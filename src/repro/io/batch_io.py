@@ -235,6 +235,83 @@ def write_json_atomic(path: str | Path, obj) -> Path:
     return path
 
 
+def write_text_atomic(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically and durably.
+
+    Same tmp-file + fsync + ``os.replace`` + directory-fsync protocol
+    as :func:`write_json_atomic` (including the chaos hook), for the
+    service's non-JSON records — queue tickets, marker files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    chaos = _chaos()
+    fault = chaos.on_write(path) if chaos is not None else None
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            if fault == "torn_write":
+                size = fh.tell()
+                os.ftruncate(fh.fileno(), max(1, size // 2))
+            os.fsync(fh.fileno())
+        if fault == "crash_before_rename":
+            os.unlink(tmp)
+            chaos.raise_fault(fault, path)
+        os.replace(tmp, path)
+        if fault in ("torn_write", "crash_after_rename"):
+            chaos.raise_fault(fault, path)
+        _fsync_dir(path.parent)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def copy_file_atomic(src: str | Path, dst: str | Path) -> Path:
+    """Copy ``src`` to ``dst`` atomically and durably.
+
+    The bytes land in a temporary file next to ``dst`` (fsynced), are
+    renamed into place, and the parent directory is fsynced — the
+    result-store variant of :func:`write_json_atomic` for payloads that
+    already exist on disk. The chaos write hook applies to ``dst``.
+    """
+    src, dst = Path(src), Path(dst)
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    chaos = _chaos()
+    fault = chaos.on_write(dst) if chaos is not None else None
+    fd, tmp = tempfile.mkstemp(
+        dir=dst.parent, prefix=f".{dst.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh, open(src, "rb") as sf:
+            while True:
+                chunk = sf.read(1 << 20)
+                if not chunk:
+                    break
+                fh.write(chunk)
+            fh.flush()
+            if fault == "torn_write":
+                size = fh.tell()
+                os.ftruncate(fh.fileno(), max(1, size // 2))
+            os.fsync(fh.fileno())
+        if fault == "crash_before_rename":
+            os.unlink(tmp)
+            chaos.raise_fault(fault, dst)
+        os.replace(tmp, dst)
+        if fault in ("torn_write", "crash_after_rename"):
+            chaos.raise_fault(fault, dst)
+        _fsync_dir(dst.parent)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return dst
+
+
 def read_json(path: str | Path):
     """Load a JSON file; returns ``None`` when missing or unparseable.
 

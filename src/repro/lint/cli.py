@@ -16,6 +16,7 @@ from repro.lint.framework import (
     default_root,
     load_baseline,
     run_lint,
+    stale_baseline_count,
     write_baseline,
 )
 
@@ -26,7 +27,7 @@ DEFAULT_BASELINE = "lint-baseline.json"
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro lint",
-        description="Device-path static analysis (rules DDA001-DDA005).",
+        description="Device-path static analysis (rules DDA001-DDA008).",
     )
     p.add_argument("paths", nargs="*", metavar="PATH",
                    help="files/directories to lint (relative to --root; "
@@ -45,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write current findings to FILE and exit 0")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--sync-inventory", metavar="FILE", nargs="?",
+                   const="-", dest="sync_inventory",
+                   help="write the DDA007 sync-point inventory as JSON "
+                        "to FILE (or stdout when no FILE is given) and "
+                        "exit with the normal lint status")
     return p
 
 
@@ -81,10 +87,36 @@ def lint_main(argv: list[str] | None = None) -> int:
     )
 
     if args.write_baseline:
+        pruned = 0
+        out_path = Path(args.write_baseline)
+        if out_path.is_file():
+            # rewriting an existing baseline prunes entries no current
+            # finding matches — a stale entry must not mask a future
+            # regression with the same (file, code, message) key
+            pruned = stale_baseline_count(
+                load_baseline(out_path), report.findings
+            )
         path = write_baseline(args.write_baseline, report.findings)
         print(f"baseline written: {path} "
-              f"({len(report.findings)} finding(s))", file=sys.stderr)
+              f"({len(report.findings)} finding(s), "
+              f"{pruned} stale entr{'y' if pruned == 1 else 'ies'} "
+              "pruned)", file=sys.stderr)
         return 0
+
+    if args.sync_inventory is not None:
+        inventory = json.dumps(report.sync_inventory(), indent=2)
+        if args.sync_inventory == "-":
+            print(inventory)
+        else:
+            Path(args.sync_inventory).write_text(
+                inventory + "\n", encoding="utf-8"
+            )
+            print(
+                f"sync inventory written: {args.sync_inventory} "
+                f"({len(report.sync_points)} point(s))",
+                file=sys.stderr,
+            )
+        return 1 if report.new_findings else 0
 
     if args.as_json:
         print(json.dumps(report.to_dict(), indent=2))

@@ -5,6 +5,9 @@ from repro.lint.passes.transfers import TransferPass
 from repro.lint.passes.dtypes import DtypePass
 from repro.lint.passes.rng import RngPass
 from repro.lint.passes.docstrings import DocstringPass
+from repro.lint.passes.array_api import ArrayApiPass
+from repro.lint.passes.sync_points import SyncPointPass
+from repro.lint.passes.service_locks import ServiceLockPass
 
 #: Every registered pass, in rule-code order.
 ALL_PASSES = (
@@ -13,6 +16,9 @@ ALL_PASSES = (
     DtypePass(),
     RngPass(),
     DocstringPass(),
+    ArrayApiPass(),
+    SyncPointPass(),
+    ServiceLockPass(),
 )
 
 ALL_CODES = frozenset(p.code for p in ALL_PASSES)

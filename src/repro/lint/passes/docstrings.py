@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import ast
 import re
+from typing import Iterator
 
-from repro.lint.framework import LintPass, SourceModule
+from repro.lint.framework import Finding, LintPass, SourceModule
 
 #: Any one of these in the docstring counts as a shape annotation.
 SHAPE_HINT = re.compile(
@@ -34,7 +35,7 @@ class DocstringPass(LintPass):
         "array shapes in the docstring"
     )
 
-    def run(self, module: SourceModule):
+    def run(self, module: SourceModule) -> Iterator[Finding]:
         for node in module.tree.body:
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -46,6 +47,7 @@ class DocstringPass(LintPass):
                     module, node,
                     f"public kernel-path function '{node.name}' has no "
                     "docstring (shapes must be documented)",
+                    function=node.name,
                 )
             elif not SHAPE_HINT.search(doc):
                 yield self.finding(
@@ -53,4 +55,5 @@ class DocstringPass(LintPass):
                     f"docstring of '{node.name}' does not annotate array "
                     "shapes (expected a '(n, ...)' tuple, '1-D'/'2-D', "
                     "'shape', or 'scalar')",
+                    function=node.name,
                 )

@@ -11,8 +11,14 @@ kernel-path module.
 from __future__ import annotations
 
 import ast
+from typing import Iterator
 
-from repro.lint.framework import LintPass, SourceModule
+from repro.lint.framework import (
+    Finding,
+    LintPass,
+    SourceModule,
+    walk_scoped,
+)
 
 #: Narrow dtypes banned on the device path.
 NARROW_DTYPES = frozenset({
@@ -28,9 +34,12 @@ class DtypePass(LintPass):
         "no implicit float32/int32 literals or astype downcasts on "
         "device-path arrays (float64/int64 end to end)"
     )
+    closure_aware = True
 
-    def run(self, module: SourceModule):
-        for node in ast.walk(module.tree):
+    def scan(
+        self, module: SourceModule, root: ast.AST
+    ) -> Iterator[Finding]:
+        for node, func in walk_scoped(root):
             if (
                 isinstance(node, ast.Attribute)
                 and node.attr in NARROW_DTYPES
@@ -40,6 +49,7 @@ class DtypePass(LintPass):
                     f"narrow dtype '.{node.attr}' on the device path; the "
                     "pipeline is float64/int64 — route precision changes "
                     "through the explicit precision ablation",
+                    function=func,
                 )
             elif isinstance(node, ast.Call):
                 for value in (
@@ -54,4 +64,5 @@ class DtypePass(LintPass):
                             module, value,
                             f"narrow dtype literal '{value.value}' on the "
                             "device path; the pipeline is float64/int64",
+                            function=func,
                         )

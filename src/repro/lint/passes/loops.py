@@ -13,8 +13,14 @@ for the deliberate serial baselines (e.g. the pure-Python broad phase).
 from __future__ import annotations
 
 import ast
+from typing import Iterator
 
-from repro.lint.framework import LintPass, SourceModule
+from repro.lint.framework import (
+    Finding,
+    LintPass,
+    SourceModule,
+    walk_scoped,
+)
 
 #: Identifiers that (by repo convention) hold a data-axis extent.
 AXIS_NAMES = frozenset({
@@ -80,9 +86,12 @@ class LoopPass(LintPass):
         "no Python for/while loops over block/contact/nonzero axes in "
         "kernel-path modules (vectorised numpy only)"
     )
+    closure_aware = True
 
-    def run(self, module: SourceModule):
-        for node in ast.walk(module.tree):
+    def scan(
+        self, module: SourceModule, root: ast.AST
+    ) -> Iterator[Finding]:
+        for node, func in walk_scoped(root):
             if isinstance(node, ast.For):
                 evidence = _iterable_evidence(node.iter)
                 if evidence:
@@ -91,6 +100,7 @@ class LoopPass(LintPass):
                         f"Python for-loop over a data axis ({evidence}); "
                         "vectorise with numpy or mark '# lint: host-ok' "
                         "with a reason",
+                        function=func,
                     )
             elif isinstance(node, ast.While):
                 evidence = _axis_evidence(node.test)
@@ -100,4 +110,5 @@ class LoopPass(LintPass):
                         f"Python while-loop guarded by a data axis "
                         f"({evidence}); vectorise with numpy or mark "
                         "'# lint: host-ok' with a reason",
+                        function=func,
                     )

@@ -12,8 +12,14 @@ must receive a seed expression.
 from __future__ import annotations
 
 import ast
+from typing import Iterator
 
-from repro.lint.framework import RNG_HOME, LintPass, SourceModule
+from repro.lint.framework import (
+    RNG_HOME,
+    Finding,
+    LintPass,
+    SourceModule,
+)
 
 #: ``np.random`` attributes that are fine to reference anywhere.
 ALLOWED_NP_RANDOM = frozenset({
@@ -39,7 +45,7 @@ class RngPass(LintPass):
     )
     kernel_path_only = False
 
-    def run(self, module: SourceModule):
+    def run(self, module: SourceModule) -> Iterator[Finding]:
         if module.rel == RNG_HOME:
             return
         for node in ast.walk(module.tree):

@@ -16,8 +16,9 @@ the simulated data path.
 from __future__ import annotations
 
 import ast
+from typing import Iterator
 
-from repro.lint.framework import LintPass, SourceModule
+from repro.lint.framework import Finding, LintPass, SourceModule
 
 #: Method names whose call result is a device-side reduction.
 REDUCTION_ATTRS = frozenset({
@@ -60,13 +61,21 @@ class TransferPass(LintPass):
         "no hidden host transfers in kernel-path modules (.tolist(), "
         ".item(), float/int/bool of device scalars, array truthiness)"
     )
+    closure_aware = True
 
-    def run(self, module: SourceModule):
-        yield from self._visit(module, module.tree)
+    def scan(
+        self, module: SourceModule, root: ast.AST
+    ) -> Iterator[Finding]:
+        yield from self._visit(module, root, None)
 
-    def _visit(self, module: SourceModule, node: ast.AST):
+    def _visit(self, module: SourceModule, node: ast.AST,
+               scope: str | None) -> Iterator[Finding]:
         if isinstance(node, ast.Call) and _is_model_call(node):
             return  # cost-model context: the launch model IS host code
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope = (
+                node.name if scope is None else f"{scope}.{node.name}"
+            )
         if isinstance(node, ast.Call):
             func = node.func
             if (
@@ -79,6 +88,7 @@ class TransferPass(LintPass):
                     f"'.{func.attr}()' forces a device-to-host copy; keep "
                     "the value on the device or mark '# lint: host-ok' "
                     "with a reason",
+                    function=scope,
                 )
             elif (
                 isinstance(func, ast.Name)
@@ -92,6 +102,7 @@ class TransferPass(LintPass):
                         f"'{func.id}(...)' of a {evidence} is a hidden "
                         "host transfer; keep the value on the device or "
                         "mark '# lint: host-ok' with a reason",
+                        function=scope,
                     )
         if isinstance(node, (ast.If, ast.While, ast.IfExp)) and isinstance(
             node.test, ast.Subscript
@@ -100,6 +111,7 @@ class TransferPass(LintPass):
                 module, node,
                 "truth-testing an array element synchronises the device; "
                 "use vectorised masks or mark '# lint: host-ok'",
+                function=scope,
             )
         for child in ast.iter_child_nodes(node):
-            yield from self._visit(module, child)
+            yield from self._visit(module, child, scope)

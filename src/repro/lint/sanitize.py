@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -135,6 +136,7 @@ class ScatterSanitizer:
             return
         shown = dup[:DETAIL_LIMIT]
         writers = tuple(
+            # lint: sync-ok[race-report] -- formats the diagnostic after a race is already found
             tuple(np.flatnonzero(targets == t)[:DETAIL_LIMIT].tolist())
             for t in shown
         )
@@ -188,7 +190,9 @@ def scatter_check(
 
 
 @contextmanager
-def sanitized(sanitizer: ScatterSanitizer):
+def sanitized(
+    sanitizer: ScatterSanitizer,
+) -> Iterator[ScatterSanitizer]:
     """Arm ``sanitizer`` for the duration of the block."""
     global _ACTIVE
     previous = _ACTIVE

@@ -16,6 +16,12 @@ from repro.primitives.radix_sort import radix_sort_pairs, radix_sort_keys
 from repro.primitives.reduce import device_reduce, segmented_reduce
 from repro.primitives.compact import stream_compact, partition_by_label
 from repro.primitives.sorted_search import sorted_search, lower_bound
+from repro.primitives.scatter import (
+    scatter_add,
+    segment_max,
+    segment_min,
+    segment_sum,
+)
 
 __all__ = [
     "exclusive_scan",
@@ -28,4 +34,8 @@ __all__ = [
     "partition_by_label",
     "sorted_search",
     "lower_bound",
+    "scatter_add",
+    "segment_sum",
+    "segment_min",
+    "segment_max",
 ]

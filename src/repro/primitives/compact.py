@@ -92,7 +92,7 @@ def partition_by_label(
         raise TypeError(f"labels must be integers, got {labels.dtype}")
     if n_labels <= 0:
         raise ValueError(f"n_labels must be positive, got {n_labels}")
-    if labels.size and (labels.min() < 0 or labels.max() >= n_labels):
+    if labels.size and (labels.min() < 0 or labels.max() >= n_labels):  # lint: sync-ok[validation-gate] -- label range check, raises before any launch
         raise ValueError(f"labels out of range [0, {n_labels})")
     bits = max(1, (n_labels - 1).bit_length())
     sorted_labels, perm = radix_sort_pairs(

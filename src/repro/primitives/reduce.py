@@ -18,6 +18,7 @@ from repro.gpu.counters import KernelCounters
 from repro.gpu.kernel import VirtualDevice
 from repro.gpu.memory import coalesced_transactions
 from repro.gpu.warp import WARP_SIZE
+from repro.primitives.scatter import segment_sum
 from repro.util.validation import check_array
 
 REDUCE_BLOCK = 256
@@ -60,7 +61,7 @@ def device_reduce(
             )
     # device_reduce returns a host scalar by contract (its callers are
     # host-side convergence checks)
-    return float(values.sum()) if n else 0.0  # lint: host-ok[DDA002]
+    return float(values.sum()) if n else 0.0  # lint: sync-ok[host-scalar-contract] -- device_reduce's contract is a host scalar
 
 
 def segment_boundaries(sorted_keys: np.ndarray) -> np.ndarray:
@@ -99,9 +100,10 @@ def segmented_reduce(
     starts = check_array("starts", starts, ndim=1, dtype=np.int64)
     if starts.size == 0:
         return values[:0]
-    if starts[0] != 0:
+    if starts[0] != 0:  # lint: sync-ok[validation-gate] -- segment layout check, raises before launch
         raise ValueError("starts[0] must be 0")
-    if np.any(np.diff(starts) <= 0) or starts[-1] >= max(1, values.shape[0]):
+    if np.any(np.diff(starts) <= 0) or starts[-1] >= max(1, values.shape[0]):  # lint: sync-ok[validation-gate] -- segment layout check, raises before launch
+        # lint: sync-ok[validation-gate] -- segment layout check, raises before launch
         if values.shape[0] > 0 and (
             np.any(np.diff(starts) <= 0) or starts[-1] >= values.shape[0]
         ):
@@ -122,4 +124,4 @@ def segmented_reduce(
                 warps=max(1, n // WARP_SIZE),
             ),
         )
-    return np.add.reduceat(values, starts, axis=0)
+    return segment_sum(values, starts, axis=0)

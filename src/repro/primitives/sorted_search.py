@@ -56,7 +56,7 @@ def sorted_search(
     needles = check_array("needles", needles, ndim=1)
     if side not in ("left", "right"):
         raise ValueError(f"side must be 'left' or 'right', got {side!r}")
-    if haystack.size > 1 and np.any(haystack[1:] < haystack[:-1]):
+    if haystack.size > 1 and np.any(haystack[1:] < haystack[:-1]):  # lint: sync-ok[validation-gate] -- sortedness check, raises before any launch
         raise ValueError("haystack must be sorted ascending")
     if device is not None and needles.size:
         probes = max(1, math.ceil(math.log2(max(2, haystack.size))))

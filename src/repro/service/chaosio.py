@@ -193,6 +193,8 @@ class IOFaultPlan:
         """Write the plan as JSON (plain write — plans are never faulted)."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # lint: lock-ok[chaos-plan] -- plan files are the chaos layer's
+        # own input, written before arming, deliberately un-faulted
         path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
         return path
 
@@ -291,6 +293,8 @@ class IOFaultInjector:
         batch_io.set_force_sidecar(True)
         sidecar = str(path) + ".lock"
         try:
+            # lint: lock-ok[chaos-injection] -- deliberately plants the
+            # stale sidecar the takeover protocol must absorb
             fd = os.open(sidecar, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
             return  # a real holder (or an earlier plant) is present

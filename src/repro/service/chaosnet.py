@@ -161,6 +161,8 @@ class NetFaultPlan:
         """Write the plan as JSON (plain write — plans are never faulted)."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # lint: lock-ok[chaos-plan] -- plan files are the chaos layer's
+        # own input, written before arming, deliberately un-faulted
         path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
         return path
 

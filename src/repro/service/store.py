@@ -18,7 +18,12 @@ import shutil
 import tempfile
 from pathlib import Path
 
-from repro.io.batch_io import locked_fd, read_json, write_json_atomic
+from repro.io.batch_io import (
+    copy_file_atomic,
+    locked_fd,
+    read_json,
+    write_json_atomic,
+)
 
 
 class ResultStore:
@@ -63,10 +68,7 @@ class ResultStore:
                 src = Path(state_stem).with_suffix(suffix)
                 if not src.exists():
                     continue
-                fd, tmp = tempfile.mkstemp(dir=self.entries, suffix=".tmp")
-                os.close(fd)
-                shutil.copyfile(src, tmp)
-                os.replace(tmp, dest.with_suffix(suffix))
+                copy_file_atomic(src, dest.with_suffix(suffix))
             summary = dict(summary, has_state=True)
         write_json_atomic(self._entry(spec_hash), summary)
 

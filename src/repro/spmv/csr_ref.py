@@ -20,6 +20,7 @@ from repro.gpu.counters import KernelCounters
 from repro.gpu.kernel import VirtualDevice
 from repro.gpu.memory import coalesced_transactions, gather_transactions
 from repro.gpu.warp import WARP_SIZE
+from repro.primitives.scatter import segment_sum
 from repro.util.validation import check_array
 
 
@@ -97,8 +98,8 @@ def csr_spmv(
     contrib = a.data * x[a.indices]
     row_lengths = np.diff(a.indptr)
     nonempty = np.flatnonzero(row_lengths > 0)
-    if nonempty.size:
-        sums = np.add.reduceat(contrib, a.indptr[:-1][nonempty])
+    if nonempty.size:  # lint: sync-ok[empty-batch] -- segment reduction only for non-empty rows
+        sums = segment_sum(contrib, a.indptr[:-1][nonempty])
         y[nonempty] = sums
 
     if device is not None:
@@ -108,7 +109,7 @@ def csr_spmv(
         padded = np.maximum(row_lengths, 1)
         padded = ((padded + WARP_SIZE - 1) // WARP_SIZE) * WARP_SIZE
         # cost-model statistic for the launch, not the data path
-        imbalance = float(padded.sum()) / max(1, nnz)  # lint: host-ok[DDA002]
+        imbalance = float(padded.sum()) / max(1, nnz)  # lint: sync-ok[cost-model] -- imbalance statistic feeds the launch model
         device.launch(
             "csr_vector_spmv",
             KernelCounters(

@@ -39,6 +39,7 @@ from repro.gpu.counters import KernelCounters
 from repro.gpu.kernel import VirtualDevice
 from repro.gpu.memory import coalesced_transactions, gather_transactions
 from repro.gpu.warp import WARP_SIZE
+from repro.primitives.scatter import segment_sum
 from repro.util.validation import check_array
 
 #: Slice lengths are padded to a multiple of this (GPU alignment).
@@ -99,7 +100,7 @@ class HSBCSRMatrix:
         d_data = _slice_blocks(a.diag, align)
         nd_data = _slice_blocks(a.blocks, align)
         if (
-            structure is not None
+            structure is not None  # lint: sync-ok[structure-reuse] -- host checks cached sparsity before reuse
             and structure.n == a.n
             and structure.n_offdiag == m
             and structure.d_data.shape == d_data.shape
@@ -210,12 +211,12 @@ def hsbcsr_spmv(
             a.reduction_index()
         )
         if nonempty_up.size:
-            sums = np.add.reduceat(up_res, starts_up[nonempty_up], axis=0)
+            sums = segment_sum(up_res, starts_up[nonempty_up], axis=0)
             y[nonempty_up] += sums
         # irregular reduction of low_res gathered through row_low_p
         gathered = low_res[a.row_low_p]
         if nonempty_low.size:
-            sums = np.add.reduceat(gathered, starts_low[nonempty_low], axis=0)
+            sums = segment_sum(gathered, starts_low[nonempty_low], axis=0)
             y[nonempty_low] += sums
 
     # stage 3: diagonal

@@ -24,6 +24,7 @@ from repro.gpu.counters import KernelCounters
 from repro.gpu.kernel import VirtualDevice
 from repro.gpu.memory import coalesced_transactions, gather_transactions
 from repro.gpu.warp import WARP_SIZE
+from repro.primitives.scatter import scatter_add, segment_sum
 from repro.spmv.csr_ref import CSRMatrix
 from repro.util.validation import check_array
 
@@ -51,7 +52,7 @@ def merge_path_partitions(
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     n_rows = indptr.size - 1
     # path length / worker count are host-side launch configuration
-    nnz = int(indptr[-1])  # lint: host-ok[DDA002]
+    nnz = int(indptr[-1])  # lint: sync-ok[launch-config] -- path length and worker count are host launch configuration
     path_len = n_rows + nnz
     # row-end markers sit at path positions indptr[r+1] + r; one thread
     # per worker binary-searches its diagonal (vectorised searchsorted)
@@ -93,11 +94,11 @@ def merge_csr_spmv(
         # serial accumulation is a segmented reduction
         bounds = np.union1d(a.indptr[:-1], coords[:-1, 1])
         bounds = bounds[bounds < a.nnz].astype(np.int64)
-        seg_sums = np.add.reduceat(contrib, bounds)
+        seg_sums = segment_sum(contrib, bounds)
         seg_rows = np.searchsorted(a.indptr, bounds, side="right") - 1
         # phase 2: complete-row emits and cross-worker carry fix-ups are
         # both row-indexed scatter-adds of the segment sums
-        np.add.at(y, seg_rows, seg_sums)
+        scatter_add(y, seg_rows, seg_sums)
 
     if device is not None:
         nnz = a.nnz

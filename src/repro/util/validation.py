@@ -76,7 +76,7 @@ def check_array(
                 )
     if not allow_empty and arr.size == 0:
         raise ShapeError(f"{name}: must not be empty")
-    if finite and arr.size and not np.all(np.isfinite(arr)):
+    if finite and arr.size and not np.all(np.isfinite(arr)):  # lint: sync-ok[validation-gate] -- raises on non-finite input before kernels run
         raise ShapeError(f"{name}: contains non-finite values")
     return arr
 

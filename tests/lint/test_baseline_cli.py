@@ -18,8 +18,9 @@ from repro.lint.framework import (
 )
 
 #: A kernel-path module with two DDA001 findings (identical messages —
-#: both loops range over ``n`` — exercising baseline multiplicity) and
-#: one DDA002.
+#: both loops range over ``n`` — exercising baseline multiplicity), one
+#: DDA002, one DDA005 (missing docstring), and one DDA007 (the
+#: ``float(a.sum())`` is an unannotated sync point).
 DIRTY = (
     "def f(a, n):\n"
     "    for i in range(n):\n"
@@ -131,8 +132,8 @@ def test_cli_select_restricts_rules(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("DDA001", "DDA002", "DDA003", "DDA004", "DDA005"):
-        assert code in out
+    for i in range(1, 9):
+        assert f"DDA00{i}" in out
 
 
 # ----------------------------------------------------------------------
@@ -147,11 +148,20 @@ def test_cli_json_schema(tmp_path, capsys):
     assert report["root"] == str(root)
     assert report["files_scanned"] == 1
     assert report["runtime_s"] >= 0
-    assert report["counts"] == {"DDA001": 2, "DDA002": 1, "DDA005": 1}
-    assert report["new"] == len(report["findings"]) == 4
+    assert report["counts"] == {
+        "DDA001": 2, "DDA002": 1, "DDA005": 1, "DDA007": 1,
+    }
+    assert report["new"] == len(report["findings"]) == 5
+    assert set(report["pass_runtime_s"]) >= {"callgraph", "DDA001"}
+    assert all(t >= 0 for t in report["pass_runtime_s"].values())
     for f in report["findings"]:
-        assert set(f) == {"file", "line", "code", "message", "baselined"}
+        assert set(f) == {
+            "file", "line", "code", "message", "baselined",
+            "function", "via",
+        }
         assert f["file"] == "contact/k.py"
+        assert f["function"] == "f"
+        assert f["via"] == []  # kernel-path module: no closure hops
         assert f["baselined"] is False
 
 
@@ -172,6 +182,22 @@ def test_cli_write_then_consume_baseline(tmp_path, capsys):
     report = json.loads(capsys.readouterr().out)
     assert report["new"] == 0
     assert all(f["baselined"] for f in report["findings"])
+
+
+def test_cli_rewrite_baseline_prunes_stale_entries(tmp_path, capsys):
+    root = make_corpus(tmp_path)
+    base = tmp_path / "grandfathered.json"
+    assert lint_main(
+        ["--root", str(root), "--write-baseline", str(base)]
+    ) == 0
+    assert "0 stale entries pruned" in capsys.readouterr().err
+    # the corpus gets fixed: rewriting the baseline reports how many
+    # grandfathered entries no longer match anything
+    (root / "contact" / "k.py").write_text(CLEAN, encoding="utf-8")
+    assert lint_main(
+        ["--root", str(root), "--write-baseline", str(base)]
+    ) == 0
+    assert "5 stale entries pruned" in capsys.readouterr().err
 
 
 def test_cli_auto_discovers_default_baseline(tmp_path, monkeypatch, capsys):

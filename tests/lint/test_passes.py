@@ -1,5 +1,8 @@
 """Per-pass fixtures for the DDA001-DDA005 static rules.
 
+The interprocedural rules (DDA006-DDA008) and the call-graph closure
+live in ``test_new_passes.py`` / ``test_callgraph.py``.
+
 Each test builds a tiny corpus under ``tmp_path`` laid out like the
 package (``contact/`` is on the kernel path, ``util/`` is not), runs
 :func:`repro.lint.framework.run_lint` against it, and asserts on the
@@ -36,11 +39,14 @@ def codes_at(report, rel: str) -> list[str]:
 # ----------------------------------------------------------------------
 
 def test_pass_registry_well_formed():
-    assert len(ALL_PASSES) == 5
-    assert ALL_CODES == {f"DDA00{i}" for i in range(1, 6)}
+    assert len(ALL_PASSES) == 8
+    assert ALL_CODES == {f"DDA00{i}" for i in range(1, 9)}
     for p in ALL_PASSES:
         assert p.code in ALL_CODES
         assert p.name and p.description
+        # a rule is either device-side (kernel path) or service-side,
+        # never both
+        assert not (p.kernel_path_only and p.service_path_only)
 
 
 # ----------------------------------------------------------------------
